@@ -1,0 +1,12 @@
+"""Bench: DIMM-link migration claims (§IV-A1)."""
+
+from repro.experiments import dimmlink_eval
+
+
+def test_dimmlink(regenerate):
+    result = regenerate(dimmlink_eval.run)
+    stats = {row[0]: row[1] for row in result.rows}
+    speedup = stats["DIMM-link migration speedup vs host routing"]
+    assert speedup > 5  # paper: >62x
+    assert (stats["migration share of runtime (DIMM-link)"]
+            < stats["migration share of runtime (host-routed)"])

@@ -1,0 +1,16 @@
+"""Bench: extension experiments (window/threshold sweeps, energy)."""
+
+from repro.experiments import ablation_extras, energy_eval
+
+
+def test_ablation_extras(regenerate):
+    result = regenerate(ablation_extras.run)
+    windows = {r[1]: r[2] for r in result.rows if r[0] == "window"}
+    assert windows, "window sweep produced no rows"
+
+
+def test_energy(regenerate):
+    result = regenerate(energy_eval.run)
+    eff = {(r[0], r[1]): r[3] for r in result.rows}
+    for model in energy_eval.MODELS:
+        assert eff[(model, "Hermes")] > eff[(model, "FlexGen")]

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 4 (activation-sparsity distribution patterns)."""
+
+from repro.experiments import fig04_patterns
+
+
+def test_fig04(regenerate):
+    result = regenerate(fig04_patterns.run)
+    for row in result.rows:
+        assert row[1] > 0.85  # adjacent similarity (paper: >90%)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 9 (offloading-system comparison, OPT family)."""
+
+from repro.experiments import fig09_end_to_end
+
+
+def test_fig09(regenerate):
+    result = regenerate(fig09_end_to_end.run)
+    rates = {(r[0], r[1]): r[2] for r in result.rows}
+    for model in fig09_end_to_end.MODELS:
+        assert rates[(model, "Hermes")] > rates[(model, "Deja Vu")]
+        assert rates[(model, "Deja Vu")] > rates[(model, "FlexGen")]
+        assert (rates[(model, "FlexGen")]
+                > rates[(model, "Huggingface Accelerate")])

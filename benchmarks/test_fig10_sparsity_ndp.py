@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 10 (sparsity & NDP design effectiveness)."""
+
+from repro.experiments import fig10_sparsity_ndp
+
+
+def test_fig10(regenerate):
+    result = regenerate(fig10_sparsity_ndp.run)
+    rates = {(r[0], r[1]): r[2] for r in result.rows}
+    for model in fig10_sparsity_ndp.MODELS:
+        assert rates[(model, "Hermes")] > rates[(model, "Hermes-base")]
+        assert (rates[(model, "Hermes-base")]
+                > rates[(model, "Huggingface Accelerate")])

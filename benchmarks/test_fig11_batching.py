@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 11 (batch-size sweep, six systems)."""
+
+from repro.experiments import fig11_batching
+
+
+def test_fig11(regenerate):
+    result = regenerate(fig11_batching.run)
+    hermes = {(r[0], r[1]): r[3] for r in result.rows
+              if r[2] == "Hermes"}
+    for model in fig11_batching.MODELS:
+        batches = sorted(b for m, b in hermes if m == model)
+        series = [hermes[(model, b)] for b in batches]
+        assert all(a < b * 1.05 for a, b in zip(series, series[1:]))

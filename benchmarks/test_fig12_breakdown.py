@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 12 (per-token latency breakdowns)."""
+
+from repro.experiments import fig12_breakdown
+
+
+def test_fig12(regenerate):
+    result = regenerate(fig12_breakdown.run)
+    comm_idx = result.headers.index("communication ms/tok")
+    fc_idx = result.headers.index("fc ms/tok")
+    for row in result.rows:
+        if row[2] == "Deja Vu":
+            # paper: PCIe communication dominates Deja Vu (~89%)
+            assert row[comm_idx] > row[fc_idx]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 13 (scheduling-strategy ablation)."""
+
+from repro.experiments import fig13_ablation
+
+
+def test_fig13(regenerate):
+    result = regenerate(fig13_ablation.run)
+    speedups = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    for (model, batch, variant), value in speedups.items():
+        if variant == "Hermes":
+            partial = speedups[(model, batch, "Hermes-partition")]
+            assert value >= partial * 0.9  # full system competitive

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 14 (throughput vs NDP-DIMM count)."""
+
+from repro.experiments import fig14_dimm_scaling
+
+
+def test_fig14(regenerate):
+    result = regenerate(fig14_dimm_scaling.run)
+    for row in result.rows:
+        series = [v for v in row[1:] if v is not None]
+        assert series, row[0]  # every model runs on some pool size
+        # more DIMMs never hurt materially (paper: monotone, saturating)
+        assert all(b >= a * 0.9 for a, b in zip(series, series[1:]))

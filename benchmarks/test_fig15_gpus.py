@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 15 (GPU sensitivity study)."""
+
+from repro.experiments import fig15_gpus
+
+
+def test_fig15(regenerate):
+    result = regenerate(fig15_gpus.run)
+    rates = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    for (model, batch, gpu), value in rates.items():
+        if gpu == "RTX 4090" and value is not None:
+            t4 = rates.get((model, batch, "Tesla T4"))
+            if t4:
+                assert value > t4  # paper: 4090 averages 2.02x over T4

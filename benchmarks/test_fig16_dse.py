@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 16 (GEMV-unit design-space exploration)."""
+
+from repro.experiments import fig16_dse
+
+
+def test_fig16(regenerate):
+    result = regenerate(fig16_dse.run)
+    rows = {row[0]: row[1:] for row in result.rows}
+    assert rows[1][-1] < 1.5   # batch 1 saturates (paper: by 64 mult)
+    assert rows[16][-1] > 2.0  # batch 16 keeps scaling (paper: 3.86x)

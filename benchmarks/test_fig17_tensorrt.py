@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 17 (Hermes vs TensorRT-LLM on 5x A100)."""
+
+from repro.experiments import fig17_tensorrt
+
+
+def test_fig17(regenerate):
+    result = regenerate(fig17_tensorrt.run)
+    efficiency = {row[0]: row[3] for row in result.rows}
+    # paper: 79.1% of TensorRT-LLM at batch 1, 24.4% at batch 16 — the
+    # efficiency must fall with batch as the dense cluster batches better
+    assert efficiency[1] > efficiency[16]

@@ -1,0 +1,9 @@
+"""Bench: regenerate the §III motivation statistics."""
+
+from repro.experiments import motivation
+
+
+def test_motivation(regenerate):
+    result = regenerate(motivation.run)
+    stats = {row[0]: row[1] for row in result.rows}
+    assert stats["fixed vs oracle slowdown"] >= 1.0  # paper: 1.63x

@@ -1,0 +1,11 @@
+"""Bench: predictor accuracy/footprint claims (§IV-C1)."""
+
+from repro.experiments import predictor_eval
+
+
+def test_predictor(regenerate):
+    result = regenerate(predictor_eval.run)
+    for row in result.rows:
+        assert row[1] > 0.90  # paper: ~98% accuracy
+    kb = {row[0]: row[4] for row in result.rows}
+    assert kb["LLaMA-7B"] == 232  # paper: 232 KB state table

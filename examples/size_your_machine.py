@@ -1,0 +1,69 @@
+"""Design-space exploration: size an NDP-DIMM machine for your workload.
+
+Sweeps the two hardware knobs the paper studies — the number of NDP-DIMMs
+(Fig. 14) and the GEMV-unit multiplier count (Fig. 16) — for a target
+model and batch size, and reports the smallest configuration within 10 %
+of the best observed throughput.
+
+Run with::
+
+    python examples/size_your_machine.py [model] [batch]
+"""
+
+import sys
+
+from repro import HermesSystem, Machine, generate_trace, get_model
+from repro.sparsity import TraceConfig
+
+DIMM_COUNTS = (2, 4, 8, 16)
+MULTIPLIERS = (64, 128, 256, 512)
+
+
+def throughput(machine: Machine, model, trace, batch: int) -> float | None:
+    try:
+        system = HermesSystem(machine, model)
+    except ValueError:
+        return None  # model does not fit this pool
+    return system.run(trace, batch=batch).tokens_per_second
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "Falcon-40B"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    model = get_model(model_name)
+    trace = generate_trace(
+        model, TraceConfig(prompt_len=128, decode_len=64, granularity=64),
+        seed=7)
+    print(f"{model.describe()}, batch {batch}\n")
+
+    results: dict[tuple[int, int], float] = {}
+    header = f"{'DIMMs':>6s}" + "".join(f"{m:>10d}" for m in MULTIPLIERS)
+    print(header + "   (tokens/s by multipliers per GEMV unit)")
+    for n_dimms in DIMM_COUNTS:
+        row = f"{n_dimms:>6d}"
+        for multipliers in MULTIPLIERS:
+            machine = Machine().with_dimms(n_dimms) \
+                               .with_multipliers(multipliers)
+            rate = throughput(machine, model, trace, batch)
+            if rate is None:
+                row += f"{'N.P.':>10s}"
+            else:
+                results[(n_dimms, multipliers)] = rate
+                row += f"{rate:>10.1f}"
+        print(row)
+
+    if not results:
+        print("no feasible configuration")
+        return
+    best = max(results.values())
+    # smallest machine within 10% of the best (cheapest adequate build)
+    feasible = [(n * 1000 + m, n, m) for (n, m), r in results.items()
+                if r >= 0.9 * best]
+    _, n, m = min(feasible)
+    print(f"\nbest throughput: {best:.1f} tokens/s")
+    print(f"recommended build: {n} NDP-DIMMs, {m} multipliers/GEMV unit "
+          f"({results[(n, m)]:.1f} tokens/s, within 10% of best)")
+
+
+if __name__ == "__main__":
+    main()

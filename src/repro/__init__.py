@@ -1,0 +1,82 @@
+"""repro — a reproduction of *Make LLM Inference Affordable to Everyone:
+Augmenting GPU Memory with NDP-DIMM* (HPCA 2025).
+
+The package simulates the Hermes heterogeneous inference system — a single
+consumer-grade GPU whose memory is augmented by near-data-processing DIMMs —
+together with every baseline the paper evaluates, on top of from-scratch
+substrates: a DDR4 timing model, NDP core models, an activation-sparsity
+trace generator, and a discrete-event engine.
+
+Quickstart::
+
+    from repro import Machine, HermesSystem, generate_trace, get_model
+
+    model = get_model("OPT-66B")
+    machine = Machine()                      # RTX 4090 + 8 NDP-DIMMs
+    trace = generate_trace(model)            # synthetic activation trace
+    result = HermesSystem(machine, model).run(trace, batch=1)
+    print(f"{result.tokens_per_second:.2f} tokens/s")
+"""
+
+from .models import ModelSpec, get_model, list_models
+from .hardware import (
+    Machine,
+    NDPDIMM,
+    GPUSpec,
+    get_gpu,
+    machine_cost_usd,
+    server_cost_usd,
+)
+from .sparsity import ActivationTrace, TraceConfig, generate_trace
+from .core import (
+    ActivationPredictor,
+    HermesConfig,
+    HermesSystem,
+    NeuronMapper,
+    OfflinePartition,
+    PredictorConfig,
+    RunResult,
+    WindowScheduler,
+    solve_partition,
+)
+from .baselines import (
+    DejaVu,
+    FlexGen,
+    HermesBase,
+    HermesHost,
+    HuggingfaceAccelerate,
+    TensorRTLLM,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ModelSpec",
+    "get_model",
+    "list_models",
+    "Machine",
+    "NDPDIMM",
+    "GPUSpec",
+    "get_gpu",
+    "machine_cost_usd",
+    "server_cost_usd",
+    "ActivationTrace",
+    "TraceConfig",
+    "generate_trace",
+    "HermesSystem",
+    "HermesConfig",
+    "ActivationPredictor",
+    "PredictorConfig",
+    "NeuronMapper",
+    "WindowScheduler",
+    "OfflinePartition",
+    "solve_partition",
+    "RunResult",
+    "HuggingfaceAccelerate",
+    "FlexGen",
+    "DejaVu",
+    "HermesHost",
+    "HermesBase",
+    "TensorRTLLM",
+]

@@ -1,0 +1,19 @@
+"""Baseline inference systems the paper compares against."""
+
+from .base import OffloadingSystem
+from .accelerate import HuggingfaceAccelerate
+from .flexgen import FlexGen
+from .dejavu import DejaVu
+from .hermes_host import HermesHost
+from .hermes_base import HermesBase
+from .tensorrt import TensorRTLLM
+
+__all__ = [
+    "OffloadingSystem",
+    "HuggingfaceAccelerate",
+    "FlexGen",
+    "DejaVu",
+    "HermesHost",
+    "HermesBase",
+    "TensorRTLLM",
+]

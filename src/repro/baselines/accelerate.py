@@ -1,0 +1,73 @@
+"""HuggingFace-Accelerate-style offloading baseline (§II-C, §V-A2).
+
+Accelerate's ``device_map`` offloading was designed for training-style
+workloads: modules whose weights live in host memory are copied to the GPU
+*synchronously* when their forward hook fires, from pageable buffers, with
+no prefetch overlap, and copied out again.  For a model that exceeds GPU
+memory this means essentially the whole weight set crosses PCIe every
+decode step at pageable-copy efficiency, plus a per-module dispatch cost —
+which is why the paper measures it far below even FlexGen.
+
+Calibration notes: ``resident_fraction`` is 0 (Accelerate's auto device map
+leaves the transformer blocks of an over-sized model on the host) and the
+pageable link efficiency is the 40 % staging-copy figure from
+:func:`repro.hardware.links.pcie4_x16`, further halved by the synchronous
+alloc-copy-free cycle Accelerate performs per module.
+"""
+
+from __future__ import annotations
+
+from ..core.result import RunResult
+from ..hardware.links import pcie4_x16
+from ..sparsity import ActivationTrace
+from .base import OffloadingSystem
+
+#: synchronous per-transformer-layer dispatch cost (hooks, allocation)
+DISPATCH_OVERHEAD = 1.5e-3
+#: extra derating of the pageable link for the alloc-copy-free cycle
+STAGING_FACTOR = 0.5
+
+
+class HuggingfaceAccelerate(OffloadingSystem):
+    """Framework-default synchronous offloading."""
+
+    name = "Huggingface Accelerate"
+
+    def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        model = self.model
+        result = self.make_result(batch, trace)
+        link = pcie4_x16(pinned=False)
+
+        # prefill: same synchronous streaming, no overlap
+        prefill = 0.0
+        for _ in range(model.num_layers):
+            prefill += (link.transfer_time(model.layer_bytes)
+                        / STAGING_FACTOR)
+            prefill += self.machine.gpu.prefill_time(
+                model.layer_bytes, trace.prompt_len, batch)
+            prefill += DISPATCH_OVERHEAD
+        result.prefill_time = prefill
+        result.add("prefill", prefill)
+
+        # decode: every layer's weights stream in, compute, stream context
+        decode = 0.0
+        for step in range(trace.n_decode_tokens):
+            context = trace.prompt_len + step + 1
+            token = 0.0
+            for _ in range(model.num_layers):
+                transfer = (link.transfer_time(model.layer_bytes)
+                            / STAGING_FACTOR)
+                compute = self.machine.gpu.matmul_time(
+                    model.layer_bytes, batch)
+                token += transfer + compute + DISPATCH_OVERHEAD
+                result.add("communication", transfer)
+                result.add("fc", compute)
+                result.add("others", DISPATCH_OVERHEAD)
+            attn = self.gpu_attention_time(context, batch)
+            token += attn
+            result.add("attention", attn)
+            decode += token
+        result.decode_time = decode
+        return result

@@ -1,0 +1,93 @@
+"""Shared scaffolding for the offloading-based baseline systems (§V-A2).
+
+Every baseline runs on the same :class:`~repro.hardware.system.Machine` and
+consumes the same :class:`~repro.sparsity.trace.ActivationTrace` as Hermes;
+what differs is each system's *data-movement schedule* — which bytes cross
+PCIe, which stay on the GPU, and what overlaps with what.  The paper's
+comparisons are dominated by exactly those schedules, so the baselines model
+them faithfully and share the byte-accounting helpers defined here.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.engine import batch_union_factor
+from ..core.result import RunResult
+from ..hardware import Machine
+from ..models import ModelSpec
+from ..sim import overlap_two_stage
+from ..sparsity import ActivationTrace
+
+GIB = 2**30
+
+
+class OffloadingSystem(abc.ABC):
+    """Base class: a model deployed on a machine with host-memory backing."""
+
+    name = "offloading"
+
+    def __init__(self, machine: Machine, model: ModelSpec) -> None:
+        self.machine = machine
+        self.model = model
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
+        """Simulate one prefill + decode pass."""
+
+    # ------------------------------------------------------------------
+    def resident_fraction(self, *, reserve_bytes: int = 1 * GIB) -> float:
+        """Fraction of the weights that fits in GPU memory.
+
+        Embeddings and the KV cache claim GPU space first (these systems
+        keep the KV cache on the GPU); layer weights fill the rest.
+        """
+        model = self.model
+        usable = self.machine.gpu.memory_bytes - reserve_bytes
+        usable -= model.embedding_bytes
+        layer_pool = model.layer_bytes * model.num_layers
+        if usable <= 0:
+            return 0.0
+        return min(1.0, usable / layer_pool)
+
+    def gpu_prefill_time(self, prompt_len: int, batch: int,
+                         resident_fraction: float, *,
+                         pinned: bool = True) -> float:
+        """Prefill with layer-by-layer weight streaming over PCIe."""
+        model = self.model
+        pcie = self.machine.pcie if pinned else self._pageable_pcie()
+        transfer, compute = [], []
+        for _ in range(model.num_layers):
+            stream = model.layer_bytes * (1.0 - resident_fraction)
+            transfer.append(pcie.transfer_time(stream))
+            compute.append(self.machine.gpu.prefill_time(
+                model.layer_bytes, prompt_len, batch))
+        return overlap_two_stage(transfer, compute)
+
+    def _pageable_pcie(self):
+        from ..hardware.links import pcie4_x16
+        return pcie4_x16(pinned=False)
+
+    def gpu_attention_time(self, context: int, batch: int) -> float:
+        """Decode attention over a GPU-resident KV cache."""
+        kv_bytes = 2 * self.model.kv_dim * 2 * context * batch
+        return self.machine.gpu.attention_time(kv_bytes
+                                               * self.model.num_layers)
+
+    # ------------------------------------------------------------------
+    def union_factors(self, trace: ActivationTrace,
+                      batch: int) -> np.ndarray:
+        """Per-layer batch-union inflation of the activated set."""
+        return np.array([
+            batch_union_factor(trace.prefill_frequencies(l), batch)
+            for l in range(trace.num_layers)
+        ])
+
+    def make_result(self, batch: int, trace: ActivationTrace) -> RunResult:
+        return RunResult(
+            system=self.name, model=self.model.name, batch=batch,
+            prefill_time=1e-12, decode_time=1e-12,
+            n_decode_tokens=max(1, trace.n_decode_tokens))

@@ -1,0 +1,79 @@
+"""FlexGen-style zig-zag offloading baseline (§II-C, §V-A2).
+
+FlexGen pins host weight buffers and overlaps the PCIe stream of layer
+``i+1`` with the compute of layer ``i`` (the zig-zag block schedule).  That
+schedule shines when a large token block amortises each weight fetch, but
+local deployment uses small batches (§II-C): with a handful of tokens per
+block, decode is transfer-bound and the pipeline degenerates to the PCIe
+stream time of the non-resident weights.
+
+Calibration notes: FlexGen's decode-time transfers move many medium-sized
+tensors per layer and reach roughly ``DECODE_LINK_UTILISATION`` of the
+pinned-link bandwidth (the FlexGen paper's own profiling shows decode
+utilisation well below the prefill stream); the KV cache is offloaded to
+host memory and attention runs on the CPU, paying the host-memory-bus scan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.result import RunResult
+from ..sim import overlap_two_stage
+from ..sparsity import ActivationTrace
+from .base import OffloadingSystem
+
+#: achieved fraction of pinned PCIe bandwidth during decode
+DECODE_LINK_UTILISATION = 0.45
+#: per-layer scheduling overhead of the block pipeline
+SCHEDULE_OVERHEAD = 0.5e-3
+
+
+class FlexGen(OffloadingSystem):
+    """Zig-zag overlapped offloading with CPU-resident KV cache."""
+
+    name = "FlexGen"
+
+    def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        model = self.model
+        machine = self.machine
+        result = self.make_result(batch, trace)
+        # FlexGen's local-deployment policy places the weight pool in host
+        # memory wholesale (w_gpu_percent=0): GPU memory is reserved for
+        # the block's activations and the compute double-buffers, which is
+        # what lets the same policy file serve every model size.
+        resident = 0.0
+        stream_bytes = model.layer_bytes * (1.0 - resident)
+        link_bw = (machine.pcie.effective_bandwidth
+                   * DECODE_LINK_UTILISATION)
+
+        # prefill: the zig-zag schedule at its best (large block)
+        prefill = self.gpu_prefill_time(trace.prompt_len, batch, resident)
+        result.prefill_time = prefill
+        result.add("prefill", prefill)
+
+        decode = 0.0
+        for step in range(trace.n_decode_tokens):
+            context = trace.prompt_len + step + 1
+            # per-layer: transfer(next layer) overlaps compute(this layer)
+            transfers, computes = [], []
+            for _ in range(model.num_layers):
+                transfers.append(machine.pcie.latency
+                                 + stream_bytes / link_bw)
+                computes.append(
+                    machine.gpu.matmul_time(model.layer_bytes, batch)
+                    + SCHEDULE_OVERHEAD)
+            pipeline = overlap_two_stage(transfers, computes)
+            # attention over the host-resident KV cache, on the CPU
+            kv_bytes = (2 * model.kv_dim * 2 * context * batch
+                        * model.num_layers)
+            attn = machine.host.gemv_time(kv_bytes, 1, scattered=False)
+            decode += pipeline + attn
+            transfer_only = sum(transfers)
+            result.add("communication", min(pipeline, transfer_only))
+            result.add("fc", max(0.0, pipeline - transfer_only))
+            result.add("attention", attn)
+        result.decode_time = decode
+        return result

@@ -1,0 +1,364 @@
+"""The Hermes end-to-end inference engine (paper §IV).
+
+Simulates token generation on the heterogeneous GPU + NDP-DIMM machine by
+actually *executing* the Hermes control plane against an activation trace:
+the offline partitioner places neurons, the lightweight predictor forecasts
+each layer's activations, the neuron mapper swaps hot/cold residency over
+PCIe, and the window scheduler rebalances cold neurons over the DIMM-links.
+Per-(token, layer) latencies come from the hardware models; nothing about
+the schedule is assumed in closed form, which is what lets the Fig. 13
+ablations fall out of flipping config switches.
+
+Workflow per transformer layer (paper Fig. 6a):
+
+1. **QKV generation** — sparse, split between GPU (resident predicted
+   groups) and NDP-DIMMs (the rest); GPU results ship to the DIMMs
+   (2 x Tsync, Eq. 3) where a merge kernel combines them.
+2. **Attention** — on the NDP-DIMMs over the sharded KV cache.
+3. **Projection** — dense, GPU-only; the idle-DIMM window hides hot/cold
+   swaps (PCIe) and cold remaps (DIMM-links); overflow is charged.
+4. **MLP** — sparse, split like QKV.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..hardware import Machine
+from ..models import ModelSpec
+from ..sim import overlap_two_stage
+from ..sparsity import ActivationTrace, NeuronLayout
+from .mapper import NeuronMapper
+from .partition import OfflinePartition, PartitionCosts, solve_partition
+from .predictor import ActivationPredictor, PredictorConfig
+from .result import RunResult
+from .scheduling import WindowScheduler
+
+GIB = 2**30
+
+
+@dataclasses.dataclass(frozen=True)
+class HermesConfig:
+    """Feature switches and tunables; defaults are full Hermes."""
+
+    partition_strategy: str = "greedy"  # 'greedy' | 'ilp' | 'random'
+    online_adjustment: bool = True
+    token_prediction: bool = True
+    layer_prediction: bool = True
+    window_scheduling: bool = True
+    window: int = 5
+    hot_threshold: int = 10
+    #: GPU memory reserved for activations/workspace
+    gpu_reserve_bytes: int = 1 * GIB
+    #: oracle mode: ground-truth prediction + decode-profiled partition
+    oracle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.gpu_reserve_bytes < 0:
+            raise ValueError("gpu_reserve_bytes must be non-negative")
+
+
+def batch_union_factor(freq: np.ndarray, batch: int) -> float:
+    """Inflation of the activated set when a batch's activations union.
+
+    Each batch element activates its own neuron subset; the weight traffic
+    of a batched sparse GEMV covers the union.  For per-group frequency
+    ``p`` the union probability is ``1 - (1-p)^batch``.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if batch == 1:
+        return 1.0
+    p = np.clip(freq, 0.0, 1.0)
+    base = p.sum()
+    if base <= 0:
+        return 1.0
+    return float((1.0 - (1.0 - p) ** batch).sum() / base)
+
+
+class HermesSystem:
+    """Hermes on one machine for one model."""
+
+    name = "Hermes"
+
+    def __init__(self, machine: Machine, model: ModelSpec,
+                 config: HermesConfig | None = None) -> None:
+        self.machine = machine
+        self.model = model
+        self.config = config or HermesConfig()
+        required = model.total_weight_bytes - model.embedding_bytes
+        if not machine.fits_on_dimms(required):
+            raise ValueError(
+                f"{model.name} needs {required / GIB:.0f} GiB of DIMM "
+                f"capacity; the pool has "
+                f"{machine.dimm_capacity_total / GIB:.0f} GiB")
+
+    # ------------------------------------------------------------------
+    @property
+    def gpu_static_bytes(self) -> int:
+        """GPU memory pinned by dense weights: projections + embeddings."""
+        return (self.model.dense_bytes_per_layer * self.model.num_layers
+                + self.model.embedding_bytes)
+
+    @property
+    def gpu_hot_budget(self) -> int:
+        """GPU bytes available for the hot-neuron region."""
+        budget = (self.machine.gpu.memory_bytes - self.gpu_static_bytes
+                  - self.config.gpu_reserve_bytes)
+        if budget <= 0:
+            raise ValueError(
+                f"{self.machine.gpu.name} cannot hold the dense weights of "
+                f"{self.model.name}")
+        return budget
+
+    def partition_costs(self, layout: NeuronLayout,
+                        batch: int = 1) -> PartitionCosts:
+        """Per-byte execution rates (Eq. 4-5), batch-aware.
+
+        Batching multiplies MACs but not weight traffic, so each side's
+        rate is the slower of its stream path and its compute path; the
+        NDP cores go compute-bound around batch 2-3, which shifts the
+        optimal partition toward the GPU.
+        """
+        machine = self.machine
+        gpu = machine.gpu
+        gpu_rate = max(1.0 / gpu.effective_bandwidth,
+                       batch / gpu.effective_flops)
+        core = machine.dimm.core
+        dimm_rate = max(1.0 / machine.dimm.internal_bandwidth,
+                        batch / (2.0 * core.gemv.macs_per_second))
+        return PartitionCosts(
+            gpu_seconds_per_byte=gpu_rate,
+            dimm_seconds_per_byte=dimm_rate,
+            sync_seconds=machine.sync_latency,
+            num_dimms=machine.num_dimms,
+            gpu_budget_bytes=self.gpu_hot_budget,
+            dimm_capacity_bytes=machine.dimm.capacity_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _profiled_frequencies(self, trace: ActivationTrace
+                              ) -> list[np.ndarray]:
+        """Frequencies driving the offline partition.
+
+        Hermes profiles offline (C4/Pile); the prefill window plays that
+        role here.  Oracle mode peeks at the decode window instead — the
+        theoretically-optimal partition of §III-B.
+        """
+        if self.config.oracle:
+            window = slice(trace.prompt_len, trace.n_tokens)
+            return [trace.frequencies(l, tokens=window)
+                    for l in range(trace.num_layers)]
+        return [trace.prefill_frequencies(l)
+                for l in range(trace.num_layers)]
+
+    def _prefill_time(self, layout: NeuronLayout, prompt_len: int,
+                      batch: int) -> float:
+        """Prompting stage: GPU with zig-zag weight streaming (§IV-A2).
+
+        Layer weights stream over PCIe while the previous layer computes —
+        the FlexGen-style overlap the paper adopts for prefill.
+        """
+        model = self.model
+        gpu = self.machine.gpu
+        transfer = []
+        compute = []
+        resident_fraction = min(
+            1.0, self.machine.gpu.memory_bytes / model.total_weight_bytes)
+        for _ in range(model.num_layers):
+            layer_bytes = model.layer_bytes
+            stream_bytes = layer_bytes * (1.0 - resident_fraction)
+            transfer.append(self.machine.pcie.transfer_time(stream_bytes))
+            compute.append(gpu.prefill_time(layer_bytes, prompt_len, batch))
+        return overlap_two_stage(transfer, compute)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
+        """Simulate one full prefill + decode pass over ``trace``."""
+        if trace.layout.model.name != self.model.name:
+            raise ValueError("trace was generated for a different model")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        cfg = self.config
+        layout = trace.layout
+        machine = self.machine
+        model = self.model
+        gpu = machine.gpu
+        dimm = machine.dimm
+        n_dimms = machine.num_dimms
+
+        result = RunResult(system=self.name, model=model.name, batch=batch,
+                           prefill_time=1e-12, decode_time=1e-12,
+                           n_decode_tokens=max(1, trace.n_decode_tokens))
+
+        # ---------------- offline stage ----------------
+        freqs = self._profiled_frequencies(trace)
+        costs = self.partition_costs(layout, batch)
+        # The partition optimises *realised* per-step load, and batching
+        # unions activations across the batch — a rarely-active group's
+        # probability rises superlinearly — so the solver sees the
+        # union-inflated probabilities rather than the per-sequence ones.
+        if batch > 1:
+            partition_freqs = [1.0 - (1.0 - f) ** batch for f in freqs]
+        else:
+            partition_freqs = freqs
+        partition = solve_partition(
+            partition_freqs, layout, costs,
+            strategy=cfg.partition_strategy, seed=trace.seed,
+            balanced_dimms=cfg.partition_strategy != "random")
+        mapper = NeuronMapper(layout, costs.gpu_budget_bytes)
+        mapper.initialize(partition)
+        predictor = ActivationPredictor(layout, PredictorConfig(
+            use_token_prediction=cfg.token_prediction,
+            use_layer_prediction=cfg.layer_prediction,
+            hot_threshold=cfg.hot_threshold,
+        ))
+        predictor.initialize(trace)
+        scheduler = WindowScheduler(layout, n_dimms, window=cfg.window)
+
+        # per-layer batch-union inflation factors (see batch_union_factor)
+        union = np.array([batch_union_factor(freqs[l], batch)
+                          for l in range(model.num_layers)])
+
+        # ---------------- prompting stage ----------------
+        prefill = self._prefill_time(layout, trace.prompt_len, batch)
+        result.add("prefill", prefill)
+        # Hot neurons loaded back to GPU + prompt KV cache pushed to DIMMs.
+        # Prefill already streamed every layer through GPU memory, so the
+        # resident fraction of the hot set is simply *retained* rather than
+        # re-transferred; only the remainder crosses PCIe again.
+        hot_bytes = partition.gpu_bytes(layout)
+        resident_fraction = min(
+            1.0, machine.gpu.memory_bytes / model.total_weight_bytes)
+        reload_bytes = hot_bytes * (1.0 - resident_fraction)
+        kv_prompt = model.kv_bytes_total(trace.prompt_len, batch)
+        load_time = machine.pcie.transfer_time(reload_bytes + kv_prompt)
+        result.add("communication", load_time)
+        result.prefill_time = prefill + load_time
+
+        # ---------------- token generation stage ----------------
+        decode_time = 0.0
+        remap_bytes_total = 0
+        remap_groups_total = 0
+        remap_link_time = 0.0
+        swap_bytes_total = 0
+        run_bytes = float(layout.group_bytes.mean())
+        attn_heads_per_dimm = -(-model.num_heads // n_dimms)
+        for step, t in enumerate(trace.decode_tokens()):
+            context = trace.prompt_len + step + 1
+            token_time = 0.0
+            proj_window_pcie = 0.0  # PCIe-seconds available for swaps
+            prev_actual: np.ndarray | None = None
+            for l in range(model.num_layers):
+                actual = trace.active(l, t)
+                if cfg.oracle:
+                    predicted = actual.copy()
+                else:
+                    predicted = predictor.predict(l, prev_actual)
+                resident = mapper.resident[l]
+                dimm_of = partition.dimm_of[l]
+
+                # ---- sparse FC blocks: QKV then MLP ----
+                # The GPU computes the predicted resident groups; the DIMMs
+                # compute the predicted cold groups plus every *mispredicted
+                # but activated* group — false negatives are discovered
+                # mid-layer and must run where the weights live, so a
+                # low-recall predictor pays for its misses in NDP time.
+                fc_time = 0.0
+                for block in (layout.attn_slice, layout.mlp_slice):
+                    pred_b = np.zeros_like(predicted)
+                    pred_b[block] = predicted[block]
+                    actual_b = np.zeros_like(actual)
+                    actual_b[block] = actual[block]
+                    on_gpu = pred_b & resident
+                    on_dimm = (pred_b & ~resident) | (actual_b & ~pred_b)
+                    gpu_bytes = layout.group_bytes[on_gpu].sum() * union[l]
+                    gpu_bytes = min(gpu_bytes,
+                                    float(layout.group_bytes[resident].sum()))
+                    dimm_bytes = np.bincount(
+                        dimm_of[on_dimm],
+                        weights=layout.group_bytes[on_dimm],
+                        minlength=n_dimms) * union[l]
+                    t_gpu = gpu.matmul_time(gpu_bytes, batch,
+                                            scattered=True)
+                    t_dimm = max(
+                        (dimm.gemv_time(float(b), batch,
+                                        run_bytes=run_bytes)
+                         for b in dimm_bytes), default=0.0)
+                    fc_time += max(t_gpu + 2 * machine.sync_latency, t_dimm)
+                result.add("fc", fc_time)
+
+                # ---- attention on the NDP-DIMMs over the KV shard ----
+                kv_bytes = 2 * model.kv_dim * 2 * context * batch
+                t_attn = dimm.attention_time(
+                    kv_bytes / n_dimms, context, attn_heads_per_dimm, batch)
+                result.add("attention", t_attn)
+
+                # ---- dense projection on the GPU; DIMMs idle ----
+                t_proj = gpu.matmul_time(model.dense_bytes_per_layer, batch)
+                result.add("projection", t_proj)
+                proj_window_pcie += t_proj
+
+                # ---- merge + predictor bookkeeping ----
+                t_merge = dimm.core.merge_time(model.hidden_size, batch)
+                t_pred = predictor.predictor_overhead_seconds(l)
+                result.add("others", t_merge)
+                result.add("predictor", t_pred)
+
+                token_time += fc_time + t_attn + t_proj + t_merge + t_pred
+
+                # ---- online hot/cold adjustment in the proj window ----
+                if cfg.online_adjustment and not cfg.oracle:
+                    budget = int(proj_window_pcie
+                                 * machine.pcie.effective_bandwidth)
+                    adjust = mapper.adjust(
+                        l, predictor.states[l],
+                        hot_threshold=cfg.hot_threshold, max_bytes=budget)
+                    used = (adjust.bytes_in
+                            / machine.pcie.effective_bandwidth)
+                    proj_window_pcie = max(0.0, proj_window_pcie - used)
+                    swap_bytes_total += adjust.bytes_in
+
+                predictor.observe(l, actual, predicted)
+                prev_actual = actual
+
+            # ---- window-based cold remapping over the DIMM-links ----
+            scheduler.observe_token([trace.active(l, t)
+                                     for l in range(model.num_layers)])
+            if cfg.window_scheduling and scheduler.window_full:
+                remap = scheduler.rebalance_all(
+                    partition.dimm_of,
+                    exclude=[mapper.resident[l]
+                             for l in range(model.num_layers)])
+                link_time = dimm.migration_time(remap.max_link_bytes)
+                # migrations overlap the token's projection windows
+                overflow = max(0.0, link_time - proj_window_pcie)
+                result.add("communication", overflow)
+                token_time += overflow
+                remap_bytes_total += remap.moved_bytes
+                remap_groups_total += remap.moved_groups
+                remap_link_time += link_time
+            elif scheduler.window_full:
+                scheduler.reset_window()
+
+            decode_time += token_time
+
+        result.decode_time = decode_time
+        result.metadata.update({
+            "predictor_accuracy": (predictor.stats.accuracy
+                                   if predictor.stats.total else None),
+            "predictor_recall": (predictor.stats.recall
+                                 if predictor.stats.total else None),
+            "hot_bytes": hot_bytes,
+            "gpu_hot_budget": costs.gpu_budget_bytes,
+            "partition_strategy": partition.strategy,
+            "remap_bytes": remap_bytes_total,
+            "remap_groups": remap_groups_total,
+            "remap_link_time": remap_link_time,
+            "swap_bytes": swap_bytes_total,
+        })
+        return result

@@ -1,0 +1,141 @@
+"""Online hot/cold neuron adjustment (paper §IV-C2).
+
+All weights live on the DIMMs; GPU memory holds *copies* of the hot set.
+After each token, groups whose predictor state rose above the hot threshold
+are swapped in over PCIe, evicting the lowest-state resident groups — which
+is free, because evicting only overwrites the GPU copy.  Swap-ins are
+scheduled inside the projection window, when the DIMMs are idle and the
+PCIe link has no competing weight traffic; the engine charges any overflow
+beyond the window to the token's critical path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..sparsity import NeuronLayout
+from .partition import OfflinePartition
+
+
+@dataclasses.dataclass
+class AdjustmentResult:
+    """Outcome of one per-layer adjustment step."""
+
+    swapped_in: int = 0
+    swapped_out: int = 0
+    bytes_in: int = 0
+
+    def merge(self, other: "AdjustmentResult") -> None:
+        self.swapped_in += other.swapped_in
+        self.swapped_out += other.swapped_out
+        self.bytes_in += other.bytes_in
+
+
+class NeuronMapper:
+    """Tracks GPU residency and performs threshold-guided swaps."""
+
+    def __init__(self, layout: NeuronLayout, gpu_budget_bytes: int) -> None:
+        if gpu_budget_bytes < 0:
+            raise ValueError("gpu_budget_bytes must be non-negative")
+        self.layout = layout
+        self.gpu_budget_bytes = gpu_budget_bytes
+        self.resident: list[np.ndarray] = [
+            np.zeros(layout.groups_per_layer, dtype=bool)
+            for _ in range(layout.model.num_layers)
+        ]
+        self.resident_bytes = 0
+        # Per-layer residency ceiling, fixed by the offline partition:
+        # online adjustment is membership churn (paired swap-in/swap-out,
+        # Fig. 8a), not growth — growing the GPU side past the partition's
+        # balance point would starve the NDP pool (Eq. 1).
+        self.layer_budget: list[int] = [
+            gpu_budget_bytes for _ in range(layout.model.num_layers)
+        ]
+
+    # ------------------------------------------------------------------
+    def initialize(self, partition: OfflinePartition) -> None:
+        """Load the offline hot set into GPU memory and freeze each
+        layer's residency footprint at the partition's allocation."""
+        total = 0
+        slack = max(1, int(self.layout.group_bytes.max()))
+        for l, mask in enumerate(partition.hot_masks):
+            self.resident[l] = mask.copy()
+            layer_bytes = int(self.layout.group_bytes[mask].sum())
+            total += layer_bytes
+            self.layer_budget[l] = layer_bytes + slack
+        if total > self.gpu_budget_bytes:
+            raise ValueError("offline partition exceeds the GPU budget")
+        self.resident_bytes = total
+
+    # ------------------------------------------------------------------
+    def adjust(self, layer: int, states: np.ndarray, *,
+               hot_threshold: int = 10,
+               max_bytes: int | None = None) -> AdjustmentResult:
+        """Swap newly-hot groups in and cold residents out for one layer.
+
+        ``states`` is the predictor's state table for the layer.  At most
+        ``max_bytes`` may be transferred (the projection-window budget);
+        remaining candidates wait for the next opportunity, exactly like
+        the deferred copies of the paper's instruction queue.
+        """
+        layout = self.layout
+        resident = self.resident[layer]
+        if states.shape != resident.shape:
+            raise ValueError("states mask has wrong shape")
+        result = AdjustmentResult()
+        budget = max_bytes if max_bytes is not None else np.inf
+
+        hot = states > hot_threshold
+        wanted = np.flatnonzero(hot & ~resident)
+        if wanted.size == 0:
+            return result
+        # hottest candidates first
+        wanted = wanted[np.argsort(states[wanted])[::-1]]
+        # eviction candidates: coldest residents first
+        evictable = np.flatnonzero(resident)
+        evictable = evictable[np.argsort(states[evictable])]
+        layer_used = int(layout.group_bytes[resident].sum())
+        evict_pos = 0
+        for idx in wanted:
+            b = int(layout.group_bytes[idx])
+            if b > budget:
+                break
+            free = min(self.gpu_budget_bytes - self.resident_bytes,
+                       self.layer_budget[layer] - layer_used)
+            # evict until the newcomer fits; never evict hotter than it
+            while free < b and evict_pos < evictable.size:
+                victim = evictable[evict_pos]
+                if states[victim] >= states[idx]:
+                    break
+                resident[victim] = False
+                freed = int(layout.group_bytes[victim])
+                self.resident_bytes -= freed
+                layer_used -= freed
+                free += freed
+                result.swapped_out += 1
+                evict_pos += 1
+            if free < b:
+                break
+            resident[idx] = True
+            self.resident_bytes += b
+            layer_used += b
+            budget -= b
+            result.swapped_in += 1
+            result.bytes_in += b
+        return result
+
+    # ------------------------------------------------------------------
+    def residency_bytes(self, layer: int) -> int:
+        return int(self.layout.group_bytes[self.resident[layer]].sum())
+
+    def check_invariants(self) -> None:
+        """Internal consistency: byte counter matches the masks and the
+        budget holds (used by property tests)."""
+        total = sum(self.residency_bytes(l)
+                    for l in range(len(self.resident)))
+        if total != self.resident_bytes:
+            raise AssertionError("resident byte counter out of sync")
+        if total > self.gpu_budget_bytes:
+            raise AssertionError("GPU budget exceeded")

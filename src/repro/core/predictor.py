@@ -1,0 +1,270 @@
+"""The lightweight online activation predictor (paper §IV-C1).
+
+Replaces the expensive per-layer MLP predictors of Deja Vu/PowerInfer
+(2 GB of weights, 10-25 % of runtime for LLaMA-7B) with two tiny tables:
+
+* **Neuron state table** — a 4-bit saturating counter per neuron, the
+  branch-predictor trick applied to activation locality.  Initialised from
+  prefill activation frequencies (16 linear stages); on every decode step an
+  activated neuron's state rises by ``s_up`` (paper: 4) and an inactive
+  neuron's falls by ``s_down`` (paper: 1).
+* **Neuron correlation table** — the top-2 most correlated predecessor
+  neurons in the previous layer, sampled offline from profiling data.
+
+A neuron is predicted active when ``s1 + lambda * s2 > T`` with ``s1`` its
+state, ``s2`` the number of its correlated predecessors that fired in the
+previous layer this token, ``lambda = 6`` and ``T = 15`` (paper values).
+Neurons with state above ``hot_threshold = 10`` are classified *hot* and
+become candidates for GPU residency (§IV-C2).
+
+For LLaMA-7B the state table is 232 KB (4 bits x 32 layers x 14.8 K
+neurons), matching the paper's footprint claim; the table sizes are exposed
+so tests can assert them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..sparsity import ActivationTrace, NeuronLayout
+
+STATE_MAX = 15
+STATE_BITS = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorConfig:
+    """Hyper-parameters of the combined predictor (paper defaults)."""
+
+    s_up: int = 4
+    s_down: int = 1
+    lam: float = 6.0
+    threshold: float = 15.0
+    hot_threshold: int = 10
+    use_token_prediction: bool = True
+    use_layer_prediction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.s_up < 1 or self.s_down < 1:
+            raise ValueError("state increments must be >= 1")
+        if self.lam < 0:
+            raise ValueError("lambda must be non-negative")
+        if not 0 <= self.hot_threshold <= STATE_MAX:
+            raise ValueError("hot_threshold must lie in [0, 15]")
+        if not (self.use_token_prediction or self.use_layer_prediction):
+            raise ValueError("at least one prediction mode must be enabled")
+
+
+class CorrelationTable:
+    """Top-2 correlated predecessor groups per layer (offline sampled)."""
+
+    def __init__(self, parents: list[np.ndarray | None]) -> None:
+        self.parents = parents
+
+    @classmethod
+    def from_profiling(cls, trace: ActivationTrace) -> "CorrelationTable":
+        """The offline-profiled table (paper: sampled over 128 C4/Pile
+        samples, §IV-B/C).
+
+        A single trace cannot stand in for a large independent profiling
+        corpus, so this uses the correlation structure the trace recorded
+        at initialisation time — the information an ideal offline profiler
+        would have extracted.  Crucially it is a *snapshot*: as neuron
+        identities drift during decode the table goes stale, reproducing
+        the paper's observation that the static sampled table limits
+        layer-only prediction (§V-C).
+        """
+        parents = [None if p is None else p.copy() for p in trace.parents]
+        return cls(parents)
+
+    @classmethod
+    def from_trace(cls, trace: ActivationTrace, *,
+                   tokens: slice | None = None) -> "CorrelationTable":
+        """Estimate parent pairs statistically from a profiling window.
+
+        The data-driven alternative to :meth:`from_profiling` for traces
+        without recorded structure.  Estimation quality is bounded by the
+        window's effective sample count (token-wise similarity makes
+        consecutive tokens highly dependent)."""
+        if tokens is None:
+            tokens = slice(0, max(2, trace.prompt_len))
+        parents: list[np.ndarray | None] = [None]
+        for l in range(1, trace.num_layers):
+            prev = trace.layers[l - 1][tokens].astype(np.float64)
+            cur = trace.layers[l][tokens].astype(np.float64)
+            if prev.shape[0] < 2:
+                raise ValueError("profiling window too short")
+            # Pearson correlation rather than raw co-occurrence: always-on
+            # parents co-occur with everything, so conditional probability
+            # alone cannot separate the genuinely correlated predecessor
+            # from the merely hot one; centering removes that bias.
+            prev_c = prev - prev.mean(axis=0)
+            cur_c = cur - cur.mean(axis=0)
+            denom = np.outer(np.linalg.norm(prev_c, axis=0),
+                             np.linalg.norm(cur_c, axis=0))
+            with np.errstate(invalid="ignore", divide="ignore"):
+                corr = np.where(denom > 0, prev_c.T @ cur_c / denom, 0.0)
+            # top-2 parents per child by correlation
+            top2 = np.argsort(corr, axis=0)[-2:, :][::-1].T
+            parents.append(np.ascontiguousarray(top2))
+        return cls(parents)
+
+    def table_bytes(self, index_bytes: int = 2) -> int:
+        """Storage footprint of the correlation table."""
+        total = 0
+        for table in self.parents:
+            if table is not None:
+                total += table.size * index_bytes
+        return total
+
+
+@dataclasses.dataclass
+class PredictionStats:
+    """Running accuracy counters (predicted vs ground-truth activations)."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    def update(self, predicted: np.ndarray, actual: np.ndarray) -> None:
+        self.true_positive += int(np.logical_and(predicted, actual).sum())
+        self.false_positive += int(
+            np.logical_and(predicted, ~actual).sum())
+        self.true_negative += int(
+            np.logical_and(~predicted, ~actual).sum())
+        self.false_negative += int(
+            np.logical_and(~predicted, actual).sum())
+
+    @property
+    def total(self) -> int:
+        return (self.true_positive + self.false_positive
+                + self.true_negative + self.false_negative)
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            raise ValueError("no predictions recorded")
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positive + self.false_negative
+        if actual == 0:
+            return 1.0
+        return self.true_positive / actual
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positive + self.false_positive
+        if predicted == 0:
+            return 1.0
+        return self.true_positive / predicted
+
+
+class ActivationPredictor:
+    """Combined token-wise + layer-wise activation predictor."""
+
+    def __init__(self, layout: NeuronLayout,
+                 config: PredictorConfig | None = None) -> None:
+        self.layout = layout
+        self.config = config or PredictorConfig()
+        self.num_layers = layout.model.num_layers
+        self.states = [
+            np.zeros(layout.groups_per_layer, dtype=np.int8)
+            for _ in range(self.num_layers)
+        ]
+        self.correlation: CorrelationTable | None = None
+        self.stats = PredictionStats()
+
+    # ------------------------------------------------------------------
+    def initialize(self, trace: ActivationTrace, *,
+                   correlation: str = "profiled") -> None:
+        """Set initial states from prefill frequencies (16 linear stages)
+        and build the correlation table.
+
+        ``correlation`` selects the table source: ``"profiled"`` uses the
+        trace's recorded offline structure (the paper's corpus-profiled
+        table), ``"sampled"`` estimates it statistically from the prefill
+        window.
+        """
+        for l in range(self.num_layers):
+            freq = trace.prefill_frequencies(l)
+            self.states[l] = np.minimum(
+                (freq * (STATE_MAX + 1)).astype(np.int8), STATE_MAX)
+        if self.config.use_layer_prediction:
+            if correlation == "profiled":
+                self.correlation = CorrelationTable.from_profiling(trace)
+            elif correlation == "sampled":
+                self.correlation = CorrelationTable.from_trace(trace)
+            else:
+                raise ValueError(
+                    f"unknown correlation source {correlation!r}")
+
+    # ------------------------------------------------------------------
+    def predict(self, layer: int,
+                prev_actual: np.ndarray | None = None) -> np.ndarray:
+        """Predicted activation mask for ``layer`` on the current token.
+
+        ``prev_actual`` is the realised activation of layer-1 (available
+        because layers execute sequentially); it feeds the layer-wise term.
+        """
+        cfg = self.config
+        if cfg.use_token_prediction:
+            s1 = self.states[layer].astype(np.float64)
+        else:
+            s1 = np.zeros(self.layout.groups_per_layer)
+        s2 = np.zeros_like(s1)
+        if (cfg.use_layer_prediction and layer > 0
+                and prev_actual is not None
+                and self.correlation is not None):
+            parents = self.correlation.parents[layer]
+            if parents is not None:
+                s2 = prev_actual[parents].sum(axis=1).astype(np.float64)
+        score = s1 + cfg.lam * s2
+        if not cfg.use_token_prediction:
+            # layer-only mode: both sampled parents must fire — one parent
+            # alone fires far too often (hot parents are nearly always on)
+            return s2 >= 2.0
+        # ">=" rather than the paper's strict ">": the state table saturates
+        # at 15 == T, so a strict comparison would never fire on a
+        # permanently-active neuron with silent parents.
+        return score >= cfg.threshold
+
+    def observe(self, layer: int, actual: np.ndarray,
+                predicted: np.ndarray | None = None) -> None:
+        """Finite-state-machine update after the layer's true activations
+        are known; also folds the outcome into the accuracy counters."""
+        if actual.shape != (self.layout.groups_per_layer,):
+            raise ValueError("actual mask has wrong shape")
+        if predicted is not None:
+            self.stats.update(predicted, actual)
+        state = self.states[layer].astype(np.int16)
+        state = np.where(actual, state + self.config.s_up,
+                         state - self.config.s_down)
+        self.states[layer] = np.clip(state, 0, STATE_MAX).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    def hot_mask(self, layer: int) -> np.ndarray:
+        """Groups currently classified hot (state > hot_threshold)."""
+        return self.states[layer] > self.config.hot_threshold
+
+    def state_table_bytes(self) -> int:
+        """Footprint of the neuron state table at 4 bits per neuron.
+
+        Reported at *neuron* granularity (the paper's bookkeeping), i.e.
+        independent of the simulation's group granularity.
+        """
+        return self.layout.model.total_neurons * STATE_BITS // 8
+
+    def predictor_overhead_seconds(self, layer: int) -> float:
+        """Host-CPU time to evaluate the predictor for one layer.
+
+        A handful of vector ops over the state table held in LLC; the paper
+        measures <0.1 % of runtime.  Modelled as table-scan time at LLC
+        bandwidth (~100 GB/s) with a 1 us floor for control flow.
+        """
+        table_bytes = self.layout.model.neurons_per_layer * STATE_BITS / 8
+        return 1e-6 + table_bytes / 100e9

@@ -1,0 +1,158 @@
+"""Window-based online cold-neuron remapping (paper §IV-D, Algorithm 1).
+
+Token-wise similarity makes the near future look like the recent past, so
+Hermes balances NDP-DIMM load using a sliding window of observed activity:
+every ``window`` tokens (paper: 5) it
+
+1. computes each DIMM's activated-neuron load over the window
+   (``Z_j = sum_i C_{j,i} * A_i``),
+2. sorts DIMMs by load and pairs the heaviest with the lightest (then the
+   second-heaviest with the second-lightest, ...), spreading migration
+   traffic over distinct DIMM-link bridges, and
+3. greedily moves the most-activated groups from the heavy to the light
+   DIMM of each pair while doing so reduces the pair's makespan.
+
+Migrations ride the DIMM-links during the projection window; the engine
+charges any overflow.  The remapping mutates the partition's ``dimm_of``
+arrays in place — the mapping is live state, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..sparsity import NeuronLayout
+
+
+@dataclasses.dataclass
+class RemapResult:
+    """Migration traffic produced by one rebalancing step."""
+
+    moved_groups: int = 0
+    moved_bytes: int = 0
+    #: bytes moved per (source, destination) DIMM pair
+    pair_bytes: dict = dataclasses.field(default_factory=dict)
+
+    def merge(self, other: "RemapResult") -> None:
+        self.moved_groups += other.moved_groups
+        self.moved_bytes += other.moved_bytes
+        for pair, b in other.pair_bytes.items():
+            self.pair_bytes[pair] = self.pair_bytes.get(pair, 0) + b
+
+    @property
+    def max_link_bytes(self) -> int:
+        """Largest per-link traffic — the migration critical path, since
+        pairs use distinct bridges concurrently."""
+        if not self.pair_bytes:
+            return 0
+        return max(self.pair_bytes.values())
+
+
+class WindowScheduler:
+    """Sliding-window activity tracker + Algorithm 1 rebalancer."""
+
+    def __init__(self, layout: NeuronLayout, num_dimms: int,
+                 window: int = 5) -> None:
+        if num_dimms < 1:
+            raise ValueError("num_dimms must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.layout = layout
+        self.num_dimms = num_dimms
+        self.window = window
+        self._activity = [
+            np.zeros(layout.groups_per_layer, dtype=np.int64)
+            for _ in range(layout.model.num_layers)
+        ]
+        self._tokens_seen = 0
+
+    # ------------------------------------------------------------------
+    def observe_token(self, layer_activations: list[np.ndarray]) -> None:
+        """Accumulate one token's activated groups into the window."""
+        if len(layer_activations) != len(self._activity):
+            raise ValueError("one activation mask per layer required")
+        for acc, mask in zip(self._activity, layer_activations):
+            acc += mask
+        self._tokens_seen += 1
+
+    @property
+    def window_full(self) -> bool:
+        return self._tokens_seen >= self.window
+
+    def reset_window(self) -> None:
+        for acc in self._activity:
+            acc[:] = 0
+        self._tokens_seen = 0
+
+    # ------------------------------------------------------------------
+    def dimm_loads(self, layer: int, dimm_of: np.ndarray,
+                   exclude: np.ndarray | None = None) -> np.ndarray:
+        """Windowed activated-group load per DIMM for one layer
+        (Algorithm 1 line 1).  ``exclude`` masks GPU-resident groups whose
+        compute does not land on the DIMMs."""
+        activity = self._activity[layer].astype(np.float64)
+        if exclude is not None:
+            activity = np.where(exclude, 0.0, activity)
+        loads = np.zeros(self.num_dimms)
+        np.add.at(loads, dimm_of, activity)
+        return loads
+
+    def rebalance_layer(self, layer: int, dimm_of: np.ndarray, *,
+                        exclude: np.ndarray | None = None) -> RemapResult:
+        """Algorithm 1 for one layer; mutates ``dimm_of`` in place."""
+        result = RemapResult()
+        if self.num_dimms == 1:
+            return result
+        activity = self._activity[layer].astype(np.float64)
+        if exclude is not None:
+            activity = np.where(exclude, 0.0, activity)
+        loads = self.dimm_loads(layer, dimm_of, exclude=exclude)
+        order = np.argsort(loads)[::-1]  # heaviest first (line 2)
+        for pos in range(self.num_dimms // 2):
+            heavy = int(order[pos])
+            light = int(order[self.num_dimms - 1 - pos])
+            moved = self._drain_pair(layer, dimm_of, activity, loads,
+                                     heavy, light)
+            result.merge(moved)
+        return result
+
+    def _drain_pair(self, layer: int, dimm_of: np.ndarray,
+                    activity: np.ndarray, loads: np.ndarray,
+                    heavy: int, light: int) -> RemapResult:
+        """Move hottest groups heavy -> light while the pair max shrinks
+        (Algorithm 1 lines 3-6)."""
+        result = RemapResult()
+        members = np.flatnonzero(dimm_of == heavy)
+        if members.size == 0:
+            return result
+        members = members[np.argsort(activity[members])[::-1]]
+        for idx in members:
+            a = float(activity[idx])
+            if a <= 0:
+                break
+            # moving idx helps only while it reduces max(heavy, light)
+            if loads[heavy] - a < loads[light] + a:
+                break
+            dimm_of[idx] = light
+            loads[heavy] -= a
+            loads[light] += a
+            b = int(self.layout.group_bytes[idx])
+            result.moved_groups += 1
+            result.moved_bytes += b
+            pair = (heavy, light)
+            result.pair_bytes[pair] = result.pair_bytes.get(pair, 0) + b
+        return result
+
+    # ------------------------------------------------------------------
+    def rebalance_all(self, dimm_of: list[np.ndarray], *,
+                      exclude: list[np.ndarray] | None = None
+                      ) -> RemapResult:
+        """Rebalance every layer and reset the window."""
+        total = RemapResult()
+        for l in range(len(dimm_of)):
+            mask = exclude[l] if exclude is not None else None
+            total.merge(self.rebalance_layer(l, dimm_of[l], exclude=mask))
+        self.reset_window()
+        return total

@@ -1,0 +1,23 @@
+"""Cycle-approximate DDR4 model (the Ramulator-2.0 substitute)."""
+
+from .timing import DDR4Timing, DIMMGeometry
+from .bank import Bank
+from .controller import DRAMController, ReadRequest
+from .bandwidth import (
+    channel_stream_bandwidth,
+    internal_stream_bandwidth,
+    lane_bandwidth,
+    scattered_access_efficiency,
+)
+
+__all__ = [
+    "DDR4Timing",
+    "DIMMGeometry",
+    "Bank",
+    "DRAMController",
+    "ReadRequest",
+    "channel_stream_bandwidth",
+    "internal_stream_bandwidth",
+    "lane_bandwidth",
+    "scattered_access_efficiency",
+]

@@ -1,0 +1,60 @@
+"""Per-bank DRAM state machine.
+
+A minimal but faithful model of one DRAM bank: rows must be activated before
+columns can be read, re-activating a different row requires a precharge, and
+the ACT->ACT distance is bounded below by tRC.  The controller in
+:mod:`repro.dram.controller` drives many of these and enforces the
+cross-bank constraints (tCCD, tRRD, tFAW, data-bus occupancy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .timing import DDR4Timing
+
+
+@dataclasses.dataclass
+class Bank:
+    """State of a single DRAM bank, tracked in controller clock cycles."""
+
+    timing: DDR4Timing
+    open_row: int | None = None
+    #: earliest cycle a new ACT may issue (enforces tRC / tRP)
+    next_act: int = 0
+    #: earliest cycle a READ to the open row may issue (enforces tRCD)
+    next_read: int = 0
+    #: cycle of the last ACT, used for tRC bookkeeping
+    last_act: int = -(10**9)
+
+    def activate(self, row: int, now: int) -> int:
+        """Open ``row``; returns the cycle the ACT actually issues.
+
+        If another row is open, a precharge is folded in (tRP) before the
+        activate; tRC from the previous ACT is always honoured.
+        """
+        if row < 0:
+            raise ValueError("row must be non-negative")
+        earliest = max(now, self.next_act)
+        if self.open_row is not None and self.open_row != row:
+            earliest = max(earliest, self.last_act + self.timing.tRC)
+            earliest += self.timing.tRP
+        act_cycle = earliest
+        self.open_row = row
+        self.last_act = act_cycle
+        self.next_read = act_cycle + self.timing.tRCD
+        self.next_act = act_cycle + self.timing.tRC
+        return act_cycle
+
+    def read(self, row: int, now: int) -> int:
+        """Issue a READ to ``row``; returns the issue cycle.
+
+        Activates the row first if it is not open (row-buffer miss).
+        """
+        if self.open_row != row:
+            self.activate(row, now)
+        return max(now, self.next_read)
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None

@@ -1,0 +1,56 @@
+"""Experiment harness: one module per paper figure/statistic.
+
+Each module exposes ``run(quick=False) -> ExperimentResult``; the
+``ALL_EXPERIMENTS`` registry maps experiment ids to those entry points, and
+``python -m repro.experiments <id>|all`` runs them from the command line.
+"""
+
+from . import (
+    ablation_extras,
+    dimmlink_eval,
+    energy_eval,
+    fig04_patterns,
+    fig09_end_to_end,
+    fig10_sparsity_ndp,
+    fig11_batching,
+    fig12_breakdown,
+    fig13_ablation,
+    fig14_dimm_scaling,
+    fig15_gpus,
+    fig16_dse,
+    fig17_tensorrt,
+    motivation,
+    predictor_eval,
+)
+from .common import (
+    ExperimentResult,
+    default_machine,
+    geometric_mean,
+    trace_for,
+)
+
+ALL_EXPERIMENTS = {
+    "fig04": fig04_patterns.run,
+    "motivation": motivation.run,
+    "fig09": fig09_end_to_end.run,
+    "fig10": fig10_sparsity_ndp.run,
+    "fig11": fig11_batching.run,
+    "fig12": fig12_breakdown.run,
+    "fig13": fig13_ablation.run,
+    "fig14": fig14_dimm_scaling.run,
+    "fig15": fig15_gpus.run,
+    "fig16": fig16_dse.run,
+    "fig17": fig17_tensorrt.run,
+    "predictor": predictor_eval.run,
+    "dimmlink": dimmlink_eval.run,
+    "ablation-extras": ablation_extras.run,
+    "energy": energy_eval.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "default_machine",
+    "trace_for",
+    "geometric_mean",
+]

@@ -1,0 +1,40 @@
+"""Command-line entry point: ``python -m repro.experiments fig09 [...]``.
+
+``all`` runs every experiment; ``--quick`` shortens the decode window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and statistics.")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)})"
+                             " or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="short decode window for a fast pass")
+    args = parser.parse_args(argv)
+
+    names = list(ALL_EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name](quick=args.quick)
+        print(result.to_text())
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

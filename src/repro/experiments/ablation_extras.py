@@ -1,0 +1,54 @@
+"""Extension ablations: design choices the paper fixes without sweeping.
+
+The paper pins three scheduler constants — the scheduling window (5 tokens,
+§IV-D), the hot threshold (Th = 10, §IV-C2) and the GEMV-unit multiplier
+count (explored only for OPT-13B in Fig. 16).  This experiment sweeps the
+first two on LLaMA2-70B to check the chosen operating point:
+
+* **window size** — small windows react faster but migrate more bytes
+  over the DIMM-links; large windows under-react to drift.  Token-wise
+  similarity decays past ~10 tokens (Fig. 4a), so windows beyond that
+  should stop helping.
+* **hot threshold** — low thresholds promote aggressively (more PCIe swap
+  traffic), high thresholds under-populate the GPU.
+"""
+
+from __future__ import annotations
+
+from ..core import HermesConfig, HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODEL = "LLaMA2-70B"
+WINDOWS = (1, 2, 5, 10, 25)
+THRESHOLDS = (6, 8, 10, 12, 14)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    model = get_model(MODEL)
+    trace = trace_for(MODEL, quick=quick)
+    rows = []
+    for window in WINDOWS:
+        config = HermesConfig(window=window)
+        result = HermesSystem(machine, model, config).run(trace)
+        rows.append(["window", window,
+                     round(result.tokens_per_second, 2),
+                     round(result.metadata["remap_bytes"] / 2**20, 1)])
+    for threshold in THRESHOLDS:
+        config = HermesConfig(hot_threshold=threshold)
+        result = HermesSystem(machine, model, config).run(trace)
+        rows.append(["hot threshold", threshold,
+                     round(result.tokens_per_second, 2),
+                     round(result.metadata["swap_bytes"] / 2**20, 1)])
+    return ExperimentResult(
+        name="ablation-extras",
+        description="window-size and hot-threshold sweeps (LLaMA2-70B)",
+        headers=["knob", "value", "tokens/s", "migrated MiB"],
+        rows=rows,
+        notes=["paper operating point: window=5, Th=10"],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,70 @@
+"""DIMM-link evaluation (paper §IV-A1 claims).
+
+* routing cold-neuron migrations over DIMM-links instead of bouncing
+  through the host gives >62x faster inter-DIMM movement;
+* on OPT-66B, DIMM-links cut the migration overhead from 5.3 % of total
+  time to below 0.2 %.
+"""
+
+from __future__ import annotations
+
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODEL = "OPT-66B"
+PAPER_SPEEDUP = 62.0
+PAPER_OVERHEAD_BEFORE = 0.053
+PAPER_OVERHEAD_AFTER = 0.002
+
+
+def host_routed_migration_time(machine, n_groups: int,
+                               total_bytes: int) -> float:
+    """Time to move the same migration traffic through the host.
+
+    Each group is read DIMM->host and written host->DIMM over the shared
+    channel interface, serialised on the host memory controller, and each
+    hop pays the full transfer latency (driver + copy setup) — there is no
+    peer-to-peer path in a commodity memory system.
+    """
+    if n_groups == 0:
+        return 0.0
+    channel_bw = machine.dimm.channel_bandwidth
+    per_group_bytes = total_bytes / n_groups
+    per_group = 2 * (machine.pcie.latency + per_group_bytes / channel_bw)
+    return n_groups * per_group
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    model = get_model(MODEL)
+    trace = trace_for(MODEL, quick=quick)
+    result = HermesSystem(machine, model).run(trace, batch=1)
+    moved_bytes = result.metadata["remap_bytes"]
+    moved_groups = result.metadata["remap_groups"]
+    link_time = result.metadata["remap_link_time"]
+    host_time = host_routed_migration_time(machine, moved_groups,
+                                           moved_bytes)
+    speedup = host_time / link_time if link_time > 0 else float("inf")
+    overhead_link = link_time / (result.total_time)
+    overhead_host = host_time / (result.total_time - link_time + host_time)
+    rows = [
+        ["migrated bytes (MiB)", round(moved_bytes / 2**20, 1), ""],
+        ["migrated groups", moved_groups, ""],
+        ["DIMM-link migration speedup vs host routing",
+         round(speedup, 1), PAPER_SPEEDUP],
+        ["migration share of runtime (DIMM-link)",
+         round(overhead_link, 4), PAPER_OVERHEAD_AFTER],
+        ["migration share of runtime (host-routed)",
+         round(overhead_host, 4), PAPER_OVERHEAD_BEFORE],
+    ]
+    return ExperimentResult(
+        name="dimmlink",
+        description="DIMM-link vs host-routed cold-neuron migration",
+        headers=["statistic", "measured", "paper"],
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,50 @@
+"""Extension: energy efficiency (tokens per joule) across systems.
+
+Not in the paper — an extension enabled by the byte/FLOP accounting the
+timing model already performs.  The offloading baselines pay PCIe transfer
+energy *and* static wall-time energy for every token, so the NDP design
+wins on tokens/J by an even wider margin than on tokens/s.
+"""
+
+from __future__ import annotations
+
+from ..baselines import DejaVu, FlexGen, HuggingfaceAccelerate
+from ..core import HermesSystem
+from ..hardware import tokens_per_joule
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODELS = ("OPT-13B", "OPT-66B")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    rows = []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        systems = [
+            HermesSystem(machine, model),
+            DejaVu(machine, model),
+            FlexGen(machine, model),
+            HuggingfaceAccelerate(machine, model),
+        ]
+        for system in systems:
+            result = system.run(trace, batch=1)
+            rows.append([
+                model_name, system.name,
+                round(result.tokens_per_second, 3),
+                round(tokens_per_joule(result, model, machine), 4),
+            ])
+    return ExperimentResult(
+        name="energy",
+        description="energy efficiency extension (decode stage, batch 1)",
+        headers=["model", "system", "tokens/s", "tokens/J"],
+        rows=rows,
+        notes=["extension beyond the paper: same byte accounting, "
+               "energy coefficients in repro.hardware.energy"],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

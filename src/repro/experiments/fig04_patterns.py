@@ -1,0 +1,61 @@
+"""Figure 4: distribution patterns of activation sparsity.
+
+(a) Token-wise similarity vs token distance for LLaMA-13B and Falcon-40B —
+adjacent tokens exceed ~90 % similarity, decaying toward a ~70 % plateau
+once the distance passes ~10-25 tokens.
+
+(b) Layer-wise correlation — the probability that a neuron fires given its
+top correlated neuron in the previous layer fired exceeds 90 % for the
+strongest pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparsity import layer_correlation, token_similarity_curve
+from .common import ExperimentResult, trace_for
+
+PAPER_ADJACENT_SIMILARITY = 0.90
+PAPER_DISTANT_SIMILARITY = 0.70
+DISTANCES = (1, 2, 5, 10, 25, 50)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ["LLaMA-13B", "Falcon-40B"]
+    rows = []
+    for name in models:
+        trace = trace_for(name, quick=quick)
+        curve = token_similarity_curve(
+            trace, max_distance=max(d for d in DISTANCES
+                                    if d < trace.n_decode_tokens),
+            layer_stride=4)
+        row = [name] + [
+            round(float(curve[d]), 3) if d < len(curve) else None
+            for d in DISTANCES
+        ]
+        # layer-wise correlation of the strongest decile of pairs
+        mid = trace.num_layers // 2
+        cond = layer_correlation(trace, mid)
+        cond = cond[~np.isnan(cond)]
+        top = np.sort(cond)[-max(1, cond.size // 10):]
+        row.append(round(float(top.mean()), 3))
+        rows.append(row)
+    headers = (["model"] + [f"sim@d={d}" for d in DISTANCES]
+               + ["top-decile layer corr"])
+    return ExperimentResult(
+        name="fig04",
+        description="token-wise similarity & layer-wise correlation",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"paper: adjacent similarity >{PAPER_ADJACENT_SIMILARITY:.0%}, "
+            f"plateau ~{PAPER_DISTANT_SIMILARITY:.0%} beyond distance 10-25",
+            "paper: strongest cross-layer pairs exceed 90% conditional "
+            "activation probability",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

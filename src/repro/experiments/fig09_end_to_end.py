@@ -1,0 +1,77 @@
+"""Figure 9: end-to-end comparison with offloading systems (OPT family).
+
+Tokens/s at batch 1 for HuggingFace Accelerate, FlexGen, Deja Vu,
+Hermes-host and Hermes on OPT-13B/30B/66B.  Paper headline: Hermes averages
+578x over Accelerate, 247x over FlexGen; Deja Vu manages only ~2.1x over
+FlexGen because cold neurons still cross PCIe.
+"""
+
+from __future__ import annotations
+
+from ..baselines import DejaVu, FlexGen, HermesHost, HuggingfaceAccelerate
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+
+MODELS = ("OPT-13B", "OPT-30B", "OPT-66B")
+#: paper Fig. 9 tokens/s, batch 1
+PAPER = {
+    "OPT-13B": {"Huggingface Accelerate": 0.16, "FlexGen": 0.46,
+                "Deja Vu": 1.37, "Hermes-host": 9.07, "Hermes": 135.64},
+    "OPT-30B": {"Huggingface Accelerate": 0.11, "FlexGen": 0.20,
+                "Deja Vu": 0.34, "Hermes-host": None, "Hermes": 46.16},
+    "OPT-66B": {"Huggingface Accelerate": 0.04, "FlexGen": 0.16,
+                "Deja Vu": 0.34, "Hermes-host": 4.24, "Hermes": 20.37},
+}
+SYSTEMS = ("Huggingface Accelerate", "FlexGen", "Deja Vu", "Hermes-host",
+           "Hermes")
+
+
+def build_system(name: str, machine, model):
+    factories = {
+        "Huggingface Accelerate": HuggingfaceAccelerate,
+        "FlexGen": FlexGen,
+        "Deja Vu": DejaVu,
+        "Hermes-host": HermesHost,
+        "Hermes": HermesSystem,
+    }
+    return factories[name](machine, model)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    rows = []
+    speedups_flexgen, speedups_dejavu = [], []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        results = {}
+        for system_name in SYSTEMS:
+            system = build_system(system_name, machine, model)
+            results[system_name] = system.run(trace, batch=1)
+        for system_name in SYSTEMS:
+            measured = results[system_name].tokens_per_second
+            rows.append([model_name, system_name, round(measured, 3),
+                         PAPER[model_name][system_name]])
+        hermes = results["Hermes"].tokens_per_second
+        speedups_flexgen.append(hermes
+                                / results["FlexGen"].tokens_per_second)
+        speedups_dejavu.append(hermes
+                               / results["Deja Vu"].tokens_per_second)
+    notes = [
+        f"measured Hermes speedup (geomean): "
+        f"{geometric_mean(speedups_flexgen):.1f}x over FlexGen, "
+        f"{geometric_mean(speedups_dejavu):.1f}x over Deja Vu",
+        "paper: 247x over FlexGen, and Deja Vu only ~2.1x over FlexGen",
+    ]
+    return ExperimentResult(
+        name="fig09",
+        description="end-to-end tokens/s vs offloading systems (batch 1)",
+        headers=["model", "system", "tokens/s", "paper tokens/s"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

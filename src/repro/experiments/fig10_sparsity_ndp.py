@@ -1,0 +1,77 @@
+"""Figure 10: effectiveness of activation sparsity and the NDP design.
+
+Tokens/s at batch 1 on LLaMA2-13B, LLaMA2-70B and Falcon-40B for
+HuggingFace Accelerate, Hermes-host (cold on CPU), Hermes-base (NDP without
+sparsity) and full Hermes.  Paper headline: Hermes-base averages 53.9x over
+Accelerate; full Hermes adds another ~5.2x on the large models by
+exploiting activation sparsity.
+"""
+
+from __future__ import annotations
+
+from ..baselines import HermesBase, HermesHost, HuggingfaceAccelerate
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+
+MODELS = ("LLaMA2-13B", "LLaMA2-70B", "Falcon-40B")
+#: paper Fig. 10 tokens/s, batch 1
+PAPER = {
+    "LLaMA2-13B": {"Huggingface Accelerate": 0.91, "Hermes-host": 11.86,
+                   "Hermes-base": 30.90, "Hermes": 91.95},
+    "LLaMA2-70B": {"Huggingface Accelerate": 0.04, "Hermes-host": 1.97,
+                   "Hermes-base": 2.45, "Hermes": 13.75},
+    "Falcon-40B": {"Huggingface Accelerate": 0.07, "Hermes-host": 5.58,
+                   "Hermes-base": 4.34, "Hermes": 30.02},
+}
+SYSTEMS = ("Huggingface Accelerate", "Hermes-host", "Hermes-base", "Hermes")
+
+
+def build_system(name: str, machine, model):
+    factories = {
+        "Huggingface Accelerate": HuggingfaceAccelerate,
+        "Hermes-host": HermesHost,
+        "Hermes-base": HermesBase,
+        "Hermes": HermesSystem,
+    }
+    return factories[name](machine, model)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    rows = []
+    base_gain, sparsity_gain = [], []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        results = {}
+        for system_name in SYSTEMS:
+            system = build_system(system_name, machine, model)
+            results[system_name] = system.run(trace, batch=1)
+            rows.append([
+                model_name, system_name,
+                round(results[system_name].tokens_per_second, 3),
+                PAPER[model_name][system_name],
+            ])
+        base_gain.append(
+            results["Hermes-base"].tokens_per_second
+            / results["Huggingface Accelerate"].tokens_per_second)
+        sparsity_gain.append(results["Hermes"].tokens_per_second
+                             / results["Hermes-base"].tokens_per_second)
+    notes = [
+        f"measured: Hermes-base {geometric_mean(base_gain):.1f}x over "
+        f"Accelerate (paper 53.9x); Hermes "
+        f"{geometric_mean(sparsity_gain):.1f}x over Hermes-base "
+        f"(paper ~5.2x on large models)",
+    ]
+    return ExperimentResult(
+        name="fig10",
+        description="activation sparsity & NDP design effectiveness",
+        headers=["model", "system", "tokens/s", "paper tokens/s"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

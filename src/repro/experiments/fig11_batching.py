@@ -1,0 +1,93 @@
+"""Figure 11: end-to-end performance across batch sizes 1-16.
+
+Six systems on Falcon-40B, OPT-66B and LLaMA2-70B.  Paper headline
+averages: Hermes 148.98x over FlexGen, 75.24x over Deja Vu and 7.17x over
+Hermes-host across batch sizes; the Hermes-base gap is smallest at batch 2
+(weight reuse amortises DRAM access before the NDP cores saturate).
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    DejaVu,
+    FlexGen,
+    HermesBase,
+    HermesHost,
+    HuggingfaceAccelerate,
+)
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+
+MODELS = ("Falcon-40B", "OPT-66B", "LLaMA2-70B")
+BATCHES = (1, 2, 4, 8, 16)
+#: paper Fig. 11 Hermes tokens/s series (batch 1,2,4,8,16)
+PAPER_HERMES = {
+    "Falcon-40B": (30.02, 45.34, 70.28, 113.09, 182.72),
+    "OPT-66B": (20.37, 32.71, 51.58, 80.85, 125.99),
+    "LLaMA2-70B": (13.75, 16.05, 21.49, 33.36, 57.02),
+}
+#: FlexGen and Deja Vu support only OPT models (N.P. elsewhere, as in the
+#: paper's figure)
+OPT_ONLY = ("FlexGen", "Deja Vu")
+
+
+def _systems(machine, model):
+    return {
+        "Huggingface Accelerate": HuggingfaceAccelerate(machine, model),
+        "FlexGen": FlexGen(machine, model),
+        "Deja Vu": DejaVu(machine, model),
+        "Hermes-host": HermesHost(machine, model),
+        "Hermes-base": HermesBase(machine, model),
+        "Hermes": HermesSystem(machine, model),
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    batches = BATCHES[:3] if quick else BATCHES
+    rows = []
+    ratios = {"FlexGen": [], "Deja Vu": [], "Hermes-host": []}
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        systems = _systems(machine, model)
+        for batch in batches:
+            measured = {}
+            for system_name, system in systems.items():
+                if (system_name in OPT_ONLY
+                        and not model_name.startswith("OPT")):
+                    measured[system_name] = None
+                    continue
+                measured[system_name] = system.run(
+                    trace, batch=batch).tokens_per_second
+            paper_h = PAPER_HERMES[model_name][BATCHES.index(batch)]
+            for system_name, value in measured.items():
+                rows.append([
+                    model_name, batch, system_name,
+                    None if value is None else round(value, 3),
+                    paper_h if system_name == "Hermes" else "",
+                ])
+            hermes = measured["Hermes"]
+            for ref in ratios:
+                if measured.get(ref):
+                    ratios[ref].append(hermes / measured[ref])
+    notes = [
+        "paper averages: Hermes 148.98x over FlexGen, 75.24x over Deja Vu, "
+        "7.17x over Hermes-host",
+    ]
+    for ref, values in ratios.items():
+        if values:
+            notes.append(f"measured geomean speedup over {ref}: "
+                         f"{geometric_mean(values):.1f}x")
+    return ExperimentResult(
+        name="fig11",
+        description="batching sweep, six systems x three models",
+        headers=["model", "batch", "system", "tokens/s", "paper (Hermes)"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,72 @@
+"""Figure 13: ablation of the offline and online scheduling strategies.
+
+Normalised speedup over Hermes-random on LLaMA-13B and LLaMA2-70B for:
+
+* Hermes-random     — random offline placement;
+* Hermes-partition  — optimal offline partition only (paper: 1.63x);
+* Hermes-token-adjustment / Hermes-layer-adjustment — online adjustment
+  guided by one prediction mode only (paper: 1.08x / 1.11x over partition);
+* Hermes-adjustment — combined online adjustment (paper: 1.33x);
+* Hermes            — + window-based remapping (paper: further 1.29x).
+"""
+
+from __future__ import annotations
+
+from ..core import HermesConfig, HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODELS = ("LLaMA-13B", "LLaMA2-70B")
+BATCHES = (1, 4, 16)
+
+VARIANTS: dict[str, HermesConfig] = {
+    "Hermes-random": HermesConfig(
+        partition_strategy="random", online_adjustment=False,
+        window_scheduling=False),
+    "Hermes-partition": HermesConfig(
+        online_adjustment=False, window_scheduling=False),
+    "Hermes-token-adjustment": HermesConfig(
+        layer_prediction=False, window_scheduling=False),
+    "Hermes-layer-adjustment": HermesConfig(
+        token_prediction=False, window_scheduling=False),
+    "Hermes-adjustment": HermesConfig(window_scheduling=False),
+    "Hermes": HermesConfig(),
+}
+
+PAPER_GAINS = [
+    "paper: partition/random = 1.63x; adjustment/partition = 1.33x; "
+    "Hermes/adjustment = 1.29x; token-only = 1.08x and layer-only = 1.11x "
+    "over partition",
+]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    batches = (1,) if quick else BATCHES
+    rows = []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        for batch in batches:
+            latencies = {}
+            for variant, config in VARIANTS.items():
+                result = HermesSystem(machine, model, config).run(
+                    trace, batch=batch)
+                latencies[variant] = result.decode_latency_per_token
+            base = latencies["Hermes-random"]
+            for variant in VARIANTS:
+                rows.append([
+                    model_name, batch, variant,
+                    round(base / latencies[variant], 3),
+                ])
+    return ExperimentResult(
+        name="fig13",
+        description="scheduling ablation (speedup over Hermes-random)",
+        headers=["model", "batch", "variant", "speedup vs random"],
+        rows=rows,
+        notes=PAPER_GAINS,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,50 @@
+"""Figure 14: throughput vs number of NDP-DIMMs (1, 2, 4, 8, 16).
+
+More DIMMs add both capacity (larger models become deployable — Falcon-40B
+needs at least 4 DIMMs) and aggregate internal bandwidth; but once the
+NDP pool stops being the bottleneck, extra DIMMs no longer help (the paper
+sees LLaMA2-70B flat between 8 and 16 DIMMs).  N.P. marks configurations
+whose DIMM pool cannot hold the model, exactly as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODELS = ("OPT-13B", "OPT-30B", "Falcon-40B", "LLaMA2-70B")
+DIMM_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    base_machine = default_machine()
+    rows = []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        row = [model_name]
+        for n in DIMM_COUNTS:
+            machine = base_machine.with_dimms(n)
+            try:
+                system = HermesSystem(machine, model)
+            except ValueError:
+                row.append(None)  # N.P.: model does not fit
+                continue
+            row.append(round(system.run(trace, batch=1).tokens_per_second,
+                             2))
+        rows.append(row)
+    return ExperimentResult(
+        name="fig14",
+        description="throughput vs NDP-DIMM count (batch 1)",
+        headers=["model"] + [f"{n} DIMMs" for n in DIMM_COUNTS],
+        rows=rows,
+        notes=[
+            "paper: Falcon-40B needs >=4 DIMMs; LLaMA2-70B saturates "
+            "between 8 and 16 DIMMs",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

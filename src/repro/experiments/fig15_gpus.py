@@ -1,0 +1,61 @@
+"""Figure 15: sensitivity to the GPU (Tesla T4, RTX 3090, RTX 4090).
+
+OPT-13B and OPT-30B at batches 1, 4, 16.  Paper headline: the RTX 4090
+machine averages 2.02x over Tesla T4 and 1.34x over RTX 3090 — the 3090
+loses on prefill and hot-neuron compute, the T4 additionally on memory
+size and bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..core import HermesSystem
+from ..hardware import get_gpu
+from ..models import get_model
+from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+
+MODELS = ("OPT-13B", "OPT-30B")
+GPUS = ("Tesla T4", "RTX 3090", "RTX 4090")
+BATCHES = (1, 4, 16)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    base_machine = default_machine()
+    batches = (1,) if quick else BATCHES
+    rows = []
+    ratio_t4, ratio_3090 = [], []
+    for model_name in MODELS:
+        model = get_model(model_name)
+        trace = trace_for(model_name, quick=quick)
+        for batch in batches:
+            measured = {}
+            for gpu_name in GPUS:
+                machine = base_machine.with_gpu(get_gpu(gpu_name))
+                try:
+                    system = HermesSystem(machine, model)
+                    measured[gpu_name] = system.run(
+                        trace, batch=batch).tokens_per_second
+                except ValueError:
+                    measured[gpu_name] = None
+                rows.append([model_name, batch, gpu_name,
+                             None if measured[gpu_name] is None
+                             else round(measured[gpu_name], 2)])
+            if measured["Tesla T4"]:
+                ratio_t4.append(measured["RTX 4090"] / measured["Tesla T4"])
+            if measured["RTX 3090"]:
+                ratio_3090.append(measured["RTX 4090"]
+                                  / measured["RTX 3090"])
+    notes = ["paper: RTX 4090 averages 2.02x over T4, 1.34x over 3090"]
+    if ratio_t4:
+        notes.append(f"measured: {geometric_mean(ratio_t4):.2f}x over T4, "
+                     f"{geometric_mean(ratio_3090):.2f}x over 3090")
+    return ExperimentResult(
+        name="fig15",
+        description="GPU sensitivity (Hermes throughput)",
+        headers=["model", "batch", "GPU", "tokens/s"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

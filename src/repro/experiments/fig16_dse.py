@@ -1,0 +1,49 @@
+"""Figure 16: design-space exploration of the GEMV unit.
+
+OPT-13B with 32-512 multipliers per GEMV unit across batches 1-16,
+normalised to the 32-multiplier design at the same batch.  Paper headline:
+at batch 1 performance saturates by 64 multipliers (memory-bound); at
+batch 16 it keeps scaling to ~3.86x (compute-bound) — hence the 256
+multiplier balance point chosen in Table II.
+"""
+
+from __future__ import annotations
+
+from ..core import HermesSystem
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODEL = "OPT-13B"
+MULTIPLIERS = (32, 64, 128, 256, 512)
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    base_machine = default_machine()
+    model = get_model(MODEL)
+    trace = trace_for(MODEL, quick=quick)
+    batches = (1, 16) if quick else BATCHES
+    rows = []
+    for batch in batches:
+        latencies = {}
+        for m in MULTIPLIERS:
+            machine = base_machine.with_multipliers(m)
+            result = HermesSystem(machine, model).run(trace, batch=batch)
+            latencies[m] = result.decode_latency_per_token
+        base = latencies[MULTIPLIERS[0]]
+        rows.append([batch] + [round(base / latencies[m], 3)
+                               for m in MULTIPLIERS])
+    return ExperimentResult(
+        name="fig16",
+        description="GEMV-unit multipliers DSE (speedup vs 32 multipliers)",
+        headers=["batch"] + [f"{m} mult" for m in MULTIPLIERS],
+        rows=rows,
+        notes=[
+            "paper: batch 1 saturates by 64 multipliers; batch 16 reaches "
+            "~3.86x at 512",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

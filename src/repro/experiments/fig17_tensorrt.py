@@ -1,0 +1,52 @@
+"""Figure 17: Hermes vs TensorRT-LLM on 5x A100 (LLaMA2-70B).
+
+The budget argument: at batch 1 Hermes reaches 79.1 % of TensorRT-LLM's
+throughput and still 24.4 % at batch 16 — on ~$2,500 of hardware against
+~$50,000 (about 5 % of the budget, §V-F and the conclusion).
+"""
+
+from __future__ import annotations
+
+from ..baselines import TensorRTLLM
+from ..core import HermesSystem
+from ..hardware import machine_cost_usd, server_cost_usd
+from ..models import get_model
+from .common import ExperimentResult, default_machine, trace_for
+
+MODEL = "LLaMA2-70B"
+BATCHES = (1, 2, 4, 8, 16)
+PAPER_EFFICIENCY = {1: 0.791, 2: 0.209, 4: 0.553, 8: 0.756, 16: 0.244}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = default_machine()
+    model = get_model(MODEL)
+    trace = trace_for(MODEL, quick=quick)
+    hermes = HermesSystem(machine, model)
+    tensorrt = TensorRTLLM(model)
+    batches = (1, 16) if quick else BATCHES
+    rows = []
+    for batch in batches:
+        h = hermes.run(trace, batch=batch).tokens_per_second
+        t = tensorrt.run(trace, batch=batch).tokens_per_second
+        rows.append([batch, round(h, 2), round(t, 2),
+                     round(100 * h / t, 1),
+                     round(100 * PAPER_EFFICIENCY.get(batch, float("nan")),
+                           1)])
+    cost_ratio = machine_cost_usd(machine) / server_cost_usd()
+    return ExperimentResult(
+        name="fig17",
+        description="Hermes vs TensorRT-LLM (5x A100) on LLaMA2-70B",
+        headers=["batch", "Hermes tok/s", "TensorRT tok/s",
+                 "efficiency %", "paper efficiency %"],
+        rows=rows,
+        notes=[
+            f"hardware budget: ${machine_cost_usd(machine):,.0f} vs "
+            f"${server_cost_usd():,.0f} "
+            f"({cost_ratio:.1%} of the server cost; paper: ~5%)",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

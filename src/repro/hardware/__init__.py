@@ -1,0 +1,44 @@
+"""Hardware models: GPUs, links, NDP-DIMMs and whole machines."""
+
+from .gpu import (
+    A100_40GB,
+    GPU_REGISTRY,
+    GPUSpec,
+    RTX_3090,
+    RTX_4090,
+    TESLA_T4,
+    get_gpu,
+)
+from .links import HostCPU, Link, dimm_link, host_memory_bus, pcie4_x16
+from .dimm import NDPDIMM, default_dimm
+from .energy import EnergyModel, decode_energy_per_token, tokens_per_joule
+from .system import (
+    COMPONENT_COST_USD,
+    Machine,
+    machine_cost_usd,
+    server_cost_usd,
+)
+
+__all__ = [
+    "EnergyModel",
+    "decode_energy_per_token",
+    "tokens_per_joule",
+    "GPUSpec",
+    "GPU_REGISTRY",
+    "get_gpu",
+    "RTX_4090",
+    "RTX_3090",
+    "TESLA_T4",
+    "A100_40GB",
+    "Link",
+    "HostCPU",
+    "pcie4_x16",
+    "dimm_link",
+    "host_memory_bus",
+    "NDPDIMM",
+    "default_dimm",
+    "Machine",
+    "machine_cost_usd",
+    "server_cost_usd",
+    "COMPONENT_COST_USD",
+]

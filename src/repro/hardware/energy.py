@@ -1,0 +1,124 @@
+"""Energy model: joules per token for each simulated system.
+
+An extension beyond the paper's latency evaluation: the same byte/FLOP
+accounting that produces the timing also yields energy, using standard
+per-bit access energies plus Table II's DIMM-link figure (1.17 pJ/b).
+This backs a tokens-per-joule comparison — the budget argument of §V-F
+restated for operating cost.
+
+Per-bit transfer energies (pJ/bit):
+
+* DRAM array access (activate+read, amortised): ~2.3 (DDR4 class)
+* DDR4 channel interface (I/O + termination): ~7.0
+* GDDR6 access at the GPU: ~2.6
+* PCIe 4.0 (SerDes + protocol): ~5.5
+* DIMM-link: 1.17 (Table II)
+
+Compute energies (pJ/FLOP): GPU tensor-core FP16 ~0.5; bit-serial NDP
+MAC ~0.8 (7 nm synthesis class); CPU AVX FP16 ~3.0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # avoid a circular import at runtime
+    from ..core.result import RunResult
+    from ..models import ModelSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy coefficients (picojoules)."""
+
+    dram_array_pj_per_bit: float = 2.3
+    dram_channel_pj_per_bit: float = 7.0
+    gddr_pj_per_bit: float = 2.6
+    pcie_pj_per_bit: float = 5.5
+    dimm_link_pj_per_bit: float = 1.17  # Table II
+    gpu_pj_per_flop: float = 0.5
+    ndp_pj_per_flop: float = 0.8
+    cpu_pj_per_flop: float = 3.0
+    #: idle/static power of the whole box, charged over wall time
+    static_watts: float = 60.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"{field.name} must be positive")
+
+    # ------------------------------------------------------------------
+    def transfer_energy(self, num_bytes: float, pj_per_bit: float) -> float:
+        """Joules to move ``num_bytes`` at ``pj_per_bit``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * 8 * pj_per_bit * 1e-12
+
+    def compute_energy(self, flops: float, pj_per_flop: float) -> float:
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops * pj_per_flop * 1e-12
+
+
+def decode_energy_per_token(result: RunResult, model: ModelSpec,
+                            machine, *,
+                            energy: EnergyModel | None = None) -> float:
+    """Estimated joules per generated token for a simulated run.
+
+    Reconstructs byte/FLOP counts from the run's latency breakdown and the
+    devices' effective rates: each breakdown category was produced by a
+    known device, so ``seconds x bytes-per-second x pJ/bit`` recovers the
+    traffic energy without re-simulating.
+    """
+    energy = energy or EnergyModel()
+    breakdown = result.breakdown
+    n = result.n_decode_tokens
+
+    def rate_bytes(key: str, bandwidth: float) -> float:
+        return breakdown.get(key, 0.0) * bandwidth
+
+    joules = 0.0
+    if result.system in ("Hermes", "Hermes-base"):
+        # FC traffic splits between GDDR (GPU share) and the DIMM arrays
+        fc_bytes = rate_bytes("fc", machine.gpu.effective_bandwidth * 0.5)
+        fc_bytes += rate_bytes("fc", machine.dimm_bandwidth_total * 0.5)
+        joules += energy.transfer_energy(
+            fc_bytes / 2, energy.gddr_pj_per_bit)
+        joules += energy.transfer_energy(
+            fc_bytes / 2, energy.dram_array_pj_per_bit)
+        attn_bytes = rate_bytes("attention",
+                                machine.dimm_bandwidth_total)
+        joules += energy.transfer_energy(attn_bytes,
+                                         energy.dram_array_pj_per_bit)
+    else:
+        # offloading systems: FC reads GDDR, communication crosses PCIe
+        fc_bytes = rate_bytes("fc", machine.gpu.effective_bandwidth)
+        joules += energy.transfer_energy(fc_bytes, energy.gddr_pj_per_bit)
+        attn_bytes = rate_bytes("attention",
+                                machine.gpu.effective_bandwidth)
+        joules += energy.transfer_energy(attn_bytes, energy.gddr_pj_per_bit)
+    comm_bytes = rate_bytes("communication",
+                            machine.pcie.effective_bandwidth)
+    joules += energy.transfer_energy(
+        comm_bytes, energy.pcie_pj_per_bit + energy.dram_channel_pj_per_bit)
+
+    # compute energy: weights touched imply FLOPs (1 FLOP per weight byte
+    # per batch element)
+    active_bytes = model.total_weight_bytes * model.activation_density
+    flops_per_token = active_bytes * result.batch
+    joules += energy.compute_energy(
+        flops_per_token * n * 0.8, energy.gpu_pj_per_flop)
+    joules += energy.compute_energy(
+        flops_per_token * n * 0.2, energy.ndp_pj_per_flop)
+
+    joules += energy.static_watts * result.decode_time
+    return joules / (n * result.batch)
+
+
+def tokens_per_joule(result: RunResult, model: ModelSpec, machine, *,
+                     energy: EnergyModel | None = None) -> float:
+    """Energy efficiency of a simulated run (decode stage)."""
+    per_token = decode_energy_per_token(result, model, machine,
+                                        energy=energy)
+    return 1.0 / per_token

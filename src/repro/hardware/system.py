@@ -1,0 +1,94 @@
+"""Whole-machine configuration: GPU + host + NDP-DIMM pool + links.
+
+``Machine`` is the hardware substrate every simulated inference system runs
+on.  The default matches the paper's evaluation platform (§V-A1): one RTX
+4090, eight 32 GB NDP-DIMMs, PCIe 4.0 x16, an i9-13900K host.  The cost
+model backs the paper's headline "~5 % of the budget" comparison against a
+5x A100 TensorRT-LLM server (§V-F).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .dimm import NDPDIMM, default_dimm
+from .gpu import GPUSpec, RTX_4090
+from .links import HostCPU, Link, pcie4_x16
+
+
+@dataclasses.dataclass(frozen=True)
+class Machine:
+    """A budget inference box: one GPU plus a pool of (NDP-)DIMMs."""
+
+    gpu: GPUSpec = RTX_4090
+    dimm: NDPDIMM = dataclasses.field(default_factory=default_dimm)
+    num_dimms: int = 8
+    pcie: Link = dataclasses.field(default_factory=pcie4_x16)
+    host: HostCPU = dataclasses.field(default_factory=HostCPU)
+    #: one-shot GPU<->DIMM synchronisation (barrier + doorbell), Eq. 3's Tsync
+    sync_latency: float = 15e-6
+
+    def __post_init__(self) -> None:
+        if self.num_dimms < 1:
+            raise ValueError("num_dimms must be >= 1")
+        if self.sync_latency < 0:
+            raise ValueError("sync_latency must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def dimm_capacity_total(self) -> int:
+        return self.dimm.capacity_bytes * self.num_dimms
+
+    @property
+    def dimm_bandwidth_total(self) -> float:
+        """Aggregate DIMM-internal stream bandwidth across the pool."""
+        return self.dimm.internal_bandwidth * self.num_dimms
+
+    @property
+    def host_bandwidth(self) -> float:
+        """Host-CPU visible DRAM bandwidth (bounded by the memory bus)."""
+        return self.host.memory_bus.effective_bandwidth
+
+    def fits_on_dimms(self, num_bytes: int) -> bool:
+        return num_bytes <= self.dimm_capacity_total
+
+    def with_dimms(self, num_dimms: int) -> "Machine":
+        """Pool-size variant (Fig. 14 sensitivity study)."""
+        return dataclasses.replace(self, num_dimms=num_dimms)
+
+    def with_gpu(self, gpu: GPUSpec) -> "Machine":
+        """GPU variant (Fig. 15 sensitivity study)."""
+        return dataclasses.replace(self, gpu=gpu)
+
+    def with_multipliers(self, multipliers: int) -> "Machine":
+        """GEMV-unit variant (Fig. 16 design-space exploration)."""
+        return dataclasses.replace(
+            self, dimm=self.dimm.with_multipliers(multipliers))
+
+
+# ----------------------------------------------------------------------
+# Cost model (paper §V-F)
+# ----------------------------------------------------------------------
+#: approximate street prices in USD used by the paper's budget argument
+COMPONENT_COST_USD = {
+    "RTX 4090": 1600.0,
+    "RTX 3090": 800.0,
+    "Tesla T4": 700.0,
+    "A100-40GB-SXM4": 10000.0,
+    "NDP-DIMM-32GB": 100.0,
+    "host-platform": 400.0,
+}
+
+
+def machine_cost_usd(machine: Machine) -> float:
+    """Estimated bill of materials for a Hermes-style machine."""
+    gpu_cost = COMPONENT_COST_USD.get(machine.gpu.name, 1600.0)
+    dimm_cost = COMPONENT_COST_USD["NDP-DIMM-32GB"] * machine.num_dimms
+    return gpu_cost + dimm_cost + COMPONENT_COST_USD["host-platform"]
+
+
+def server_cost_usd(num_a100: int = 5) -> float:
+    """Estimated cost of the TensorRT-LLM reference server (5x A100)."""
+    if num_a100 < 1:
+        raise ValueError("num_a100 must be >= 1")
+    return COMPONENT_COST_USD["A100-40GB-SXM4"] * num_a100

@@ -1,0 +1,37 @@
+"""Model specifications for the LLMs evaluated in the paper."""
+
+from .spec import BYTES_PER_PARAM, ModelSpec, neuron_groups
+from .registry import (
+    FALCON_40B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA_7B,
+    LLAMA_13B,
+    OPT_13B,
+    OPT_30B,
+    OPT_66B,
+    TINY_TEST,
+    get_model,
+    list_models,
+    register_model,
+)
+
+__all__ = [
+    "BYTES_PER_PARAM",
+    "ModelSpec",
+    "neuron_groups",
+    "get_model",
+    "list_models",
+    "register_model",
+    "OPT_13B",
+    "OPT_30B",
+    "OPT_66B",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "FALCON_40B",
+    "TINY_TEST",
+]

@@ -1,0 +1,31 @@
+"""NDP core models: GEMV unit, activation unit, per-DIMM core, ISA."""
+
+from .activation import ActivationUnit
+from .core import NDPCore
+from .gemv import GEMVUnit
+from .isa import (
+    Command,
+    LinkSend,
+    Mac,
+    Merge,
+    NDPExecutor,
+    RowRead,
+    Softmax,
+    lower_attention,
+    lower_gemv,
+)
+
+__all__ = [
+    "ActivationUnit",
+    "GEMVUnit",
+    "NDPCore",
+    "Command",
+    "RowRead",
+    "Mac",
+    "Softmax",
+    "Merge",
+    "LinkSend",
+    "lower_gemv",
+    "lower_attention",
+    "NDPExecutor",
+]

@@ -1,0 +1,15 @@
+"""Model-quality impact of sparse, prediction-driven execution."""
+
+from .degradation import (
+    QualityReport,
+    RESIDUAL_DAMPING,
+    activation_coverage,
+    oracle_report,
+)
+
+__all__ = [
+    "QualityReport",
+    "RESIDUAL_DAMPING",
+    "activation_coverage",
+    "oracle_report",
+]

@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine and overlap helpers."""
+
+from .engine import Acquire, Process, Release, Resource, Simulator, Timeout
+from .pipeline import overlap_two_stage, pipeline_makespan
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Resource",
+    "Timeout",
+    "Acquire",
+    "Release",
+    "pipeline_makespan",
+    "overlap_two_stage",
+]

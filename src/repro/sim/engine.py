@@ -1,0 +1,150 @@
+"""A compact discrete-event simulation engine.
+
+The system models are mostly analytic, but anything involving *overlap* —
+FlexGen's weight prefetch pipeline, Hermes hiding migrations behind the
+projection window — is easiest to get right with a real event calendar.
+Processes are Python generators that yield simulation primitives:
+
+* ``Timeout(dt)`` — advance this process by ``dt`` seconds;
+* ``Acquire(resource)`` / ``Release(resource)`` — serialise on a device;
+* another process handle — join (wait for completion).
+
+The engine is deterministic: simultaneous events fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Timeout:
+    """Advance the yielding process by ``delay`` seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+
+class Resource:
+    """A serially-shared device (a link, a GPU, one NDP core)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._holder: "Process | None" = None
+        self._waiters: list["Process"] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, busy={self.busy})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Acquire:
+    resource: Resource
+
+
+@dataclasses.dataclass(frozen=True)
+class Release:
+    resource: Resource
+
+
+class Process:
+    """Handle to a running generator process."""
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator,
+                 name: str = "proc") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.end_time: float | None = None
+        self._joiners: list["Process"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Process({self.name!r}, finished={self.finished})"
+
+
+class Simulator:
+    """Event calendar + process scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Process]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def process(self, generator: typing.Generator, name: str = "proc",
+                delay: float = 0.0) -> Process:
+        """Register a generator as a process starting after ``delay``."""
+        proc = Process(self, generator, name)
+        self._push(self.now + delay, proc)
+        return proc
+
+    def _push(self, time: float, proc: Process) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, proc))
+
+    # ------------------------------------------------------------------
+    def _step(self, proc: Process) -> None:
+        try:
+            item = next(proc.generator)
+        except StopIteration:
+            self._finish(proc)
+            return
+        self._dispatch(proc, item)
+
+    def _dispatch(self, proc: Process, item) -> None:
+        if isinstance(item, Timeout):
+            self._push(self.now + item.delay, proc)
+        elif isinstance(item, Acquire):
+            resource = item.resource
+            if resource._holder is None:
+                resource._holder = proc
+                self._push(self.now, proc)
+            else:
+                resource._waiters.append(proc)
+        elif isinstance(item, Release):
+            resource = item.resource
+            if resource._holder is not proc:
+                raise RuntimeError(
+                    f"{proc.name} released {resource.name} it does not hold")
+            resource._holder = None
+            if resource._waiters:
+                waiter = resource._waiters.pop(0)
+                resource._holder = waiter
+                self._push(self.now, waiter)
+            self._push(self.now, proc)
+        elif isinstance(item, Process):
+            if item.finished:
+                self._push(self.now, proc)
+            else:
+                item._joiners.append(proc)
+        else:
+            raise TypeError(f"process {proc.name} yielded {item!r}")
+
+    def _finish(self, proc: Process) -> None:
+        proc.finished = True
+        proc.end_time = self.now
+        for joiner in proc._joiners:
+            self._push(self.now, joiner)
+        proc._joiners.clear()
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run to quiescence (or to ``until``); returns the final time."""
+        while self._queue:
+            time, _, proc = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            self.now = time
+            self._step(proc)
+        return self.now

@@ -1,0 +1,64 @@
+"""Trace serialisation: save and reload activation traces as ``.npz``.
+
+Long experiments reuse the same traces; 70B-scale generation takes seconds
+while loading takes milliseconds, and a serialised trace pins the exact
+activations a result was produced from (reproducibility across machines
+without replaying the generator's RNG).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..models import get_model
+from .layout import NeuronLayout
+from .trace import ActivationTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: ActivationTrace, path: str | pathlib.Path) -> None:
+    """Serialise ``trace`` to a compressed ``.npz`` archive."""
+    path = pathlib.Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "prompt_len": np.array([trace.prompt_len]),
+        "seed": np.array([trace.seed]),
+        "granularity": np.array([trace.layout.granularity]),
+        "model_name": np.array([trace.layout.model.name]),
+    }
+    for l, matrix in enumerate(trace.layers):
+        arrays[f"layer_{l}"] = np.packbits(matrix, axis=1)
+        arrays[f"layer_{l}_cols"] = np.array([matrix.shape[1]])
+    for l, parents in enumerate(trace.parents):
+        if parents is not None:
+            arrays[f"parents_{l}"] = parents
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: str | pathlib.Path) -> ActivationTrace:
+    """Reload a trace saved by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version}")
+        model = get_model(str(data["model_name"][0]))
+        granularity = int(data["granularity"][0])
+        layout = NeuronLayout.build(model, granularity)
+        layers = []
+        parents: list[np.ndarray | None] = []
+        for l in range(model.num_layers):
+            packed = data[f"layer_{l}"]
+            cols = int(data[f"layer_{l}_cols"][0])
+            layers.append(
+                np.unpackbits(packed, axis=1)[:, :cols].astype(bool))
+            key = f"parents_{l}"
+            parents.append(data[key] if key in data else None)
+        return ActivationTrace(
+            layout=layout, layers=layers, parents=parents,
+            prompt_len=int(data["prompt_len"][0]),
+            seed=int(data["seed"][0]))

@@ -1,0 +1,33 @@
+"""Shared fixtures: a tiny model + trace that every system can run fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import Machine
+from repro.models import get_model
+from repro.sparsity import TraceConfig, generate_trace
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    return get_model("tiny-test")
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_model):
+    """A small but non-degenerate trace: 4 layers x 320 groups, 96 tokens."""
+    config = TraceConfig(prompt_len=32, decode_len=64, granularity=4)
+    return generate_trace(tiny_model, config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_opt_trace():
+    """OPT-13B at coarse granularity: realistic geometry, fast to simulate."""
+    config = TraceConfig(prompt_len=32, decode_len=32, granularity=128)
+    return generate_trace(get_model("OPT-13B"), config, seed=11)

@@ -1,0 +1,70 @@
+"""Unit tests for the energy extension (tokens per joule)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import HermesSystem
+from repro.baselines import DejaVu, FlexGen
+from repro.hardware import (
+    EnergyModel,
+    decode_energy_per_token,
+    tokens_per_joule,
+)
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def runs(machine, small_opt_trace):
+    model = get_model("OPT-13B")
+    return {
+        "hermes": HermesSystem(machine, model).run(small_opt_trace),
+        "dejavu": DejaVu(machine, model).run(small_opt_trace),
+        "flexgen": FlexGen(machine, model).run(small_opt_trace),
+    }
+
+
+class TestEnergyModel:
+    def test_dimm_link_energy_matches_table2(self):
+        assert EnergyModel().dimm_link_pj_per_bit == pytest.approx(1.17)
+
+    def test_transfer_energy_linear(self):
+        e = EnergyModel()
+        one = e.transfer_energy(2**20, 5.0)
+        two = e.transfer_energy(2**21, 5.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_compute_energy(self):
+        e = EnergyModel()
+        assert e.compute_energy(1e12, 0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        e = EnergyModel()
+        with pytest.raises(ValueError):
+            e.transfer_energy(-1, 5.0)
+        with pytest.raises(ValueError):
+            e.compute_energy(-1, 0.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(e, pcie_pj_per_bit=0)
+
+
+class TestSystemEnergy:
+    def test_positive_energy(self, runs, machine):
+        model = get_model("OPT-13B")
+        for result in runs.values():
+            assert decode_energy_per_token(result, model, machine) > 0
+
+    def test_hermes_more_efficient_than_offloaders(self, runs, machine):
+        """PCIe weight traffic costs both time and energy; Hermes avoids
+        it, so it must dominate on tokens/J as well."""
+        model = get_model("OPT-13B")
+        hermes = tokens_per_joule(runs["hermes"], model, machine)
+        for name in ("dejavu", "flexgen"):
+            assert hermes > tokens_per_joule(runs[name], model, machine)
+
+    def test_static_power_penalises_slow_systems(self, runs, machine):
+        """Wall-time static draw dominates very slow systems."""
+        model = get_model("OPT-13B")
+        slow = decode_energy_per_token(runs["flexgen"], model, machine)
+        fast = decode_energy_per_token(runs["hermes"], model, machine)
+        assert slow > 5 * fast

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness: every figure regenerates and the
+headline shapes hold."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, geometric_mean
+from repro.experiments.common import ExperimentResult, trace_for
+
+
+class TestCommon:
+    def test_trace_cache_returns_same_object(self):
+        a = trace_for("tiny-test", quick=True)
+        b = trace_for("tiny-test", quick=True)
+        assert a is b
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_result_to_text_renders(self):
+        result = ExperimentResult(
+            name="x", description="d", headers=["a", "b"],
+            rows=[[1, None], [2.5, "ok"]], notes=["note"])
+        text = result.to_text()
+        assert "N.P." in text and "note" in text
+
+    def test_result_column(self):
+        result = ExperimentResult(name="x", description="d",
+                                  headers=["a", "b"], rows=[[1, 2]])
+        assert result.column("b") == [2]
+        with pytest.raises(ValueError):
+            result.column("c")
+
+
+@pytest.mark.slow
+class TestEveryExperimentRuns:
+    """Smoke-run each figure in quick mode; these dominate suite runtime."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+    def test_runs_and_is_well_formed(self, name):
+        result = ALL_EXPERIMENTS[name](quick=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, name
+        width = len(result.headers)
+        for row in result.rows:
+            assert len(row) == width
+        assert result.to_text()
+
+
+@pytest.mark.slow
+class TestHeadlineShapes:
+    def test_fig04_similarity_decays_from_high_adjacency(self):
+        result = ALL_EXPERIMENTS["fig04"](quick=False)
+        for row in result.rows:
+            d1, d10 = row[1], row[4]
+            assert d1 > 0.85  # paper: >90%
+            assert d1 > d10   # monotone decay
+
+    def test_motivation_statistics_in_paper_range(self):
+        result = ALL_EXPERIMENTS["motivation"](quick=True)
+        stats = {row[0]: row[1] for row in result.rows}
+        assert stats["hot 20% computation share"] > 0.6
+        assert 0.2 < stats["hot-set churn during decode"] < 0.9
+        assert stats["fixed vs oracle slowdown"] > 1.0
+
+    def test_fig16_batch16_scales_with_multipliers(self):
+        result = ALL_EXPERIMENTS["fig16"](quick=True)
+        rows = {row[0]: row[1:] for row in result.rows}
+        # batch 1 saturates early; batch 16 keeps scaling (paper: 3.86x)
+        assert rows[1][-1] < 1.5
+        assert rows[16][-1] > 2.0
+
+    def test_predictor_accuracy_near_claim(self):
+        result = ALL_EXPERIMENTS["predictor"](quick=True)
+        for row in result.rows:
+            assert row[1] > 0.90  # paper: ~98%
+
+    def test_fig17_efficiency_between_zero_and_one(self):
+        result = ALL_EXPERIMENTS["fig17"](quick=True)
+        for row in result.rows:
+            assert 0 < row[3] < 150

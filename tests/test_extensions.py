@@ -1,0 +1,166 @@
+"""Tests for the extension modules: NDP ISA, trace IO, quality model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActivationPredictor, PredictorConfig
+from repro.models import get_model
+from repro.ndp import (
+    LinkSend,
+    Mac,
+    Merge,
+    NDPCore,
+    NDPExecutor,
+    RowRead,
+    Softmax,
+    lower_attention,
+    lower_gemv,
+)
+from repro.quality import activation_coverage, oracle_report
+from repro.sparsity import TraceConfig, generate_trace, load_trace, save_trace
+
+STREAM_BW = 102.4e9
+
+
+@pytest.fixture
+def executor():
+    return NDPExecutor(stream_bandwidth=STREAM_BW)
+
+
+class TestLowering:
+    def test_gemv_chunks_cover_all_bytes(self):
+        stream = lower_gemv(20_000, chunk_bytes=8192)
+        reads = [c for c in stream if isinstance(c, RowRead)]
+        assert sum(c.num_bytes for c in reads) == 20_000
+
+    def test_gemv_pairs_reads_with_macs(self):
+        stream = lower_gemv(16384)
+        kinds = [type(c) for c in stream]
+        assert kinds == [RowRead, Mac, RowRead, Mac]
+
+    def test_attention_includes_per_head_softmax(self):
+        stream = lower_attention(8192, context_len=128, num_heads=4,
+                                 batch=2)
+        softmaxes = [c for c in stream if isinstance(c, Softmax)]
+        assert len(softmaxes) == 8
+
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            RowRead(0)
+        with pytest.raises(ValueError):
+            Mac(10, batch=0)
+        with pytest.raises(ValueError):
+            Softmax(0)
+        with pytest.raises(ValueError):
+            Merge(-1)
+        with pytest.raises(ValueError):
+            LinkSend(0)
+        with pytest.raises(ValueError):
+            lower_gemv(0)
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("batch", [1, 2, 4, 16])
+    def test_matches_analytic_core_model(self, executor, batch):
+        """The micro-architectural executor validates NDPCore.gemv_time."""
+        core = NDPCore()
+        weight_bytes = 64 * 2**20
+        analytic = core.gemv_time(weight_bytes, STREAM_BW, batch=batch)
+        micro = executor.execute(lower_gemv(weight_bytes, batch=batch))
+        assert micro == pytest.approx(analytic, rel=0.02)
+
+    def test_memory_bound_stream_hides_compute(self, executor):
+        """At batch 1 the MAC pipeline hides behind the row stream."""
+        stream = lower_gemv(8 * 2**20, batch=1)
+        t = executor.execute(stream)
+        assert t == pytest.approx(8 * 2**20 / STREAM_BW, rel=0.02)
+
+    def test_link_send_serialises_after_compute(self, executor):
+        base = executor.execute(lower_gemv(2**20))
+        with_send = executor.execute(lower_gemv(2**20)
+                                     + [LinkSend(25_000_000)])
+        assert with_send == pytest.approx(base + 1e-3, rel=0.05)
+
+    def test_merge_after_macs(self, executor):
+        stream = lower_gemv(2**20) + [Merge(8192)]
+        assert executor.execute(stream) > executor.execute(
+            lower_gemv(2**20))
+
+    def test_unknown_command_rejected(self, executor):
+        with pytest.raises(TypeError):
+            executor.execute(["not a command"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NDPExecutor(stream_bandwidth=0)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, tiny_model):
+        trace = generate_trace(
+            tiny_model,
+            TraceConfig(prompt_len=8, decode_len=8, granularity=8), seed=5)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.prompt_len == trace.prompt_len
+        assert loaded.seed == trace.seed
+        assert loaded.layout.granularity == 8
+        for a, b in zip(trace.layers, loaded.layers):
+            assert np.array_equal(a, b)
+        for a, b in zip(trace.parents, loaded.parents):
+            if a is None:
+                assert b is None
+            else:
+                assert np.array_equal(a, b)
+
+    def test_compression_beats_raw_bools(self, tmp_path, tiny_model):
+        trace = generate_trace(
+            tiny_model,
+            TraceConfig(prompt_len=16, decode_len=48, granularity=4),
+            seed=5)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        raw = sum(m.size for m in trace.layers)
+        assert path.stat().st_size < raw // 2
+
+    def test_rejects_future_format(self, tmp_path, tiny_model):
+        trace = generate_trace(
+            tiny_model,
+            TraceConfig(prompt_len=4, decode_len=4, granularity=16), seed=5)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        data["version"] = np.array([99])
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestQuality:
+    def test_oracle_is_lossless(self, tiny_trace):
+        report = oracle_report(tiny_trace)
+        assert report.coverage == 1.0
+        assert report.degradation_proxy == 0.0
+        assert report.within_paper_claim()
+
+    def test_predictor_coverage_high(self, tiny_trace):
+        predictor = ActivationPredictor(tiny_trace.layout,
+                                        PredictorConfig())
+        predictor.initialize(tiny_trace)
+        report = activation_coverage(tiny_trace, predictor)
+        assert 0.85 < report.coverage <= 1.0
+        assert report.degradation_proxy < 0.15
+        assert report.per_layer_miss.shape == (tiny_trace.num_layers,)
+
+    def test_worse_predictor_means_worse_coverage(self, tiny_trace):
+        good = ActivationPredictor(tiny_trace.layout, PredictorConfig())
+        good.initialize(tiny_trace)
+        bad = ActivationPredictor(
+            tiny_trace.layout,
+            PredictorConfig(use_layer_prediction=False, s_up=1,
+                            threshold=15.0))
+        bad.initialize(tiny_trace)
+        r_good = activation_coverage(tiny_trace, good)
+        r_bad = activation_coverage(tiny_trace, bad)
+        assert r_good.coverage >= r_bad.coverage

@@ -1,0 +1,246 @@
+"""Unit + property tests for the online mapper (§IV-C2) and the
+window-based scheduler (§IV-D, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NeuronMapper, WindowScheduler
+from repro.core.partition import OfflinePartition
+from repro.sparsity import NeuronLayout
+
+
+@pytest.fixture(scope="session")
+def layout(tiny_model):
+    return NeuronLayout.build(tiny_model, granularity=4)
+
+
+def make_mapper(layout, budget_groups=50):
+    budget = int(layout.group_bytes[:budget_groups].sum())
+    mapper = NeuronMapper(layout, budget)
+    return mapper
+
+
+def empty_partition(layout, num_dimms=4):
+    g = layout.groups_per_layer
+    return OfflinePartition(
+        hot_masks=[np.zeros(g, dtype=bool)
+                   for _ in range(layout.model.num_layers)],
+        dimm_of=[np.arange(g) % num_dimms
+                 for _ in range(layout.model.num_layers)],
+        strategy="greedy",
+    )
+
+
+class TestMapper:
+    def test_initialize_loads_partition(self, layout):
+        mapper = make_mapper(layout)
+        partition = empty_partition(layout)
+        partition.hot_masks[0][:10] = True
+        mapper.initialize(partition)
+        assert mapper.resident[0][:10].all()
+        assert mapper.resident_bytes == layout.group_bytes[:10].sum()
+
+    def test_initialize_rejects_oversized_partition(self, layout):
+        mapper = NeuronMapper(layout, gpu_budget_bytes=0)
+        partition = empty_partition(layout)
+        partition.hot_masks[0][:10] = True
+        with pytest.raises(ValueError):
+            mapper.initialize(partition)
+
+    def test_swaps_in_hot_groups(self, layout):
+        # no initialize(): the per-layer ceiling defaults to the full
+        # GPU budget, so hot newcomers stream in freely
+        mapper = make_mapper(layout)
+        states = np.zeros(layout.groups_per_layer, dtype=np.int8)
+        states[:5] = 15
+        result = mapper.adjust(0, states)
+        assert result.swapped_in == 5
+        assert mapper.resident[0][:5].all()
+        mapper.check_invariants()
+
+    def test_ignores_groups_below_threshold(self, layout):
+        mapper = make_mapper(layout)
+        mapper.initialize(empty_partition(layout))
+        states = np.full(layout.groups_per_layer, 10, dtype=np.int8)
+        assert mapper.adjust(0, states).swapped_in == 0
+
+    def test_budget_limits_transfers(self, layout):
+        mapper = make_mapper(layout)
+        states = np.full(layout.groups_per_layer, 15, dtype=np.int8)
+        one_group = int(layout.group_bytes[0])
+        result = mapper.adjust(0, states, max_bytes=one_group)
+        assert result.swapped_in == 1
+
+    def test_layer_budget_caps_growth(self, layout):
+        """After initialize(), a layer's residency footprint is fixed:
+        swap-ins past the offline allocation require paired evictions."""
+        mapper = make_mapper(layout, budget_groups=100)
+        partition = empty_partition(layout)
+        partition.hot_masks[0][:2] = True
+        mapper.initialize(partition)
+        states = np.zeros(layout.groups_per_layer, dtype=np.int8)
+        states[:20] = 15  # many hot candidates, all hotter than residents
+        mapper.adjust(0, states)
+        used = mapper.residency_bytes(0)
+        assert used <= mapper.layer_budget[0]
+        mapper.check_invariants()
+
+    def test_evicts_coldest_resident_when_full(self, layout):
+        # budget of exactly 2 attention groups
+        budget = int(layout.group_bytes[:2].sum())
+        mapper = NeuronMapper(layout, budget)
+        partition = empty_partition(layout)
+        partition.hot_masks[0][:2] = True
+        mapper.initialize(partition)
+        states = np.zeros(layout.groups_per_layer, dtype=np.int8)
+        states[0] = 2   # coldest resident
+        states[1] = 12
+        states[5] = 15  # hot newcomer
+        result = mapper.adjust(0, states)
+        assert result.swapped_in == 1 and result.swapped_out == 1
+        assert not mapper.resident[0][0]
+        assert mapper.resident[0][5]
+        mapper.check_invariants()
+
+    def test_never_evicts_hotter_than_newcomer(self, layout):
+        budget = int(layout.group_bytes[:1].sum())
+        mapper = NeuronMapper(layout, budget)
+        partition = empty_partition(layout)
+        partition.hot_masks[0][0] = True
+        mapper.initialize(partition)
+        states = np.zeros(layout.groups_per_layer, dtype=np.int8)
+        states[0] = 15  # resident, maximally hot
+        states[5] = 12  # newcomer, hot but colder
+        result = mapper.adjust(0, states)
+        assert result.swapped_in == 0
+        assert mapper.resident[0][0]
+
+    def test_rejects_negative_budget(self, layout):
+        with pytest.raises(ValueError):
+            NeuronMapper(layout, -1)
+
+    def test_rejects_bad_state_shape(self, layout):
+        mapper = make_mapper(layout)
+        with pytest.raises(ValueError):
+            mapper.adjust(0, np.zeros(3, dtype=np.int8))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_budget_never_exceeded(self, layout, seed):
+        rng = np.random.default_rng(seed)
+        mapper = make_mapper(layout, budget_groups=30)
+        for _ in range(5):
+            layer = int(rng.integers(0, layout.model.num_layers))
+            states = rng.integers(
+                0, 16, layout.groups_per_layer).astype(np.int8)
+            mapper.adjust(layer, states,
+                          max_bytes=int(rng.integers(0, 2**20)))
+            mapper.check_invariants()
+
+
+class TestWindowScheduler:
+    def make(self, layout, num_dimms=4, window=5):
+        return WindowScheduler(layout, num_dimms, window=window)
+
+    def observe_tokens(self, scheduler, layout, rng, n=5, density=0.3):
+        for _ in range(n):
+            masks = [rng.random(layout.groups_per_layer) < density
+                     for _ in range(layout.model.num_layers)]
+            scheduler.observe_token(masks)
+
+    def test_window_fills(self, layout):
+        scheduler = self.make(layout, window=3)
+        rng = np.random.default_rng(0)
+        assert not scheduler.window_full
+        self.observe_tokens(scheduler, layout, rng, n=3)
+        assert scheduler.window_full
+
+    def test_rebalance_reduces_pair_imbalance(self, layout):
+        scheduler = self.make(layout, num_dimms=2)
+        rng = np.random.default_rng(1)
+        self.observe_tokens(scheduler, layout, rng)
+        # heavily skewed: everything on DIMM 0
+        dimm_of = np.zeros(layout.groups_per_layer, dtype=np.int64)
+        before = scheduler.dimm_loads(0, dimm_of)
+        result = scheduler.rebalance_layer(0, dimm_of)
+        after = scheduler.dimm_loads(0, dimm_of)
+        assert result.moved_groups > 0
+        assert after.max() < before.max()
+
+    def test_rebalance_never_increases_max_load(self, layout):
+        scheduler = self.make(layout, num_dimms=4)
+        rng = np.random.default_rng(2)
+        self.observe_tokens(scheduler, layout, rng)
+        dimm_of = rng.integers(0, 4, layout.groups_per_layer)
+        before = scheduler.dimm_loads(0, dimm_of).max()
+        scheduler.rebalance_layer(0, dimm_of)
+        after = scheduler.dimm_loads(0, dimm_of).max()
+        assert after <= before + 1e-9
+
+    def test_balanced_input_moves_nothing(self, layout):
+        scheduler = self.make(layout, num_dimms=2)
+        masks = [np.ones(layout.groups_per_layer, dtype=bool)
+                 for _ in range(layout.model.num_layers)]
+        for _ in range(5):
+            scheduler.observe_token(masks)
+        dimm_of = np.arange(layout.groups_per_layer) % 2
+        result = scheduler.rebalance_layer(0, dimm_of)
+        assert result.moved_groups <= 1
+
+    def test_single_dimm_is_noop(self, layout):
+        scheduler = self.make(layout, num_dimms=1)
+        rng = np.random.default_rng(3)
+        self.observe_tokens(scheduler, layout, rng)
+        dimm_of = np.zeros(layout.groups_per_layer, dtype=np.int64)
+        assert scheduler.rebalance_layer(0, dimm_of).moved_groups == 0
+
+    def test_excluded_groups_do_not_count_or_move(self, layout):
+        scheduler = self.make(layout, num_dimms=2)
+        rng = np.random.default_rng(4)
+        self.observe_tokens(scheduler, layout, rng, density=0.5)
+        dimm_of = np.zeros(layout.groups_per_layer, dtype=np.int64)
+        exclude = np.ones(layout.groups_per_layer, dtype=bool)
+        result = scheduler.rebalance_layer(0, dimm_of, exclude=exclude)
+        assert result.moved_groups == 0
+
+    def test_rebalance_all_resets_window(self, layout):
+        scheduler = self.make(layout, num_dimms=2, window=2)
+        rng = np.random.default_rng(5)
+        self.observe_tokens(scheduler, layout, rng, n=2)
+        dimm_of = [np.zeros(layout.groups_per_layer, dtype=np.int64)
+                   for _ in range(layout.model.num_layers)]
+        scheduler.rebalance_all(dimm_of)
+        assert not scheduler.window_full
+
+    def test_pair_bytes_track_bridges(self, layout):
+        scheduler = self.make(layout, num_dimms=2)
+        rng = np.random.default_rng(6)
+        self.observe_tokens(scheduler, layout, rng, density=0.6)
+        dimm_of = np.zeros(layout.groups_per_layer, dtype=np.int64)
+        result = scheduler.rebalance_layer(0, dimm_of)
+        assert result.moved_bytes == sum(result.pair_bytes.values())
+        assert result.max_link_bytes <= result.moved_bytes
+
+    def test_validation(self, layout):
+        with pytest.raises(ValueError):
+            WindowScheduler(layout, 0)
+        with pytest.raises(ValueError):
+            WindowScheduler(layout, 2, window=0)
+        scheduler = self.make(layout)
+        with pytest.raises(ValueError):
+            scheduler.observe_token([])
+
+    @given(seed=st.integers(0, 500), num_dimms=st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_rebalance_monotone(self, layout, seed, num_dimms):
+        """Algorithm 1 never increases any layer's max DIMM load."""
+        rng = np.random.default_rng(seed)
+        scheduler = self.make(layout, num_dimms=num_dimms)
+        self.observe_tokens(scheduler, layout, rng,
+                            density=float(rng.uniform(0.05, 0.6)))
+        dimm_of = rng.integers(0, num_dimms, layout.groups_per_layer)
+        before = scheduler.dimm_loads(1, dimm_of).max()
+        scheduler.rebalance_layer(1, dimm_of)
+        assert scheduler.dimm_loads(1, dimm_of).max() <= before + 1e-9

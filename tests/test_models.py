@@ -1,0 +1,192 @@
+"""Unit tests for model specifications and the registry."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    BYTES_PER_PARAM,
+    FALCON_40B,
+    LLAMA2_70B,
+    LLAMA_7B,
+    OPT_13B,
+    OPT_66B,
+    ModelSpec,
+    get_model,
+    list_models,
+    neuron_groups,
+    register_model,
+)
+
+
+def spec(**overrides) -> ModelSpec:
+    base = dict(name="t", num_layers=2, hidden_size=64, ffn_size=256,
+                num_heads=4, num_kv_heads=4, vocab_size=100)
+    base.update(overrides)
+    return ModelSpec(**base)
+
+
+class TestValidation:
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            spec(num_layers=0)
+
+    def test_rejects_negative_hidden(self):
+        with pytest.raises(ValueError):
+            spec(hidden_size=-1)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            spec(hidden_size=100, num_heads=3)
+
+    def test_rejects_bad_kv_grouping(self):
+        with pytest.raises(ValueError):
+            spec(num_heads=4, num_kv_heads=3)
+
+    def test_rejects_density_out_of_range(self):
+        with pytest.raises(ValueError):
+            spec(activation_density=0.0)
+        with pytest.raises(ValueError):
+            spec(activation_density=1.5)
+
+    def test_accepts_full_density(self):
+        assert spec(activation_density=1.0).activation_density == 1.0
+
+
+class TestDerivedDimensions:
+    def test_head_dim(self):
+        assert spec().head_dim == 16
+
+    def test_kv_dim_mha(self):
+        s = spec()
+        assert s.kv_dim == s.hidden_size
+
+    def test_kv_dim_gqa(self):
+        s = spec(num_heads=4, num_kv_heads=2)
+        assert s.kv_dim == s.hidden_size // 2
+
+    def test_neuron_counts(self):
+        s = spec()
+        assert s.attn_neurons_per_layer == 64
+        assert s.mlp_neurons_per_layer == 256
+        assert s.neurons_per_layer == 320
+        assert s.total_neurons == 640
+
+
+class TestWeightFootprints:
+    def test_attn_neuron_bytes_mha(self):
+        s = spec()
+        # one row of W_q plus one row each of W_k and W_v
+        assert s.attn_neuron_bytes == (64 + 2 * 64) * BYTES_PER_PARAM
+
+    def test_attn_neuron_bytes_gqa(self):
+        s = spec(num_heads=4, num_kv_heads=2)
+        assert s.attn_neuron_bytes == (64 + 2 * 32) * BYTES_PER_PARAM
+
+    def test_mlp_neuron_bytes_plain(self):
+        assert spec().mlp_neuron_bytes == 2 * 64 * BYTES_PER_PARAM
+
+    def test_mlp_neuron_bytes_gated(self):
+        assert spec(gated_mlp=True).mlp_neuron_bytes == 3 * 64 * BYTES_PER_PARAM
+
+    def test_sparse_bytes_sum(self):
+        s = spec()
+        expected = (s.attn_neurons_per_layer * s.attn_neuron_bytes
+                    + s.mlp_neurons_per_layer * s.mlp_neuron_bytes)
+        assert s.sparse_bytes_per_layer == expected
+
+    def test_dense_bytes_is_projection(self):
+        s = spec()
+        assert s.dense_bytes_per_layer == 64 * 64 * BYTES_PER_PARAM
+
+    def test_total_includes_embeddings(self):
+        s = spec()
+        assert s.total_weight_bytes == (
+            s.layer_bytes * s.num_layers + s.embedding_bytes)
+
+    def test_opt66b_weight_scale(self):
+        """OPT-66B is ~66B parameters, ~123 GiB in FP16."""
+        assert 60e9 < OPT_66B.total_params < 72e9
+        assert 115 < OPT_66B.total_weight_bytes / 2**30 < 135
+
+    def test_llama70b_weight_scale(self):
+        assert 62e9 < LLAMA2_70B.total_params < 75e9
+
+    def test_falcon_is_multiquery(self):
+        assert FALCON_40B.num_kv_heads < FALCON_40B.num_heads
+
+
+class TestKVCache:
+    def test_kv_per_token_scales_with_batch(self):
+        s = spec()
+        assert (s.kv_bytes_per_token_per_layer(4)
+                == 4 * s.kv_bytes_per_token_per_layer(1))
+
+    def test_kv_total(self):
+        s = spec()
+        assert s.kv_bytes_total(10) == (
+            10 * s.num_layers * s.kv_bytes_per_token_per_layer())
+
+    def test_gqa_shrinks_kv(self):
+        mha = spec()
+        gqa = spec(num_kv_heads=2)
+        assert gqa.kv_bytes_total(10) == mha.kv_bytes_total(10) // 2
+
+
+class TestStateTableClaim:
+    def test_llama7b_state_table_is_232kb(self):
+        """Paper §IV-C1: the LLaMA-7B neuron state table costs 232 KB."""
+        bits = LLAMA_7B.total_neurons * 4
+        assert bits // 8 // 1024 == 232
+
+
+class TestNeuronGroups:
+    def test_exact_division(self):
+        assert neuron_groups(spec(), 64) == (1, 4)
+
+    def test_ceil_division(self):
+        attn, mlp = neuron_groups(spec(), 48)
+        assert attn == math.ceil(64 / 48)
+        assert mlp == math.ceil(256 / 48)
+
+    def test_granularity_one(self):
+        assert neuron_groups(spec(), 1) == (64, 256)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            neuron_groups(spec(), 0)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_model("opt-13b") is OPT_13B
+
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(KeyError, match="OPT-66B"):
+            get_model("gpt-5")
+
+    def test_list_models_sorted(self):
+        names = list_models()
+        assert names == sorted(names)
+        assert "OPT-66B" in names
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_model(spec(name="OPT-13B"))
+
+    def test_paper_models_present(self):
+        for name in ("OPT-13B", "OPT-30B", "OPT-66B", "LLaMA2-13B",
+                     "LLaMA2-70B", "Falcon-40B", "LLaMA-7B"):
+            assert get_model(name).name == name
+
+    def test_densities_in_paper_sparsity_range(self):
+        """§II-B: 70-90% sparsity, i.e. density 0.1-0.3."""
+        for name in list_models():
+            model = get_model(name)
+            if name == "tiny-test":
+                continue
+            assert 0.10 <= model.activation_density <= 0.30
+
+    def test_describe_mentions_size(self):
+        text = OPT_66B.describe()
+        assert "OPT-66B" in text and "GiB" in text

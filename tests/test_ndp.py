@@ -1,0 +1,116 @@
+"""Unit tests for the NDP core models (GEMV unit, activation unit)."""
+
+import pytest
+
+from repro.ndp import ActivationUnit, GEMVUnit, NDPCore
+
+
+class TestGEMVUnit:
+    def test_default_is_hundreds_of_gflops(self):
+        """§I: NDP-DIMMs provide hundreds of GFLOPS; Table II's unit
+        sustains 256 GFLOP/s."""
+        unit = GEMVUnit()
+        assert unit.macs_per_second == pytest.approx(128e9)
+        assert unit.flops == pytest.approx(256e9)
+
+    def test_compute_time_scales_with_batch(self):
+        unit = GEMVUnit()
+        b = 2**20
+        assert unit.compute_time(b, batch=4) == pytest.approx(
+            4 * unit.compute_time(b, batch=1))
+
+    def test_scaled_multipliers(self):
+        unit = GEMVUnit().scaled(512)
+        assert unit.multipliers == 512
+        assert unit.macs_per_second == pytest.approx(256e9)
+
+    def test_zero_bytes(self):
+        assert GEMVUnit().compute_time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GEMVUnit(multipliers=0)
+        with pytest.raises(ValueError):
+            GEMVUnit(bit_serial_cycles=0)
+        with pytest.raises(ValueError):
+            GEMVUnit().compute_time(-1)
+        with pytest.raises(ValueError):
+            GEMVUnit().compute_time(1, batch=0)
+
+
+class TestActivationUnit:
+    def test_relu_scales_with_lanes(self):
+        unit = ActivationUnit()
+        assert unit.relu_time(256) == pytest.approx(1e-9)
+        assert unit.relu_time(512) == pytest.approx(2e-9)
+
+    def test_softmax_longer_than_relu(self):
+        unit = ActivationUnit()
+        assert unit.softmax_time(1024) > unit.relu_time(1024)
+
+    def test_softmax_zero(self):
+        assert ActivationUnit().softmax_time(0) == 0.0
+
+    def test_attention_softmax_scales_with_heads(self):
+        unit = ActivationUnit()
+        assert unit.attention_softmax_time(128, 8) == pytest.approx(
+            2 * unit.attention_softmax_time(128, 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationUnit(lanes=0)
+        with pytest.raises(ValueError):
+            ActivationUnit().relu_time(-1)
+        with pytest.raises(ValueError):
+            ActivationUnit().attention_softmax_time(1, 0)
+
+
+class TestNDPCore:
+    def test_memory_bound_at_batch_one(self):
+        """Table II config: 102 GB/s stream vs 256 GFLOP/s -> batch-1 GEMV
+        is stream-bound."""
+        core = NDPCore()
+        b = 2**20
+        bw = 102.4e9
+        assert core.gemv_time(b, bw, batch=1) == pytest.approx(b / bw)
+
+    def test_compute_bound_past_batch_two(self):
+        """§V-B2: the NDP core handles batch 2 but saturates beyond."""
+        core = NDPCore()
+        b = 2**20
+        bw = 102.4e9
+        t2 = core.gemv_time(b, bw, batch=2)
+        t4 = core.gemv_time(b, bw, batch=4)
+        assert t4 == pytest.approx(2 * t2, rel=0.3)
+        assert t4 == pytest.approx(core.gemv.compute_time(b, 4))
+
+    def test_attention_includes_softmax_tail(self):
+        core = NDPCore()
+        kv = 2**20
+        bw = 102.4e9
+        assert core.attention_time(kv, bw, context_len=128, num_heads=8) \
+            > core.gemv_time(kv, bw)
+
+    def test_zero_kv_attention_free(self):
+        assert NDPCore().attention_time(0, 1e9, 10, 4) == 0.0
+
+    def test_merge_time_small(self):
+        assert NDPCore().merge_time(8192) < 1e-6
+
+    def test_with_multipliers_roundtrip(self):
+        core = NDPCore().with_multipliers(32)
+        assert core.gemv.multipliers == 32
+
+    def test_validation(self):
+        core = NDPCore()
+        with pytest.raises(ValueError):
+            core.gemv_time(1, 0)
+        with pytest.raises(ValueError):
+            core.gemv_time(-1, 1e9)
+        with pytest.raises(ValueError):
+            core.merge_time(-1)
+        with pytest.raises(ValueError):
+            NDPCore(area_mm2=0)
+
+    def test_area_matches_table2(self):
+        assert NDPCore().area_mm2 == pytest.approx(1.23)

@@ -1,0 +1,226 @@
+"""Unit tests for the lightweight activation predictor (§IV-C1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationPredictor,
+    CorrelationTable,
+    PredictionStats,
+    PredictorConfig,
+    STATE_MAX,
+)
+from repro.models import get_model
+from repro.sparsity import NeuronLayout
+
+
+@pytest.fixture(scope="session")
+def layout(tiny_model):
+    return NeuronLayout.build(tiny_model, granularity=4)
+
+
+@pytest.fixture
+def predictor(layout, tiny_trace):
+    p = ActivationPredictor(layout, PredictorConfig())
+    p.initialize(tiny_trace)
+    return p
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        c = PredictorConfig()
+        assert c.s_up == 4 and c.s_down == 1
+        assert c.lam == 6.0 and c.threshold == 15.0
+        assert c.hot_threshold == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(s_up=0)
+        with pytest.raises(ValueError):
+            PredictorConfig(lam=-1)
+        with pytest.raises(ValueError):
+            PredictorConfig(hot_threshold=16)
+        with pytest.raises(ValueError):
+            PredictorConfig(use_token_prediction=False,
+                            use_layer_prediction=False)
+
+
+class TestStateMachine:
+    def test_initial_states_follow_prefill_frequency(self, predictor,
+                                                     tiny_trace):
+        freq = tiny_trace.prefill_frequencies(0)
+        states = predictor.states[0]
+        # always-on neurons start saturated, never-on start at zero
+        assert (states[freq > 0.95] == STATE_MAX).all()
+        assert (states[freq < 0.05] == 0).all()
+
+    def test_activation_raises_state_by_s_up(self, predictor, layout):
+        predictor.states[0][:] = 5
+        actual = np.ones(layout.groups_per_layer, dtype=bool)
+        predictor.observe(0, actual)
+        assert (predictor.states[0] == 9).all()
+
+    def test_inactivity_decays_by_one(self, predictor, layout):
+        predictor.states[0][:] = 5
+        predictor.observe(0, np.zeros(layout.groups_per_layer, dtype=bool))
+        assert (predictor.states[0] == 4).all()
+
+    def test_state_saturates_at_15(self, predictor, layout):
+        predictor.states[0][:] = 14
+        predictor.observe(0, np.ones(layout.groups_per_layer, dtype=bool))
+        assert (predictor.states[0] == STATE_MAX).all()
+
+    def test_state_floors_at_zero(self, predictor, layout):
+        predictor.states[0][:] = 0
+        predictor.observe(0, np.zeros(layout.groups_per_layer, dtype=bool))
+        assert (predictor.states[0] == 0).all()
+
+    def test_paper_example(self, predictor, layout):
+        """Fig. 7a: neuron at state 7 activates -> 11; at 10 idles -> 9."""
+        predictor.states[0][:2] = [7, 10]
+        actual = np.zeros(layout.groups_per_layer, dtype=bool)
+        actual[0] = True
+        predictor.observe(0, actual)
+        assert predictor.states[0][0] == 11
+        assert predictor.states[0][1] == 9
+
+    def test_observe_rejects_wrong_shape(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.observe(0, np.zeros(3, dtype=bool))
+
+
+class TestPrediction:
+    def test_saturated_neuron_predicted_without_parents(self, predictor):
+        predictor.states[1][:] = STATE_MAX
+        pred = predictor.predict(1, prev_actual=None)
+        assert pred.all()
+
+    def test_cold_neuron_not_predicted(self, predictor):
+        predictor.states[1][:] = 0
+        prev = np.zeros(predictor.layout.groups_per_layer, dtype=bool)
+        assert not predictor.predict(1, prev).any()
+
+    def test_correlated_parents_boost_prediction(self, predictor):
+        """s1 + lam*s2 >= T: state 4 alone fails, but both parents firing
+        adds 12, crossing the threshold."""
+        predictor.states[1][:] = 4
+        no_parents = np.zeros(predictor.layout.groups_per_layer, dtype=bool)
+        all_parents = np.ones(predictor.layout.groups_per_layer, dtype=bool)
+        assert not predictor.predict(1, no_parents).any()
+        assert predictor.predict(1, all_parents).all()
+
+    def test_layer_zero_uses_token_prediction_only(self, predictor):
+        predictor.states[0][:] = STATE_MAX
+        assert predictor.predict(0, None).all()
+
+    def test_token_only_mode(self, layout, tiny_trace):
+        p = ActivationPredictor(layout, PredictorConfig(
+            use_layer_prediction=False))
+        p.initialize(tiny_trace)
+        assert p.correlation is None
+        p.states[1][:] = STATE_MAX
+        assert p.predict(1, np.ones(layout.groups_per_layer, bool)).all()
+
+    def test_layer_only_mode_requires_both_parents(self, layout, tiny_trace):
+        p = ActivationPredictor(layout, PredictorConfig(
+            use_token_prediction=False))
+        p.initialize(tiny_trace)
+        prev = np.ones(layout.groups_per_layer, dtype=bool)
+        assert p.predict(1, prev).all()
+        assert not p.predict(1, ~prev).any()
+
+
+class TestAccuracy:
+    def test_accuracy_on_calibrated_trace(self, predictor, tiny_trace):
+        """Replay: accuracy should land near the paper's ~98% claim."""
+        for t in tiny_trace.decode_tokens():
+            prev = None
+            for l in range(tiny_trace.num_layers):
+                actual = tiny_trace.active(l, t)
+                predicted = predictor.predict(l, prev)
+                predictor.observe(l, actual, predicted)
+                prev = actual
+        assert predictor.stats.accuracy > 0.90
+        assert predictor.stats.recall > 0.75
+        assert predictor.stats.precision > 0.70
+
+    def test_stats_counters(self):
+        stats = PredictionStats()
+        stats.update(np.array([True, True, False, False]),
+                     np.array([True, False, True, False]))
+        assert stats.true_positive == 1
+        assert stats.false_positive == 1
+        assert stats.false_negative == 1
+        assert stats.true_negative == 1
+        assert stats.accuracy == 0.5
+
+    def test_stats_empty_raises(self):
+        with pytest.raises(ValueError):
+            PredictionStats().accuracy
+
+    def test_perfect_recall_with_no_actuals(self):
+        stats = PredictionStats()
+        stats.update(np.array([False]), np.array([False]))
+        assert stats.recall == 1.0 and stats.precision == 1.0
+
+
+class TestCorrelationTable:
+    def test_estimated_parents_are_informative(self, tiny_trace):
+        """The sampled table must predict better than a random table:
+        layer-only prediction accuracy with the estimated parents should
+        clearly beat the same predictor with shuffled parents."""
+
+        def layer_only_accuracy(table: CorrelationTable) -> float:
+            p = ActivationPredictor(tiny_trace.layout, PredictorConfig(
+                use_token_prediction=False))
+            p.initialize(tiny_trace)
+            p.correlation = table
+            for t in tiny_trace.decode_tokens():
+                prev = None
+                for l in range(1, tiny_trace.num_layers):
+                    actual = tiny_trace.active(l, t)
+                    predicted = p.predict(l, prev)
+                    p.stats.update(predicted, actual)
+                    prev = actual
+            return p.stats.accuracy
+
+        profiled = CorrelationTable.from_profiling(tiny_trace)
+        rng = np.random.default_rng(0)
+        shuffled = CorrelationTable([
+            None if t is None else rng.permutation(t)
+            for t in profiled.parents
+        ])
+        assert (layer_only_accuracy(profiled)
+                > layer_only_accuracy(shuffled) + 0.02)
+
+    def test_table_bytes(self, tiny_trace):
+        table = CorrelationTable.from_trace(tiny_trace)
+        expected = sum(p.size * 2 for p in table.parents if p is not None)
+        assert table.table_bytes() == expected
+
+    def test_short_window_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            CorrelationTable.from_trace(tiny_trace, tokens=slice(0, 1))
+
+
+class TestFootprint:
+    def test_llama7b_state_table_232kb(self):
+        """§IV-C1: 232 KB for LLaMA-7B, regardless of sim granularity."""
+        model = get_model("LLaMA-7B")
+        layout = NeuronLayout.build(model, granularity=64)
+        predictor = ActivationPredictor(layout)
+        assert predictor.state_table_bytes() == 232 * 1024
+
+    def test_under_one_megabyte_for_7b(self):
+        model = get_model("LLaMA-7B")
+        layout = NeuronLayout.build(model, granularity=64)
+        assert ActivationPredictor(layout).state_table_bytes() < 2**20
+
+    def test_overhead_is_sub_millisecond(self, predictor):
+        assert predictor.predictor_overhead_seconds(0) < 1e-3
+
+    def test_hot_mask_threshold(self, predictor):
+        predictor.states[0][:] = 10
+        assert not predictor.hot_mask(0).any()
+        predictor.states[0][:] = 11
+        assert predictor.hot_mask(0).all()

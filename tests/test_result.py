@@ -1,0 +1,78 @@
+"""Unit tests for the RunResult container."""
+
+import pytest
+
+from repro.core import BREAKDOWN_KEYS, RunResult
+
+
+def make(system="Hermes", batch=1, prefill=1.0, decode=2.0, n=10):
+    return RunResult(system=system, model="tiny-test", batch=batch,
+                     prefill_time=prefill, decode_time=decode,
+                     n_decode_tokens=n)
+
+
+class TestRunResult:
+    def test_tokens_per_second_includes_prefill(self):
+        r = make()
+        assert r.tokens_per_second == pytest.approx(10 / 3.0)
+
+    def test_decode_only_rate(self):
+        r = make()
+        assert r.decode_tokens_per_second == pytest.approx(5.0)
+
+    def test_batch_scales_rate(self):
+        assert make(batch=4).tokens_per_second == pytest.approx(40 / 3.0)
+
+    def test_latency_per_token(self):
+        assert make().decode_latency_per_token == pytest.approx(0.2)
+
+    def test_breakdown_accumulates(self):
+        r = make()
+        r.add("fc", 1.0)
+        r.add("fc", 0.5)
+        assert r.breakdown["fc"] == 1.5
+
+    def test_breakdown_rejects_unknown_keys(self):
+        r = make()
+        with pytest.raises(ValueError):
+            r.add("pizza", 1.0)
+        with pytest.raises(ValueError):
+            r.add("fc", -1.0)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        r = make()
+        r.add("fc", 3.0)
+        r.add("attention", 1.0)
+        fractions = r.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["fc"] == pytest.approx(0.75)
+
+    def test_breakdown_fractions_empty_raises(self):
+        with pytest.raises(ValueError):
+            make().breakdown_fractions()
+
+    def test_speedup_over(self):
+        fast = make(decode=1.0, prefill=0.5)
+        slow = make(decode=10.0, prefill=5.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_speedup_rejects_mismatched_workloads(self):
+        with pytest.raises(ValueError):
+            make(batch=1).speedup_over(make(batch=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(batch=0)
+        with pytest.raises(ValueError):
+            make(n=0)
+        with pytest.raises(ValueError):
+            make(decode=0.0)
+        with pytest.raises(ValueError):
+            RunResult(system="s", model="m", batch=1, prefill_time=0.1,
+                      decode_time=1.0, n_decode_tokens=1,
+                      breakdown={"bogus": 1.0})
+
+    def test_breakdown_keys_cover_fig12(self):
+        for key in ("fc", "attention", "predictor", "prefill",
+                    "communication", "others"):
+            assert key in BREAKDOWN_KEYS
