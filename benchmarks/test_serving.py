@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the online-serving arrival-rate sweep."""
+
+from repro.experiments import serving_eval
+
+
+def test_serving_eval(regenerate):
+    result = regenerate(serving_eval.run)
+    policies = set(result.column("policy"))
+    assert {"fcfs", "fcfs-nobatch", "sjf", "hermes-union"} <= policies
+    # every (rate, policy) cell completed its whole workload
+    assert all(done > 0 for done in result.column("done"))
+    # at the top arrival rate, continuous batching beats the serial baseline
+    rates = result.column("req/s")
+    top = max(rates)
+    by_policy = {row[1]: row for row in result.rows if row[0] == top}
+    assert (by_policy["fcfs"][3] > 1.5 * by_policy["fcfs-nobatch"][3])

@@ -1,10 +1,15 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` on offline machines where PEP 517
-editable builds cannot produce a wheel.
+Project metadata lives in ``pyproject.toml``; the src-layout package
+discovery is declared here (the single source of truth for it) so that
+``pip install -e .`` — including ``--no-use-pep517`` on offline machines
+where PEP 517 editable builds cannot produce a wheel — installs ``repro``
+without hand-setting ``PYTHONPATH``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

@@ -18,7 +18,13 @@ from .partition import (
 from .mapper import AdjustmentResult, NeuronMapper
 from .scheduling import RemapResult, WindowScheduler
 from .result import BREAKDOWN_KEYS, RunResult
-from .engine import HermesConfig, HermesSystem, batch_union_factor
+from .engine import (
+    HermesConfig,
+    HermesSession,
+    HermesSystem,
+    StepCost,
+    batch_union_factor,
+)
 
 __all__ = [
     "ActivationPredictor",
@@ -38,6 +44,8 @@ __all__ = [
     "RunResult",
     "BREAKDOWN_KEYS",
     "HermesConfig",
+    "HermesSession",
     "HermesSystem",
+    "StepCost",
     "batch_union_factor",
 ]

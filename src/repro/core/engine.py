@@ -80,6 +80,21 @@ def batch_union_factor(freq: np.ndarray, batch: int) -> float:
     return float((1.0 - (1.0 - p) ** batch).sum() / base)
 
 
+@dataclasses.dataclass(frozen=True)
+class StepCost:
+    """Cost of one decode step, split by the device that was busy.
+
+    ``seconds`` is the critical-path latency of the step; ``gpu_busy`` and
+    ``dimm_busy`` are the per-device busy times inside it (they overlap, so
+    they do not sum to ``seconds``).  The serving layer integrates these
+    into utilization metrics.
+    """
+
+    seconds: float
+    gpu_busy: float
+    dimm_busy: float
+
+
 class HermesSystem:
     """Hermes on one machine for one model."""
 
@@ -177,188 +192,325 @@ class HermesSystem:
         return overlap_two_stage(transfer, compute)
 
     # ------------------------------------------------------------------
+    def session(self, trace: ActivationTrace, batch: int = 1, *,
+                wrap: bool = False,
+                partition: OfflinePartition | None = None
+                ) -> "HermesSession":
+        """Open a resumable stepped-execution session over ``trace``.
+
+        The session runs the offline stage eagerly and then exposes
+        :meth:`HermesSession.prefill` and :meth:`HermesSession.decode_step`
+        so callers — notably :mod:`repro.serving` — can interleave token
+        generation with other simulated work and vary the batch per step.
+        ``wrap`` lets the token cursor cycle over the decode region so a
+        session can serve more steps than the trace records.  ``partition``
+        reuses an already-solved offline partition (it is deterministic in
+        (trace, batch, config), so sessions over the same inputs — e.g.
+        the machines of a serving cluster — need not re-solve it).
+        """
+        return HermesSession(self, trace, batch, wrap=wrap,
+                             partition=partition)
+
     def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
         """Simulate one full prefill + decode pass over ``trace``."""
-        if trace.layout.model.name != self.model.name:
+        session = self.session(trace, batch)
+        session.prefill()
+        for _ in range(trace.n_decode_tokens):
+            session.decode_step()
+        return session.finish()
+
+
+class HermesSession:
+    """Resumable per-token execution of Hermes over one trace.
+
+    Owns the online control-plane state (mapper residency, predictor state
+    table, window scheduler) between steps, which is exactly what a serving
+    layer needs: requests join and leave a running batch, so each decode
+    step may carry a different effective batch size and context length while
+    the hot/cold placement keeps evolving underneath.
+    """
+
+    def __init__(self, system: HermesSystem, trace: ActivationTrace,
+                 batch: int = 1, *, wrap: bool = False,
+                 partition: OfflinePartition | None = None) -> None:
+        if trace.layout.model.name != system.model.name:
             raise ValueError("trace was generated for a different model")
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        cfg = self.config
-        layout = trace.layout
-        machine = self.machine
-        model = self.model
-        gpu = machine.gpu
-        dimm = machine.dimm
-        n_dimms = machine.num_dimms
+        self.system = system
+        self.trace = trace
+        self.batch = batch
+        self.wrap = wrap
+        cfg = system.config
+        self.layout = trace.layout
+        machine = system.machine
 
-        result = RunResult(system=self.name, model=model.name, batch=batch,
-                           prefill_time=1e-12, decode_time=1e-12,
-                           n_decode_tokens=max(1, trace.n_decode_tokens))
+        self.result = RunResult(
+            system=system.name, model=system.model.name, batch=batch,
+            prefill_time=1e-12, decode_time=1e-12,
+            n_decode_tokens=max(1, trace.n_decode_tokens))
 
         # ---------------- offline stage ----------------
-        freqs = self._profiled_frequencies(trace)
-        costs = self.partition_costs(layout, batch)
+        self.freqs = system._profiled_frequencies(trace)
+        self.costs = system.partition_costs(self.layout, batch)
         # The partition optimises *realised* per-step load, and batching
         # unions activations across the batch — a rarely-active group's
         # probability rises superlinearly — so the solver sees the
         # union-inflated probabilities rather than the per-sequence ones.
-        if batch > 1:
-            partition_freqs = [1.0 - (1.0 - f) ** batch for f in freqs]
+        if partition is not None:
+            self.partition = partition
         else:
-            partition_freqs = freqs
-        partition = solve_partition(
-            partition_freqs, layout, costs,
-            strategy=cfg.partition_strategy, seed=trace.seed,
-            balanced_dimms=cfg.partition_strategy != "random")
-        mapper = NeuronMapper(layout, costs.gpu_budget_bytes)
-        mapper.initialize(partition)
-        predictor = ActivationPredictor(layout, PredictorConfig(
+            if batch > 1:
+                partition_freqs = [1.0 - (1.0 - f) ** batch
+                                   for f in self.freqs]
+            else:
+                partition_freqs = self.freqs
+            self.partition = solve_partition(
+                partition_freqs, self.layout, self.costs,
+                strategy=cfg.partition_strategy, seed=trace.seed,
+                balanced_dimms=cfg.partition_strategy != "random")
+        self.mapper = NeuronMapper(self.layout, self.costs.gpu_budget_bytes)
+        self.mapper.initialize(self.partition)
+        self.predictor = ActivationPredictor(self.layout, PredictorConfig(
             use_token_prediction=cfg.token_prediction,
             use_layer_prediction=cfg.layer_prediction,
             hot_threshold=cfg.hot_threshold,
         ))
-        predictor.initialize(trace)
-        scheduler = WindowScheduler(layout, n_dimms, window=cfg.window)
+        self.predictor.initialize(trace)
+        self.scheduler = WindowScheduler(self.layout, machine.num_dimms,
+                                         window=cfg.window)
 
-        # per-layer batch-union inflation factors (see batch_union_factor)
-        union = np.array([batch_union_factor(freqs[l], batch)
-                          for l in range(model.num_layers)])
+        self.hot_bytes = self.partition.gpu_bytes(self.layout)
+        self._run_bytes = float(self.layout.group_bytes.mean())
+        self._attn_heads_per_dimm = -(-system.model.num_heads
+                                      // machine.num_dimms)
+        self._union_cache: dict[tuple[int, int], float] = {}
 
-        # ---------------- prompting stage ----------------
-        prefill = self._prefill_time(layout, trace.prompt_len, batch)
-        result.add("prefill", prefill)
+        self.steps_done = 0
+        self.decode_time = 0.0
+        self._remap_bytes_total = 0
+        self._remap_groups_total = 0
+        self._remap_link_time = 0.0
+        self._swap_bytes_total = 0
+
+    # ------------------------------------------------------------------
+    def union_factor(self, layer: int, batch: int) -> float:
+        """Batch-union inflation for one layer, cached per batch size."""
+        key = (layer, batch)
+        if key not in self._union_cache:
+            self._union_cache[key] = batch_union_factor(
+                self.freqs[layer], batch)
+        return self._union_cache[key]
+
+    def prefill_cost(self, prompt_len: int | None = None,
+                     batch: int | None = None, *,
+                     reload_hot: bool = False) -> tuple[float, float]:
+        """Prompting-stage cost split as (GPU compute, PCIe transfer).
+
+        ``reload_hot`` additionally charges re-loading the non-resident part
+        of the hot set over PCIe — the cold-start path ``run`` takes.  A
+        serving machine keeps the hot set resident between requests, so a
+        joining request pays only prompt compute plus its KV-cache push.
+        Pure cost query; no session state changes.
+        """
+        system = self.system
+        machine = system.machine
+        model = system.model
+        prompt_len = self.trace.prompt_len if prompt_len is None else prompt_len
+        batch = self.batch if batch is None else batch
+        prefill = system._prefill_time(self.layout, prompt_len, batch)
         # Hot neurons loaded back to GPU + prompt KV cache pushed to DIMMs.
         # Prefill already streamed every layer through GPU memory, so the
         # resident fraction of the hot set is simply *retained* rather than
         # re-transferred; only the remainder crosses PCIe again.
-        hot_bytes = partition.gpu_bytes(layout)
         resident_fraction = min(
             1.0, machine.gpu.memory_bytes / model.total_weight_bytes)
-        reload_bytes = hot_bytes * (1.0 - resident_fraction)
-        kv_prompt = model.kv_bytes_total(trace.prompt_len, batch)
-        load_time = machine.pcie.transfer_time(reload_bytes + kv_prompt)
-        result.add("communication", load_time)
-        result.prefill_time = prefill + load_time
+        reload_bytes = (self.hot_bytes * (1.0 - resident_fraction)
+                        if reload_hot else 0.0)
+        kv_prompt = model.kv_bytes_total(prompt_len, batch)
+        return prefill, machine.pcie.transfer_time(reload_bytes + kv_prompt)
 
-        # ---------------- token generation stage ----------------
-        decode_time = 0.0
-        remap_bytes_total = 0
-        remap_groups_total = 0
-        remap_link_time = 0.0
-        swap_bytes_total = 0
-        run_bytes = float(layout.group_bytes.mean())
-        attn_heads_per_dimm = -(-model.num_heads // n_dimms)
-        for step, t in enumerate(trace.decode_tokens()):
-            context = trace.prompt_len + step + 1
-            token_time = 0.0
-            proj_window_pcie = 0.0  # PCIe-seconds available for swaps
-            prev_actual: np.ndarray | None = None
-            for l in range(model.num_layers):
-                actual = trace.active(l, t)
-                if cfg.oracle:
-                    predicted = actual.copy()
-                else:
-                    predicted = predictor.predict(l, prev_actual)
-                resident = mapper.resident[l]
-                dimm_of = partition.dimm_of[l]
+    def prefill_seconds(self, prompt_len: int | None = None,
+                        batch: int | None = None, *,
+                        reload_hot: bool = False) -> float:
+        """Total prompting-stage latency (see :meth:`prefill_cost`)."""
+        compute, transfer = self.prefill_cost(prompt_len, batch,
+                                              reload_hot=reload_hot)
+        return compute + transfer
 
-                # ---- sparse FC blocks: QKV then MLP ----
-                # The GPU computes the predicted resident groups; the DIMMs
-                # compute the predicted cold groups plus every *mispredicted
-                # but activated* group — false negatives are discovered
-                # mid-layer and must run where the weights live, so a
-                # low-recall predictor pays for its misses in NDP time.
-                fc_time = 0.0
-                for block in (layout.attn_slice, layout.mlp_slice):
-                    pred_b = np.zeros_like(predicted)
-                    pred_b[block] = predicted[block]
-                    actual_b = np.zeros_like(actual)
-                    actual_b[block] = actual[block]
-                    on_gpu = pred_b & resident
-                    on_dimm = (pred_b & ~resident) | (actual_b & ~pred_b)
-                    gpu_bytes = layout.group_bytes[on_gpu].sum() * union[l]
-                    gpu_bytes = min(gpu_bytes,
-                                    float(layout.group_bytes[resident].sum()))
-                    dimm_bytes = np.bincount(
-                        dimm_of[on_dimm],
-                        weights=layout.group_bytes[on_dimm],
-                        minlength=n_dimms) * union[l]
-                    t_gpu = gpu.matmul_time(gpu_bytes, batch,
-                                            scattered=True)
-                    t_dimm = max(
-                        (dimm.gemv_time(float(b), batch,
-                                        run_bytes=run_bytes)
-                         for b in dimm_bytes), default=0.0)
-                    fc_time += max(t_gpu + 2 * machine.sync_latency, t_dimm)
-                result.add("fc", fc_time)
+    def prefill(self) -> float:
+        """Run the prompting stage; records it into :attr:`result`."""
+        compute, load_time = self.prefill_cost(reload_hot=True)
+        self.result.add("prefill", compute)
+        self.result.add("communication", load_time)
+        self.result.prefill_time = compute + load_time
+        return self.result.prefill_time
 
-                # ---- attention on the NDP-DIMMs over the KV shard ----
-                kv_bytes = 2 * model.kv_dim * 2 * context * batch
-                t_attn = dimm.attention_time(
-                    kv_bytes / n_dimms, context, attn_heads_per_dimm, batch)
-                result.add("attention", t_attn)
+    # ------------------------------------------------------------------
+    def decode_step(self, batch: int | None = None,
+                    context: int | None = None) -> StepCost:
+        """Generate one token; returns the step's critical-path cost.
 
-                # ---- dense projection on the GPU; DIMMs idle ----
-                t_proj = gpu.matmul_time(model.dense_bytes_per_layer, batch)
-                result.add("projection", t_proj)
-                proj_window_pcie += t_proj
+        ``batch`` overrides the session batch for this step (continuous
+        batching changes it as requests join/leave); ``context`` overrides
+        the attention context length (for a mixed batch, the mean context —
+        attention cost is linear in total KV bytes, so the mean is exact).
+        """
+        batch = self.batch if batch is None else batch
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        trace = self.trace
+        n_decode = trace.n_decode_tokens
+        if n_decode == 0:
+            raise RuntimeError("trace has no decode region "
+                               "(generated with decode_len=0)")
+        if self.steps_done >= n_decode and not self.wrap:
+            raise RuntimeError("trace decode tokens exhausted "
+                               "(open the session with wrap=True)")
+        t = trace.prompt_len + self.steps_done % n_decode
+        if context is None:
+            context = trace.prompt_len + self.steps_done + 1
+        system = self.system
+        cfg = system.config
+        machine = system.machine
+        model = system.model
+        gpu = machine.gpu
+        dimm = machine.dimm
+        n_dimms = machine.num_dimms
+        layout = self.layout
+        result = self.result
+        predictor = self.predictor
+        mapper = self.mapper
+        partition = self.partition
 
-                # ---- merge + predictor bookkeeping ----
-                t_merge = dimm.core.merge_time(model.hidden_size, batch)
-                t_pred = predictor.predictor_overhead_seconds(l)
-                result.add("others", t_merge)
-                result.add("predictor", t_pred)
+        token_time = 0.0
+        gpu_busy = 0.0
+        dimm_busy = 0.0
+        proj_window_pcie = 0.0  # PCIe-seconds available for swaps
+        prev_actual: np.ndarray | None = None
+        for l in range(model.num_layers):
+            actual = trace.active(l, t)
+            if cfg.oracle:
+                predicted = actual.copy()
+            else:
+                predicted = predictor.predict(l, prev_actual)
+            resident = mapper.resident[l]
+            dimm_of = partition.dimm_of[l]
+            union_l = self.union_factor(l, batch)
 
-                token_time += fc_time + t_attn + t_proj + t_merge + t_pred
+            # ---- sparse FC blocks: QKV then MLP ----
+            # The GPU computes the predicted resident groups; the DIMMs
+            # compute the predicted cold groups plus every *mispredicted
+            # but activated* group — false negatives are discovered
+            # mid-layer and must run where the weights live, so a
+            # low-recall predictor pays for its misses in NDP time.
+            fc_time = 0.0
+            for block in (layout.attn_slice, layout.mlp_slice):
+                pred_b = np.zeros_like(predicted)
+                pred_b[block] = predicted[block]
+                actual_b = np.zeros_like(actual)
+                actual_b[block] = actual[block]
+                on_gpu = pred_b & resident
+                on_dimm = (pred_b & ~resident) | (actual_b & ~pred_b)
+                gpu_bytes = layout.group_bytes[on_gpu].sum() * union_l
+                gpu_bytes = min(gpu_bytes,
+                                float(layout.group_bytes[resident].sum()))
+                dimm_bytes = np.bincount(
+                    dimm_of[on_dimm],
+                    weights=layout.group_bytes[on_dimm],
+                    minlength=n_dimms) * union_l
+                t_gpu = gpu.matmul_time(gpu_bytes, batch,
+                                        scattered=True)
+                t_dimm = max(
+                    (dimm.gemv_time(float(b), batch,
+                                    run_bytes=self._run_bytes)
+                     for b in dimm_bytes), default=0.0)
+                fc_time += max(t_gpu + 2 * machine.sync_latency, t_dimm)
+                gpu_busy += t_gpu
+                dimm_busy += t_dimm
+            result.add("fc", fc_time)
 
-                # ---- online hot/cold adjustment in the proj window ----
-                if cfg.online_adjustment and not cfg.oracle:
-                    budget = int(proj_window_pcie
-                                 * machine.pcie.effective_bandwidth)
-                    adjust = mapper.adjust(
-                        l, predictor.states[l],
-                        hot_threshold=cfg.hot_threshold, max_bytes=budget)
-                    used = (adjust.bytes_in
-                            / machine.pcie.effective_bandwidth)
-                    proj_window_pcie = max(0.0, proj_window_pcie - used)
-                    swap_bytes_total += adjust.bytes_in
+            # ---- attention on the NDP-DIMMs over the KV shard ----
+            kv_bytes = 2 * model.kv_dim * 2 * context * batch
+            t_attn = dimm.attention_time(
+                kv_bytes / n_dimms, context, self._attn_heads_per_dimm,
+                batch)
+            result.add("attention", t_attn)
+            dimm_busy += t_attn
 
-                predictor.observe(l, actual, predicted)
-                prev_actual = actual
+            # ---- dense projection on the GPU; DIMMs idle ----
+            t_proj = gpu.matmul_time(model.dense_bytes_per_layer, batch)
+            result.add("projection", t_proj)
+            proj_window_pcie += t_proj
+            gpu_busy += t_proj
 
-            # ---- window-based cold remapping over the DIMM-links ----
-            scheduler.observe_token([trace.active(l, t)
-                                     for l in range(model.num_layers)])
-            if cfg.window_scheduling and scheduler.window_full:
-                remap = scheduler.rebalance_all(
-                    partition.dimm_of,
-                    exclude=[mapper.resident[l]
-                             for l in range(model.num_layers)])
-                link_time = dimm.migration_time(remap.max_link_bytes)
-                # migrations overlap the token's projection windows
-                overflow = max(0.0, link_time - proj_window_pcie)
-                result.add("communication", overflow)
-                token_time += overflow
-                remap_bytes_total += remap.moved_bytes
-                remap_groups_total += remap.moved_groups
-                remap_link_time += link_time
-            elif scheduler.window_full:
-                scheduler.reset_window()
+            # ---- merge + predictor bookkeeping ----
+            t_merge = dimm.core.merge_time(model.hidden_size, batch)
+            t_pred = predictor.predictor_overhead_seconds(l)
+            result.add("others", t_merge)
+            result.add("predictor", t_pred)
+            dimm_busy += t_merge
 
-            decode_time += token_time
+            token_time += fc_time + t_attn + t_proj + t_merge + t_pred
 
-        result.decode_time = decode_time
+            # ---- online hot/cold adjustment in the proj window ----
+            if cfg.online_adjustment and not cfg.oracle:
+                budget = int(proj_window_pcie
+                             * machine.pcie.effective_bandwidth)
+                adjust = mapper.adjust(
+                    l, predictor.states[l],
+                    hot_threshold=cfg.hot_threshold, max_bytes=budget)
+                used = (adjust.bytes_in
+                        / machine.pcie.effective_bandwidth)
+                proj_window_pcie = max(0.0, proj_window_pcie - used)
+                self._swap_bytes_total += adjust.bytes_in
+
+            predictor.observe(l, actual, predicted)
+            prev_actual = actual
+
+        # ---- window-based cold remapping over the DIMM-links ----
+        scheduler = self.scheduler
+        scheduler.observe_token([trace.active(l, t)
+                                 for l in range(model.num_layers)])
+        if cfg.window_scheduling and scheduler.window_full:
+            remap = scheduler.rebalance_all(
+                partition.dimm_of,
+                exclude=[mapper.resident[l]
+                         for l in range(model.num_layers)])
+            link_time = dimm.migration_time(remap.max_link_bytes)
+            # migrations overlap the token's projection windows
+            overflow = max(0.0, link_time - proj_window_pcie)
+            result.add("communication", overflow)
+            token_time += overflow
+            self._remap_bytes_total += remap.moved_bytes
+            self._remap_groups_total += remap.moved_groups
+            self._remap_link_time += link_time
+        elif scheduler.window_full:
+            scheduler.reset_window()
+
+        self.steps_done += 1
+        self.decode_time += token_time
+        return StepCost(seconds=token_time, gpu_busy=gpu_busy,
+                        dimm_busy=dimm_busy)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> RunResult:
+        """Seal the session and return its :class:`RunResult`."""
+        result = self.result
+        result.decode_time = self.decode_time
+        result.n_decode_tokens = max(1, self.steps_done)
+        predictor = self.predictor
         result.metadata.update({
             "predictor_accuracy": (predictor.stats.accuracy
                                    if predictor.stats.total else None),
             "predictor_recall": (predictor.stats.recall
                                  if predictor.stats.total else None),
-            "hot_bytes": hot_bytes,
-            "gpu_hot_budget": costs.gpu_budget_bytes,
-            "partition_strategy": partition.strategy,
-            "remap_bytes": remap_bytes_total,
-            "remap_groups": remap_groups_total,
-            "remap_link_time": remap_link_time,
-            "swap_bytes": swap_bytes_total,
+            "hot_bytes": self.hot_bytes,
+            "gpu_hot_budget": self.costs.gpu_budget_bytes,
+            "partition_strategy": self.partition.strategy,
+            "remap_bytes": self._remap_bytes_total,
+            "remap_groups": self._remap_groups_total,
+            "remap_link_time": self._remap_link_time,
+            "swap_bytes": self._swap_bytes_total,
         })
         return result

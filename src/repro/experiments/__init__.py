@@ -21,6 +21,7 @@ from . import (
     fig17_tensorrt,
     motivation,
     predictor_eval,
+    serving_eval,
 )
 from .common import (
     ExperimentResult,
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "dimmlink": dimmlink_eval.run,
     "ablation-extras": ablation_extras.run,
     "energy": energy_eval.run,
+    "serving": serving_eval.run,
 }
 
 __all__ = [

@@ -11,6 +11,9 @@ import time
 
 from . import ALL_EXPERIMENTS
 
+#: accepted alternate spellings for registry ids
+ALIASES = {"serving_eval": "serving"}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -24,7 +27,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     names = list(ALL_EXPERIMENTS) if "all" in args.experiments \
-        else args.experiments
+        else [ALIASES.get(n, n) for n in args.experiments]
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")

@@ -1,0 +1,58 @@
+"""Online serving: continuous-batching request scheduling over Hermes
+machines.
+
+The engine layer (:mod:`repro.core`) answers "how long does one batch of
+tokens take on one machine"; this package answers the production question
+above it: given open-loop request traffic, a batching policy, and a cluster
+of Hermes machines, what throughput and TTFT/TBT/E2E latency distribution
+do users see?  It is a request-level discrete-event simulation built on the
+same :mod:`repro.sim` event calendar the engine uses for overlap modelling.
+"""
+
+from .executor import MachineExecutor, default_serving_trace
+from .metrics import (
+    RequestRecord,
+    ServingReport,
+    percentile,
+    time_weighted_mean,
+)
+from .policies import (
+    POLICIES,
+    BatchingPolicy,
+    FCFSPolicy,
+    HermesUnionPolicy,
+    NoBatchPolicy,
+    ShortestOutputFirstPolicy,
+    get_policy,
+)
+from .simulator import ServingConfig, ServingSimulator
+from .workload import (
+    LengthDistribution,
+    Request,
+    WorkloadConfig,
+    generate_workload,
+    workload_from_arrivals,
+)
+
+__all__ = [
+    "Request",
+    "LengthDistribution",
+    "WorkloadConfig",
+    "generate_workload",
+    "workload_from_arrivals",
+    "BatchingPolicy",
+    "FCFSPolicy",
+    "NoBatchPolicy",
+    "ShortestOutputFirstPolicy",
+    "HermesUnionPolicy",
+    "POLICIES",
+    "get_policy",
+    "MachineExecutor",
+    "default_serving_trace",
+    "percentile",
+    "time_weighted_mean",
+    "RequestRecord",
+    "ServingReport",
+    "ServingConfig",
+    "ServingSimulator",
+]

@@ -1,0 +1,113 @@
+"""Per-machine execution: drives the Hermes engine in stepped mode.
+
+A :class:`MachineExecutor` owns one :class:`~repro.core.HermesSystem` and a
+long-lived :class:`~repro.core.HermesSession` opened with ``wrap=True``, so
+the serving simulator can charge *per-request prefill* and *per-token
+decode* costs with a batch size that changes whenever a request joins or
+leaves — the engine's control-plane state (predictor table, hot/cold
+residency, window scheduler) evolves continuously across requests, exactly
+as it would on a machine that never goes idle between users.
+
+Activation ground truth comes from one shared trace per model.  The engine
+models a batch as one activation stream plus the batch-union inflation
+factor (paper §V-C), so a single trace faithfully stands in for the
+concurrent sequences; the cursor cycles over the decode region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import HermesConfig, HermesSystem, OfflinePartition, StepCost
+from ..hardware import Machine
+from ..models import ModelSpec
+from ..sparsity import ActivationTrace, TraceConfig, generate_trace
+
+#: default shared-trace shape for executors created without a trace
+DEFAULT_TRACE_PROMPT = 64
+DEFAULT_TRACE_DECODE = 64
+
+
+def default_serving_trace(model: ModelSpec, *, granularity: int = 64,
+                          seed: int = 7) -> ActivationTrace:
+    """A compact activation trace sized for long serving runs."""
+    config = TraceConfig(prompt_len=DEFAULT_TRACE_PROMPT,
+                         decode_len=DEFAULT_TRACE_DECODE,
+                         granularity=granularity)
+    return generate_trace(model, config, seed=seed)
+
+
+class MachineExecutor:
+    """One Hermes machine serving a stream of requests."""
+
+    def __init__(self, machine: Machine, model: ModelSpec,
+                 config: HermesConfig | None = None, *,
+                 trace: ActivationTrace | None = None,
+                 nominal_batch: int = 8,
+                 partition: OfflinePartition | None = None,
+                 granularity: int = 64, seed: int = 7) -> None:
+        if nominal_batch < 1:
+            raise ValueError("nominal_batch must be >= 1")
+        self.machine = machine
+        self.model = model
+        self.system = HermesSystem(machine, model, config)
+        if trace is None:
+            trace = default_serving_trace(model, granularity=granularity,
+                                          seed=seed)
+        self.trace = trace
+        #: the offline partition is solved for this expected batch size
+        self.nominal_batch = nominal_batch
+        self.session = self.system.session(trace, nominal_batch, wrap=True,
+                                           partition=partition)
+        self._union_batch_cache: dict[tuple[float, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def prefill_cost(self, prompt_len: int,
+                     batch: int = 1) -> tuple[float, float]:
+        """(GPU compute, PCIe transfer) seconds to prefill one request.
+
+        The hot set stays GPU-resident between requests on a serving
+        machine, so this charges prompt compute plus the KV-cache push
+        only (``reload_hot=False``).
+        """
+        if prompt_len < 1:
+            raise ValueError("prompt_len must be >= 1")
+        return self.session.prefill_cost(prompt_len, batch,
+                                         reload_hot=False)
+
+    def prefill_seconds(self, prompt_len: int, batch: int = 1) -> float:
+        """Total latency of prefilling one joining request."""
+        if prompt_len < 1:
+            raise ValueError("prompt_len must be >= 1")
+        return self.session.prefill_seconds(prompt_len, batch,
+                                            reload_hot=False)
+
+    def decode_step(self, batch: int, context: int) -> StepCost:
+        """One continuous-batching decode iteration over ``batch`` seqs."""
+        return self.session.decode_step(batch=batch, context=context)
+
+    # ------------------------------------------------------------------
+    def mean_union(self, batch: int) -> float:
+        """Mean per-layer batch-union inflation at ``batch`` sequences."""
+        layers = self.model.num_layers
+        return float(np.mean([self.session.union_factor(l, batch)
+                              for l in range(layers)]))
+
+    def max_union_batch(self, union_cap: float, limit: int) -> int:
+        """Largest batch whose mean union factor stays under ``union_cap``.
+
+        The union factor is monotone in the batch size and depends only on
+        the immutable trace frequencies, so the answer is memoised per
+        (cap, limit); at least batch 1 is always admitted.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        key = (union_cap, limit)
+        if key not in self._union_batch_cache:
+            best = 1
+            for b in range(2, limit + 1):
+                if self.mean_union(b) > union_cap:
+                    break
+                best = b
+            self._union_batch_cache[key] = best
+        return self._union_batch_cache[key]

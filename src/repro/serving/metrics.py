@@ -1,0 +1,182 @@
+"""Serving metrics: per-request latency records and cluster-level reports.
+
+The serving simulator measures what an SLO owner measures:
+
+* **TTFT** — time to first token: arrival -> completion of the request's
+  first decode step (queue wait + prefill + first iteration);
+* **TBT** — time between tokens during steady decode;
+* **E2E** — arrival -> last token;
+* throughput (tokens/s and requests/s over the makespan), time-weighted
+  queue depth and batch size, and per-device (GPU / NDP-DIMM pool)
+  utilization integrated from the engine's :class:`~repro.core.StepCost`.
+
+Percentiles use linear interpolation (numpy's default convention), kept in
+a tiny local function so the arithmetic is hand-checkable in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .workload import Request
+
+
+def percentile(values: list[float], p: float) -> float:
+    """P-th percentile with linear interpolation between order statistics.
+
+    Matches ``numpy.percentile``'s default ("linear") method: rank
+    ``(n - 1) * p / 100`` interpolated between the two nearest sorted
+    samples.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must lie in [0, 100]")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def time_weighted_mean(samples: list[tuple[float, float]],
+                       horizon: float) -> float:
+    """Mean of a piecewise-constant signal ``[(time, value), ...]``.
+
+    Each value holds from its timestamp until the next sample (or
+    ``horizon``); the signal is 0 before the first sample.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    total = 0.0
+    for i, (t, v) in enumerate(samples):
+        t_end = samples[i + 1][0] if i + 1 < len(samples) else horizon
+        total += v * max(0.0, min(t_end, horizon) - t)
+    return total / horizon
+
+
+@dataclasses.dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one served request."""
+
+    request: Request
+    machine: int = -1
+    prefill_start: float | None = None
+    token_times: list[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return len(self.token_times) >= self.request.output_len
+
+    @property
+    def first_token_time(self) -> float:
+        return self.token_times[0]
+
+    @property
+    def finish_time(self) -> float:
+        return self.token_times[-1]
+
+    @property
+    def queue_wait(self) -> float:
+        """Arrival -> start of prefill (pure scheduling delay)."""
+        if self.prefill_start is None:
+            raise ValueError("request never started")
+        return self.prefill_start - self.request.arrival
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token_time - self.request.arrival
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.finish_time - self.request.arrival
+
+    @property
+    def tbts(self) -> list[float]:
+        """Inter-token gaps after the first token."""
+        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Aggregate outcome of one serving-simulation run."""
+
+    policy: str
+    num_machines: int
+    records: list[RequestRecord]
+    makespan: float
+    #: (time, queue depth) change points
+    queue_samples: list[tuple[float, float]]
+    #: (time, total in-flight batch) change points
+    batch_samples: list[tuple[float, float]]
+    gpu_busy: float = 0.0
+    dimm_busy: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> list[RequestRecord]:
+        return [r for r in self.records if r.finished]
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(len(r.token_times) for r in self.records)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completed) / self.makespan
+
+    # ------------------------------------------------------------------
+    def _values(self, attr: str) -> list[float]:
+        done = self.completed
+        if not done:
+            raise ValueError("no completed requests to aggregate")
+        return [getattr(r, attr) for r in done]
+
+    def ttft_percentile(self, p: float) -> float:
+        return percentile(self._values("ttft"), p)
+
+    def e2e_percentile(self, p: float) -> float:
+        return percentile(self._values("e2e_latency"), p)
+
+    def queue_wait_percentile(self, p: float) -> float:
+        return percentile(self._values("queue_wait"), p)
+
+    def tbt_percentile(self, p: float) -> float:
+        gaps = [g for r in self.completed for g in r.tbts]
+        if not gaps:
+            raise ValueError("no inter-token gaps recorded")
+        return percentile(gaps, p)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_queue_depth(self) -> float:
+        return time_weighted_mean(self.queue_samples, self.makespan)
+
+    @property
+    def max_queue_depth(self) -> float:
+        return max((v for _, v in self.queue_samples), default=0.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return time_weighted_mean(self.batch_samples, self.makespan)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """GPU busy fraction, averaged over machines and the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.gpu_busy / (self.makespan * self.num_machines)
+
+    @property
+    def dimm_utilization(self) -> float:
+        """NDP-DIMM pool busy fraction (critical-path DIMM time)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.dimm_busy / (self.makespan * self.num_machines)

@@ -1,0 +1,231 @@
+"""Request-level discrete-event serving simulator.
+
+Layers continuous batching over the per-token Hermes engine using the
+*existing* event calendar (:class:`repro.sim.Simulator` — no second event
+loop).  Each machine is one simulation process; it brackets engine work in
+Acquire/Release of a per-machine :class:`repro.sim.Resource` that marks the
+serialisation point for future intra-machine concurrency (e.g. chunked
+prefill as a separate process) — with the single process per machine today
+the resource is never contended.  The loop is the canonical
+iteration-level scheduler:
+
+1. ingest arrivals into the shared queue;
+2. admit queued requests in policy order while the effective batch cap
+   (``min(max_batch, policy.batch_limit)``) has room, charging each
+   admission's prefill on the machine;
+3. run one decode iteration for the whole resident batch (every request
+   gains one token; the engine sees the batch's mean context length);
+4. retire finished requests and repeat — or, when fully idle, sleep until
+   the next arrival.
+
+Prefill blocks decode on the same machine (no chunked prefill), which is
+what creates the classic TTFT-vs-TBT tension the policies trade off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core import HermesConfig
+from ..hardware import Machine
+from ..models import ModelSpec, get_model
+from ..sim import Acquire, Release, Resource, Simulator, Timeout
+from ..sparsity import ActivationTrace
+from .executor import MachineExecutor, default_serving_trace
+from .metrics import RequestRecord, ServingReport
+from .policies import BatchingPolicy, get_policy
+from .workload import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Cluster-level serving knobs."""
+
+    max_batch: int = 16
+    num_machines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+
+
+@dataclasses.dataclass
+class _Active:
+    """A request resident in some machine's running batch."""
+
+    request: Request
+    record: RequestRecord
+
+    @property
+    def next_context(self) -> int:
+        """KV length its next token attends over (prompt + generated + 1)."""
+        return self.request.prompt_len + len(self.record.token_times) + 1
+
+
+class _RunState:
+    """Mutable state shared by the machine processes of one run."""
+
+    def __init__(self, workload: list[Request]) -> None:
+        self.workload = sorted(workload, key=lambda r: (r.arrival, r.req_id))
+        ids = [r.req_id for r in self.workload]
+        if len(set(ids)) != len(ids):
+            raise ValueError("workload req_ids must be unique")
+        self.records = {r.req_id: RequestRecord(request=r)
+                        for r in self.workload}
+        self.next_arrival_idx = 0
+        self.queue: list[Request] = []
+        self.total_active = 0
+        self.queue_samples: list[tuple[float, float]] = []
+        self.batch_samples: list[tuple[float, float]] = []
+        self.gpu_busy = 0.0
+        self.dimm_busy = 0.0
+
+    def ingest(self, now: float) -> bool:
+        """Move every request with ``arrival <= now`` into the queue.
+
+        Returns whether anything arrived (admission order may change).
+        """
+        moved = False
+        while (self.next_arrival_idx < len(self.workload)
+               and self.workload[self.next_arrival_idx].arrival <= now):
+            self.queue.append(self.workload[self.next_arrival_idx])
+            self.next_arrival_idx += 1
+            moved = True
+        if moved:
+            self.queue_samples.append((now, float(len(self.queue))))
+        return moved
+
+    def next_arrival(self) -> float | None:
+        if self.next_arrival_idx >= len(self.workload):
+            return None
+        return self.workload[self.next_arrival_idx].arrival
+
+    def note_queue(self, now: float) -> None:
+        self.queue_samples.append((now, float(len(self.queue))))
+
+    def note_batch(self, now: float) -> None:
+        self.batch_samples.append((now, float(self.total_active)))
+
+
+class ServingSimulator:
+    """A cluster of Hermes machines behind one request queue."""
+
+    def __init__(self, model: ModelSpec | str,
+                 policy: BatchingPolicy | str = "fcfs",
+                 config: ServingConfig | None = None, *,
+                 machine: Machine | None = None,
+                 hermes_config: HermesConfig | None = None,
+                 trace: ActivationTrace | None = None,
+                 granularity: int = 64, seed: int = 7) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.policy = get_policy(policy)
+        self.config = config or ServingConfig()
+        machine = machine or Machine()
+        if trace is None:
+            trace = default_serving_trace(self.model,
+                                          granularity=granularity, seed=seed)
+        # Each machine gets its own executor (own online engine state) over
+        # the shared activation trace; the offline partition is solved once
+        # and reused — it is deterministic in (trace, batch, config), so the
+        # machines of a homogeneous cluster share it.
+        nominal_batch = max(2, self.config.max_batch // 2)
+        self.executors: list[MachineExecutor] = []
+        partition = None
+        for _ in range(self.config.num_machines):
+            executor = MachineExecutor(machine, self.model, hermes_config,
+                                       trace=trace,
+                                       nominal_batch=nominal_batch,
+                                       partition=partition)
+            partition = executor.session.partition
+            self.executors.append(executor)
+
+    # ------------------------------------------------------------------
+    def run(self, workload: list[Request]) -> ServingReport:
+        """Serve ``workload`` to completion; returns the metrics report."""
+        if not workload:
+            raise ValueError("workload must be non-empty")
+        sim = Simulator()
+        state = _RunState(workload)
+        for m, executor in enumerate(self.executors):
+            resource = Resource(f"machine-{m}")
+            sim.process(self._machine_proc(sim, state, m, executor,
+                                           resource),
+                        name=f"machine-{m}")
+        makespan = sim.run()
+        return ServingReport(
+            policy=self.policy.name,
+            num_machines=self.config.num_machines,
+            records=list(state.records.values()),
+            makespan=makespan,
+            queue_samples=state.queue_samples,
+            batch_samples=state.batch_samples,
+            gpu_busy=state.gpu_busy,
+            dimm_busy=state.dimm_busy,
+        )
+
+    # ------------------------------------------------------------------
+    def _machine_proc(self, sim: Simulator, state: _RunState, m: int,
+                      executor: MachineExecutor, resource: Resource):
+        """Generator process for one machine's scheduling loop."""
+        cfg = self.config
+        policy = self.policy
+        active: list[_Active] = []
+        while True:
+            state.ingest(sim.now)
+
+            # ---- admission: fill the batch in policy order ----
+            limit = min(cfg.max_batch,
+                        policy.batch_limit(executor, cfg.max_batch))
+            # re-rank each admission: the queue changes under us while this
+            # machine yields (new arrivals, and sibling machines admitting
+            # from the same shared queue)
+            while len(active) < limit and state.queue:
+                request = policy.order(state.queue)[0]
+                state.queue.remove(request)
+                state.note_queue(sim.now)
+                record = state.records[request.req_id]
+                record.machine = m
+                record.prefill_start = sim.now
+                yield Acquire(resource)
+                compute, transfer = executor.prefill_cost(request.prompt_len)
+                yield Timeout(compute + transfer)
+                yield Release(resource)
+                # only the compute part occupies the GPU; the KV push is
+                # PCIe time (kept out of utilization, like decode's syncs)
+                state.gpu_busy += compute
+                active.append(_Active(request, record))
+                state.total_active += 1
+                state.note_batch(sim.now)
+                # arrivals during this prefill are admissible right away
+                state.ingest(sim.now)
+
+            # ---- one continuous-batching decode iteration ----
+            if active:
+                batch = len(active)
+                context = max(1, round(sum(a.next_context for a in active)
+                                       / batch))
+                yield Acquire(resource)
+                cost = executor.decode_step(batch, context)
+                yield Timeout(cost.seconds)
+                yield Release(resource)
+                state.gpu_busy += cost.gpu_busy
+                state.dimm_busy += cost.dimm_busy
+                now = sim.now
+                for entry in active:
+                    entry.record.token_times.append(now)
+                finished = [a for a in active if a.record.finished]
+                if finished:
+                    active = [a for a in active if not a.record.finished]
+                    state.total_active -= len(finished)
+                    state.note_batch(now)
+                continue
+
+            # ---- idle: sleep until the next arrival, or exit ----
+            # (reaching here implies the queue is empty: with no resident
+            # batch the admission loop drains the queue first)
+            upcoming = state.next_arrival()
+            if upcoming is None:
+                break
+            yield Timeout(max(0.0, upcoming - sim.now))
