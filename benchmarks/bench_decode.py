@@ -1,0 +1,124 @@
+"""Decode-throughput and sweep-wall-time measurement bodies.
+
+Shared by ``tools/bench.py`` (which writes ``BENCH_decode.json`` and
+enforces the CI regression gate) and usable interactively::
+
+    PYTHONPATH=src python -c "
+    from benchmarks.bench_decode import bench_decode_steps
+    print(bench_decode_steps())"
+
+Measurements are wall-clock steps/sec of :meth:`HermesSession.decode_step`
+on the fixed ``tiny-test`` workload (the same trace the golden-equivalence
+test pins, so the number tracks exactly the code path whose outputs are
+locked), plus the end-to-end wall time of a representative experiment
+sweep.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+
+from repro.core import HermesSystem
+from repro.experiments import ALL_EXPERIMENTS, clear_trace_cache
+from repro.hardware import Machine
+from repro.models import get_model
+from repro.sparsity import TraceConfig, generate_trace
+
+#: the golden-equivalence workload (mirrors tests/conftest.py tiny_trace)
+BENCH_MODEL = "tiny-test"
+BENCH_TRACE = dict(prompt_len=32, decode_len=64, granularity=4)
+BENCH_SEED = 11
+
+
+def bench_calibration(*, min_seconds: float = 0.4) -> float:
+    """Machine-speed proxy: iterations/sec of a fixed numpy kernel mix.
+
+    The mix mirrors the decode fast path's op profile (small-matrix
+    boolean algebra, segmented bincount, elementwise rooflines) but never
+    touches engine code, so the ratio of two machines' calibration scores
+    estimates how their decode steps/sec relate *independently of engine
+    changes*.  ``tools/bench.py`` uses it to scale the committed baseline
+    before applying the regression tolerance on a different machine.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    masks = rng.random((4, 320)) < 0.3
+    bytes_ = rng.integers(1, 5000, 320).astype(np.int64)
+    keys = rng.integers(0, 64, (4, 320)).astype(np.int64)
+    iters = 0
+    start = time.perf_counter()
+    while True:
+        for _ in range(32):
+            m = masks & ~masks[::-1]
+            sums = m @ bytes_
+            w = m * bytes_
+            binned = np.bincount(keys.ravel(), weights=w.ravel(),
+                                 minlength=256).reshape(4, 64)
+            np.maximum(binned / 1e9, binned * 2.0 / 1e12).max(axis=1)
+            (sums * 1.5).clip(0, 1e12)
+        iters += 32
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return iters / elapsed
+
+
+def _bench_session(batch: int):
+    model = get_model(BENCH_MODEL)
+    trace = generate_trace(model, TraceConfig(**BENCH_TRACE),
+                           seed=BENCH_SEED)
+    session = HermesSystem(Machine(), model).session(trace, batch,
+                                                     wrap=True)
+    return session
+
+
+def bench_decode_steps(batch: int = 1, *, min_seconds: float = 1.5,
+                       warmup_steps: int = 128) -> dict:
+    """Measure decode steps/sec at one batch size.
+
+    Runs ``warmup_steps`` first (session caches fill, branch-predictor-ish
+    steady state), then times whole 64-step blocks until ``min_seconds``
+    of measured wall time accumulate.
+    """
+    session = _bench_session(batch)
+    for _ in range(warmup_steps):
+        session.decode_step()
+    steps = 0
+    start = time.perf_counter()
+    while True:
+        for _ in range(64):
+            session.decode_step()
+        steps += 64
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+    return {
+        "model": BENCH_MODEL,
+        "batch": batch,
+        "steps": steps,
+        "seconds": elapsed,
+        "steps_per_sec": steps / elapsed,
+    }
+
+
+def bench_sweep(experiment: str = "serving", *, quick: bool = True,
+                jobs: int = 1) -> dict:
+    """Wall time of one experiment sweep, trace caches cleared first."""
+    if experiment not in ALL_EXPERIMENTS:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    entry = ALL_EXPERIMENTS[experiment]
+    kwargs = {"quick": quick}
+    if "jobs" in inspect.signature(entry).parameters:
+        kwargs["jobs"] = jobs
+    clear_trace_cache()
+    start = time.perf_counter()
+    entry(**kwargs)
+    elapsed = time.perf_counter() - start
+    clear_trace_cache()
+    return {
+        "experiment": experiment,
+        "quick": quick,
+        "jobs": jobs,
+        "seconds": elapsed,
+    }

@@ -32,11 +32,12 @@ from ..sim import overlap_two_stage
 from ..sparsity import ActivationTrace, NeuronLayout
 from .mapper import NeuronMapper
 from .partition import OfflinePartition, PartitionCosts, solve_partition
-from .predictor import ActivationPredictor, PredictorConfig
+from .predictor import STATE_MAX, ActivationPredictor, PredictorConfig
 from .result import RunResult
 from .scheduling import WindowScheduler
 
 GIB = 2**30
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 @dataclasses.dataclass(frozen=True)
@@ -284,7 +285,40 @@ class HermesSession:
         self._run_bytes = float(self.layout.group_bytes.mean())
         self._attn_heads_per_dimm = -(-system.model.num_heads
                                       // machine.num_dimms)
-        self._union_cache: dict[tuple[int, int], float] = {}
+        # Batch-union factors, filled lazily one batch column at a time
+        # into a dense (num_layers, max_batch_seen) array.  Bounded by the
+        # largest batch ever requested — unlike a per-(layer, batch) dict,
+        # which grows without limit on long serving runs whose batch varies
+        # per step.
+        self._union_factors = np.ones((system.model.num_layers, 1))
+
+        # ---- decode fast-path invariants (hoisted out of decode_step) ----
+        layout = self.layout
+        #: (groups, 2) matrix whose column b holds the weight bytes of FC
+        #: block b (attn / mlp) and zero elsewhere — one matmul then sums
+        #: both blocks' GPU-side bytes for every layer at once
+        num_layers = system.model.num_layers
+        n_dimms = machine.num_dimms
+        self._gpu_block_matrix = np.zeros((layout.groups_per_layer, 2),
+                                          dtype=np.int64)
+        for b, block in enumerate((layout.attn_slice, layout.mlp_slice)):
+            self._gpu_block_matrix[block, b] = layout.group_bytes[block]
+        #: flat bin key offsets mapping (layer, block, dimm) to
+        #: l*n_dimms + is_mlp*num_layers*n_dimms + dimm for the one-shot
+        #: segmented bincount over the whole token
+        self._key_offsets = (np.arange(num_layers)[:, None] * n_dimms
+                             + layout.is_mlp * (num_layers * n_dimms))
+        self._fc_bins = 2 * num_layers * n_dimms
+        self._two_sync = 2 * machine.sync_latency
+        #: per-token KV traffic divisor: bytes = _kv_token_bytes * ctx * batch
+        self._kv_token_bytes = 2 * system.model.kv_dim * 2
+        #: scattered-cold-neuron stream bandwidth (invariant per session)
+        self._gemv_bandwidth = machine.dimm.effective_stream_bandwidth(
+            self._run_bytes)
+        #: constant per-layer costs, memoised per effective batch size
+        self._proj_time_cache: dict[int, float] = {}
+        self._merge_time_cache: dict[int, float] = {}
+        self._pred_overhead = self.predictor.predictor_overhead_seconds(0)
 
         self.steps_done = 0
         self.decode_time = 0.0
@@ -296,11 +330,22 @@ class HermesSession:
     # ------------------------------------------------------------------
     def union_factor(self, layer: int, batch: int) -> float:
         """Batch-union inflation for one layer, cached per batch size."""
-        key = (layer, batch)
-        if key not in self._union_cache:
-            self._union_cache[key] = batch_union_factor(
-                self.freqs[layer], batch)
-        return self._union_cache[key]
+        return float(self._union_column(batch)[layer])
+
+    def _union_column(self, batch: int) -> np.ndarray:
+        """Per-layer union factors at ``batch``, from the lazy 2-D cache."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        have = self._union_factors.shape[1]
+        if batch > have:
+            num_layers = self._union_factors.shape[0]
+            grown = np.empty((num_layers, batch))
+            grown[:, :have] = self._union_factors
+            for b in range(have + 1, batch + 1):
+                for l in range(num_layers):
+                    grown[l, b - 1] = batch_union_factor(self.freqs[l], b)
+            self._union_factors = grown
+        return self._union_factors[:, batch - 1]
 
     def prefill_cost(self, prompt_len: int | None = None,
                      batch: int | None = None, *,
@@ -383,100 +428,166 @@ class HermesSession:
         mapper = self.mapper
         partition = self.partition
 
+        # session-invariant pieces of the per-layer work, hoisted
+        group_bytes = layout.group_bytes
+        two_sync = self._two_sync
+        pcie_bandwidth = machine.pcie.effective_bandwidth
+        union_col = self._union_column(batch)
+        online = cfg.online_adjustment and not cfg.oracle
+        num_layers = model.num_layers
+
+        # constant per-layer costs for this effective batch size
+        t_proj = self._proj_time_cache.get(batch)
+        if t_proj is None:
+            t_proj = gpu.matmul_time(model.dense_bytes_per_layer, batch)
+            self._proj_time_cache[batch] = t_proj
+        t_merge = self._merge_time_cache.get(batch)
+        if t_merge is None:
+            t_merge = dimm.core.merge_time(model.hidden_size, batch)
+            self._merge_time_cache[batch] = t_merge
+        t_pred = self._pred_overhead
+        kv_bytes = self._kv_token_bytes * context * batch
+        # identical for every layer of the step (context is step-wide)
+        t_attn = dimm.attention_time(
+            kv_bytes / n_dimms, context, self._attn_heads_per_dimm, batch)
+
+        # ---- vectorized control plane: all layers of the token at once --
+        # Layer l's prediction depends only on pre-token predictor state
+        # and the *ground-truth* activations of layer l-1 (known from the
+        # trace), and the per-layer residency/dimm maps are only mutated
+        # *after* the layer's FC work — so the whole token's masks and
+        # byte loads fold into a few matrix ops with bit-identical
+        # results.  Shapes: (num_layers, groups) and (num_layers, dimms).
+        actuals = trace.active_matrix(t)
+        if cfg.oracle:
+            predicted_all = actuals.copy()
+        else:
+            predicted_all = predictor.predict_all(actuals)
+        resident_all = mapper.resident_matrix
+        dimm_of_all = partition.dimm_of_matrix
+        on_gpu_all = predicted_all & resident_all
+        on_dimm_all = ((predicted_all & ~resident_all)
+                       | (actuals & ~predicted_all))
+        resident_caps = resident_all @ group_bytes
+
+        # ---- sparse FC blocks: QKV then MLP ----
+        # The GPU computes the predicted resident groups; the DIMMs
+        # compute the predicted cold groups plus every *mispredicted
+        # but activated* group — false negatives are discovered
+        # mid-layer and must run where the weights live, so a
+        # low-recall predictor pays for its misses in NDP time.
+        # Both blocks of every layer are costed in one shot: a single
+        # (groups, 2) matmul for the GPU-side bytes and a single flat
+        # segmented bincount keyed by (block, layer, dimm) for the
+        # NDP-side loads (zero-weight entries leave the exact per-bin
+        # sums unchanged).
+        gpu_sums = on_gpu_all @ self._gpu_block_matrix
+        gpu_bytes = np.minimum(gpu_sums * union_col[:, None],
+                               resident_caps[:, None])
+        weights = on_dimm_all * group_bytes
+        keys = dimm_of_all + self._key_offsets
+        union_twice = np.concatenate((union_col, union_col))[:, None]
+        dimm_bytes = np.bincount(
+            keys.ravel(), weights=weights.ravel(),
+            minlength=self._fc_bins,
+        ).reshape(2 * num_layers, n_dimms) * union_twice
+        t_gpu = gpu.matmul_time_batch(gpu_bytes, batch, scattered=True)
+        t_dimm = dimm.core.gemv_time_batch(
+            dimm_bytes, self._gemv_bandwidth, batch).max(axis=1)
+        tg_q, tg_m = t_gpu[:, 0], t_gpu[:, 1]
+        td_q, td_m = t_dimm[:num_layers], t_dimm[num_layers:]
+        fc_times = (np.maximum(tg_q + two_sync, td_q)
+                    + np.maximum(tg_m + two_sync, td_m)).tolist()
+        tg_qkv, tg_mlp = tg_q.tolist(), tg_m.tolist()
+        td_qkv, td_mlp = td_q.tolist(), td_m.tolist()
+
+        # per-layer ingredients of the online adjustment, in matrix form:
+        # each layer's adjust only reads its own pre-token row, so the
+        # candidate test and the coldest-resident state fold into two
+        # reductions for the whole token
+        if online:
+            state_matrix = predictor.state_matrix
+            wanted_matrix = ((state_matrix > cfg.hot_threshold)
+                             & ~resident_all)
+            adjust_rows = wanted_matrix.any(axis=1).tolist()
+            coldest = np.where(resident_all, state_matrix,
+                               STATE_MAX + 1).min(axis=1).tolist()
+            hottest_wanted = np.where(wanted_matrix, state_matrix,
+                                      -1).max(axis=1).tolist()
+            min_wanted_bytes = np.where(
+                wanted_matrix, group_bytes, _INT64_MAX).min(axis=1).tolist()
+
         token_time = 0.0
         gpu_busy = 0.0
         dimm_busy = 0.0
         proj_window_pcie = 0.0  # PCIe-seconds available for swaps
-        prev_actual: np.ndarray | None = None
-        for l in range(model.num_layers):
-            actual = trace.active(l, t)
-            if cfg.oracle:
-                predicted = actual.copy()
-            else:
-                predicted = predictor.predict(l, prev_actual)
-            resident = mapper.resident[l]
-            dimm_of = partition.dimm_of[l]
-            union_l = self.union_factor(l, batch)
-
-            # ---- sparse FC blocks: QKV then MLP ----
-            # The GPU computes the predicted resident groups; the DIMMs
-            # compute the predicted cold groups plus every *mispredicted
-            # but activated* group — false negatives are discovered
-            # mid-layer and must run where the weights live, so a
-            # low-recall predictor pays for its misses in NDP time.
-            fc_time = 0.0
-            for block in (layout.attn_slice, layout.mlp_slice):
-                pred_b = np.zeros_like(predicted)
-                pred_b[block] = predicted[block]
-                actual_b = np.zeros_like(actual)
-                actual_b[block] = actual[block]
-                on_gpu = pred_b & resident
-                on_dimm = (pred_b & ~resident) | (actual_b & ~pred_b)
-                gpu_bytes = layout.group_bytes[on_gpu].sum() * union_l
-                gpu_bytes = min(gpu_bytes,
-                                float(layout.group_bytes[resident].sum()))
-                dimm_bytes = np.bincount(
-                    dimm_of[on_dimm],
-                    weights=layout.group_bytes[on_dimm],
-                    minlength=n_dimms) * union_l
-                t_gpu = gpu.matmul_time(gpu_bytes, batch,
-                                        scattered=True)
-                t_dimm = max(
-                    (dimm.gemv_time(float(b), batch,
-                                    run_bytes=self._run_bytes)
-                     for b in dimm_bytes), default=0.0)
-                fc_time += max(t_gpu + 2 * machine.sync_latency, t_dimm)
-                gpu_busy += t_gpu
-                dimm_busy += t_dimm
-            result.add("fc", fc_time)
+        states = predictor.states
+        # breakdown categories accumulate per layer, in the unvectorized
+        # engine's order; direct dict writes skip result.add's per-call
+        # validation (keys are literals, values engine-computed)
+        breakdown = result.breakdown
+        bd_fc = breakdown.get("fc", 0.0)
+        bd_attn = breakdown.get("attention", 0.0)
+        bd_proj = breakdown.get("projection", 0.0)
+        bd_others = breakdown.get("others", 0.0)
+        bd_pred = breakdown.get("predictor", 0.0)
+        for l in range(num_layers):
+            fc_time = fc_times[l]
+            bd_fc += fc_time
+            # accumulated term-by-term in the unvectorized engine's order
+            gpu_busy += tg_qkv[l]
+            gpu_busy += tg_mlp[l]
+            dimm_busy += td_qkv[l]
+            dimm_busy += td_mlp[l]
 
             # ---- attention on the NDP-DIMMs over the KV shard ----
-            kv_bytes = 2 * model.kv_dim * 2 * context * batch
-            t_attn = dimm.attention_time(
-                kv_bytes / n_dimms, context, self._attn_heads_per_dimm,
-                batch)
-            result.add("attention", t_attn)
+            bd_attn += t_attn
             dimm_busy += t_attn
 
             # ---- dense projection on the GPU; DIMMs idle ----
-            t_proj = gpu.matmul_time(model.dense_bytes_per_layer, batch)
-            result.add("projection", t_proj)
+            bd_proj += t_proj
             proj_window_pcie += t_proj
             gpu_busy += t_proj
 
             # ---- merge + predictor bookkeeping ----
-            t_merge = dimm.core.merge_time(model.hidden_size, batch)
-            t_pred = predictor.predictor_overhead_seconds(l)
-            result.add("others", t_merge)
-            result.add("predictor", t_pred)
+            bd_others += t_merge
+            bd_pred += t_pred
             dimm_busy += t_merge
 
             token_time += fc_time + t_attn + t_proj + t_merge + t_pred
 
             # ---- online hot/cold adjustment in the proj window ----
-            if cfg.online_adjustment and not cfg.oracle:
-                budget = int(proj_window_pcie
-                             * machine.pcie.effective_bandwidth)
+            if online and adjust_rows[l]:
+                budget = int(proj_window_pcie * pcie_bandwidth)
                 adjust = mapper.adjust(
-                    l, predictor.states[l],
-                    hot_threshold=cfg.hot_threshold, max_bytes=budget)
-                used = (adjust.bytes_in
-                        / machine.pcie.effective_bandwidth)
+                    l, states[l],
+                    hot_threshold=cfg.hot_threshold, max_bytes=budget,
+                    coldest_state=coldest[l],
+                    wanted_row=wanted_matrix[l],
+                    hottest_wanted=hottest_wanted[l],
+                    min_wanted_bytes=min_wanted_bytes[l])
+                used = adjust.bytes_in / pcie_bandwidth
                 proj_window_pcie = max(0.0, proj_window_pcie - used)
                 self._swap_bytes_total += adjust.bytes_in
 
-            predictor.observe(l, actual, predicted)
-            prev_actual = actual
+        breakdown["fc"] = bd_fc
+        breakdown["attention"] = bd_attn
+        breakdown["projection"] = bd_proj
+        breakdown["others"] = bd_others
+        breakdown["predictor"] = bd_pred
+
+        # state-table updates and accuracy counters, batched at token end:
+        # adjustment above reads pre-token states only, so folding every
+        # layer's observe into one matrix update is outcome-identical
+        predictor.observe_all(actuals, predicted_all)
 
         # ---- window-based cold remapping over the DIMM-links ----
         scheduler = self.scheduler
-        scheduler.observe_token([trace.active(l, t)
-                                 for l in range(model.num_layers)])
+        scheduler.observe_token(actuals)
         if cfg.window_scheduling and scheduler.window_full:
             remap = scheduler.rebalance_all(
-                partition.dimm_of,
-                exclude=[mapper.resident[l]
-                         for l in range(model.num_layers)])
+                partition.dimm_of_matrix,
+                exclude=mapper.resident_matrix)
             link_time = dimm.migration_time(remap.max_link_bytes)
             # migrations overlap the token's projection windows
             overflow = max(0.0, link_time - proj_window_pcie)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..sparsity import NeuronLayout
 from .partition import OfflinePartition
+from .predictor import STATE_MAX
 
 
 @dataclasses.dataclass
@@ -41,11 +42,20 @@ class NeuronMapper:
             raise ValueError("gpu_budget_bytes must be non-negative")
         self.layout = layout
         self.gpu_budget_bytes = gpu_budget_bytes
-        self.resident: list[np.ndarray] = [
-            np.zeros(layout.groups_per_layer, dtype=bool)
-            for _ in range(layout.model.num_layers)
-        ]
+        #: dense (num_layers, groups) residency matrix; ``resident`` keeps
+        #: the historical per-layer API as row views into it, so in-place
+        #: swaps update both and the decode fast path can consume the
+        #: whole matrix without re-stacking per token
+        self.resident_matrix = np.zeros(
+            (layout.model.num_layers, layout.groups_per_layer), dtype=bool)
+        self.resident: list[np.ndarray] = list(self.resident_matrix)
         self.resident_bytes = 0
+        #: plain-int mirrors for the adjustment inner loop (indexing a
+        #: Python list beats per-element ndarray item extraction)
+        self._group_bytes_list: list[int] = layout.group_bytes.tolist()
+        #: per-layer resident bytes, maintained incrementally by
+        #: :meth:`initialize`/:meth:`adjust` so the hot path never re-sums
+        self._layer_used: list[int] = [0] * layout.model.num_layers
         # Per-layer residency ceiling, fixed by the offline partition:
         # online adjustment is membership churn (paired swap-in/swap-out,
         # Fig. 8a), not growth — growing the GPU side past the partition's
@@ -61,9 +71,10 @@ class NeuronMapper:
         total = 0
         slack = max(1, int(self.layout.group_bytes.max()))
         for l, mask in enumerate(partition.hot_masks):
-            self.resident[l] = mask.copy()
+            self.resident[l][:] = mask
             layer_bytes = int(self.layout.group_bytes[mask].sum())
             total += layer_bytes
+            self._layer_used[l] = layer_bytes
             self.layer_budget[l] = layer_bytes + slack
         if total > self.gpu_budget_bytes:
             raise ValueError("offline partition exceeds the GPU budget")
@@ -72,45 +83,103 @@ class NeuronMapper:
     # ------------------------------------------------------------------
     def adjust(self, layer: int, states: np.ndarray, *,
                hot_threshold: int = 10,
-               max_bytes: int | None = None) -> AdjustmentResult:
+               max_bytes: int | None = None,
+               coldest_state: int | None = None,
+               wanted_row: np.ndarray | None = None,
+               hottest_wanted: int | None = None,
+               min_wanted_bytes: int | None = None) -> AdjustmentResult:
         """Swap newly-hot groups in and cold residents out for one layer.
 
         ``states`` is the predictor's state table for the layer.  At most
         ``max_bytes`` may be transferred (the projection-window budget);
         remaining candidates wait for the next opportunity, exactly like
         the deferred copies of the paper's instruction queue.
+
+        The keyword hints let a caller that already computed them (the
+        engine does, for all layers at once, in a few matrix ops per
+        token) skip the per-layer reductions: ``coldest_state`` is
+        ``states[resident].min()`` (anything above the maximum state when
+        nothing is resident), ``wanted_row`` the ``(states >
+        hot_threshold) & ~resident`` mask, ``hottest_wanted`` /
+        ``min_wanted_bytes`` the max state and min byte size over that
+        mask.
         """
-        layout = self.layout
         resident = self.resident[layer]
         if states.shape != resident.shape:
             raise ValueError("states mask has wrong shape")
         result = AdjustmentResult()
         budget = max_bytes if max_bytes is not None else np.inf
 
-        hot = states > hot_threshold
-        wanted = np.flatnonzero(hot & ~resident)
-        if wanted.size == 0:
+        if wanted_row is None:
+            wanted_row = (states > hot_threshold) & ~resident
+            if not wanted_row.any():
+                return result
+        if budget <= 0:
+            # every group weighs at least one neuron's bytes, so a
+            # non-positive budget admits nothing (the unguarded loop would
+            # break on its first candidate with an empty result anyway)
             return result
+
+        # Fast paths for the dominant steady-state outcomes — the same
+        # stuck candidates re-present every token.  Both conditions force
+        # the greedy loop to exit on its first probe with nothing moved,
+        # independent of how argsort breaks state ties: if even the
+        # smallest candidate exceeds the transfer budget, the first
+        # (whichever it is) breaks immediately; and if no resident group
+        # is colder than the hottest candidate, the eviction guard
+        # refuses the very first victim for every candidate, so only
+        # eviction-free admission could act — impossible when the
+        # headroom cannot fit the smallest candidate either.
+        group_bytes = self._group_bytes_list
+        layer_used = self._layer_used[layer]
+        if coldest_state is None or hottest_wanted is None \
+                or min_wanted_bytes is None:
+            wanted_idx = np.flatnonzero(wanted_row)
+            if wanted_idx.size == 0:
+                return result
+            if coldest_state is None:
+                coldest_state = (int(states[resident].min())
+                                 if resident.any() else STATE_MAX + 1)
+            if hottest_wanted is None:
+                hottest_wanted = int(states[wanted_idx].max())
+            if min_wanted_bytes is None:
+                min_wanted_bytes = int(
+                    self.layout.group_bytes[wanted_idx].min())
+        if min_wanted_bytes > budget:
+            return result
+        free0 = min(self.gpu_budget_bytes - self.resident_bytes,
+                    self.layer_budget[layer] - layer_used)
+        if coldest_state >= hottest_wanted and free0 < min_wanted_bytes:
+            return result
+
         # hottest candidates first
+        wanted = np.flatnonzero(wanted_row)
         wanted = wanted[np.argsort(states[wanted])[::-1]]
-        # eviction candidates: coldest residents first
-        evictable = np.flatnonzero(resident)
-        evictable = evictable[np.argsort(states[evictable])]
-        layer_used = int(layout.group_bytes[resident].sum())
+
+        # eviction candidates: coldest residents first.  The candidate set
+        # is the residency at entry (groups admitted *during* this call are
+        # never eviction victims), but the sort is done lazily because most
+        # adjustments that get this far have headroom and never evict.
+        entry_resident = resident.copy()
+        evictable: np.ndarray | None = None
         evict_pos = 0
         for idx in wanted:
-            b = int(layout.group_bytes[idx])
+            b = group_bytes[idx]
             if b > budget:
                 break
             free = min(self.gpu_budget_bytes - self.resident_bytes,
                        self.layer_budget[layer] - layer_used)
+            if free < b and evictable is None:
+                evictable = np.flatnonzero(entry_resident)
+                evictable = evictable[np.argsort(states[evictable])]
             # evict until the newcomer fits; never evict hotter than it
-            while free < b and evict_pos < evictable.size:
+            while (free < b and evictable is not None
+                   and evict_pos < evictable.size):
                 victim = evictable[evict_pos]
                 if states[victim] >= states[idx]:
                     break
                 resident[victim] = False
-                freed = int(layout.group_bytes[victim])
+                freed = group_bytes[victim]
                 self.resident_bytes -= freed
                 layer_used -= freed
                 free += freed
@@ -124,6 +193,7 @@ class NeuronMapper:
             budget -= b
             result.swapped_in += 1
             result.bytes_in += b
+        self._layer_used[layer] = layer_used
         return result
 
     # ------------------------------------------------------------------

@@ -70,6 +70,15 @@ class OfflinePartition:
     hot_masks: list[np.ndarray]
     dimm_of: list[np.ndarray]
     strategy: str
+    #: dense (num_layers, groups) view of ``dimm_of`` — the decode fast
+    #: path consumes the whole mapping per token, so the rows of
+    #: ``dimm_of`` are kept as views into this matrix (in-place row
+    #: mutations by the window scheduler stay visible both ways)
+    dimm_of_matrix: np.ndarray = dataclasses.field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.dimm_of_matrix = np.stack(self.dimm_of)
+        self.dimm_of[:] = list(self.dimm_of_matrix)
 
     def gpu_bytes(self, layout: NeuronLayout) -> int:
         return sum(int(layout.group_bytes[m].sum()) for m in self.hot_masks)

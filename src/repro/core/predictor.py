@@ -130,13 +130,15 @@ class PredictionStats:
     false_negative: int = 0
 
     def update(self, predicted: np.ndarray, actual: np.ndarray) -> None:
-        self.true_positive += int(np.logical_and(predicted, actual).sum())
-        self.false_positive += int(
-            np.logical_and(predicted, ~actual).sum())
-        self.true_negative += int(
-            np.logical_and(~predicted, ~actual).sum())
-        self.false_negative += int(
-            np.logical_and(~predicted, actual).sum())
+        # Three count_nonzero passes instead of four logical_and+sum
+        # temporaries; the derived counts are the same integers.
+        tp = int(np.count_nonzero(predicted & actual))
+        n_pred = int(np.count_nonzero(predicted))
+        n_act = int(np.count_nonzero(actual))
+        self.true_positive += tp
+        self.false_positive += n_pred - tp
+        self.false_negative += n_act - tp
+        self.true_negative += predicted.size - n_pred - n_act + tp
 
     @property
     def total(self) -> int:
@@ -172,11 +174,18 @@ class ActivationPredictor:
         self.layout = layout
         self.config = config or PredictorConfig()
         self.num_layers = layout.model.num_layers
-        self.states = [
-            np.zeros(layout.groups_per_layer, dtype=np.int8)
-            for _ in range(self.num_layers)
-        ]
+        # int16 working dtype: the 4-bit counters fit comfortably, and the
+        # decode hot path can update them without the int8 -> int16 -> int8
+        # round-trip a saturating update would otherwise need.  The modelled
+        # hardware footprint stays 4 bits (:meth:`state_table_bytes`).
+        # ``states`` keeps the historical per-layer API as row views into
+        # the dense matrix the vectorized paths consume.
+        self.state_matrix = np.zeros(
+            (self.num_layers, layout.groups_per_layer), dtype=np.int16)
+        self.states = list(self.state_matrix)
         self.correlation: CorrelationTable | None = None
+        self._parents_stack: tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   bool] | None = None
         self.stats = PredictionStats()
 
     # ------------------------------------------------------------------
@@ -192,8 +201,9 @@ class ActivationPredictor:
         """
         for l in range(self.num_layers):
             freq = trace.prefill_frequencies(l)
-            self.states[l] = np.minimum(
-                (freq * (STATE_MAX + 1)).astype(np.int8), STATE_MAX)
+            self.states[l][:] = np.minimum(
+                (freq * (STATE_MAX + 1)).astype(np.int16), STATE_MAX)
+        self._parents_stack = None
         if self.config.use_layer_prediction:
             if correlation == "profiled":
                 self.correlation = CorrelationTable.from_profiling(trace)
@@ -233,6 +243,55 @@ class ActivationPredictor:
         # permanently-active neuron with silent parents.
         return score >= cfg.threshold
 
+    def _stacked_parents(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        bool]:
+        """(layer indices, gather rows, stacked top-2 parent table,
+        indices-are-contiguous flag) for the vectorized layer-wise term;
+        layers without a table are absent from the stack."""
+        if self._parents_stack is None:
+            parents = (self.correlation.parents
+                       if self.correlation is not None else [])
+            layers = [l for l in range(1, self.num_layers)
+                      if l < len(parents) and parents[l] is not None]
+            idx = np.asarray(layers, dtype=np.intp)
+            stack = (np.stack([parents[l] for l in layers]) if layers
+                     else np.zeros((0, self.layout.groups_per_layer, 2),
+                                   dtype=np.intp))
+            rows = np.arange(idx.size)[:, None, None]
+            contiguous = bool(idx.size == self.num_layers - 1
+                              and (idx == np.arange(1, self.num_layers)).all())
+            self._parents_stack = (idx, rows, stack, contiguous)
+        return self._parents_stack
+
+    def predict_all(self, actuals: np.ndarray) -> np.ndarray:
+        """Predicted masks for every layer of one token, vectorized.
+
+        ``actuals`` is the token's (num_layers, groups) ground-truth
+        activation matrix; row ``l-1`` supplies the realised previous-layer
+        activations feeding layer ``l``'s layer-wise term (layers execute
+        sequentially, so those are known by the time layer ``l`` runs).
+        Row ``l`` equals ``predict(l, actuals[l-1])`` bit-for-bit — one
+        call replaces the per-layer loop on the decode fast path.
+        """
+        if actuals.shape != self.state_matrix.shape:
+            raise ValueError("actuals matrix has wrong shape")
+        cfg = self.config
+        s2 = np.zeros(self.state_matrix.shape)
+        if cfg.use_layer_prediction and self.correlation is not None:
+            idx, rows, parents, contiguous = self._stacked_parents()
+            if idx.size:
+                # every layer past the first has a table in the common
+                # case, so the previous-layer rows are just a slice
+                prev = actuals[:-1] if contiguous else actuals[idx - 1]
+                s2[idx] = prev[rows, parents].sum(axis=2)
+        if not cfg.use_token_prediction:
+            # layer-only mode: both sampled parents must fire (see predict)
+            return s2 >= 2.0
+        score = s2
+        score *= cfg.lam
+        score += self.state_matrix
+        return score >= cfg.threshold
+
     def observe(self, layer: int, actual: np.ndarray,
                 predicted: np.ndarray | None = None) -> None:
         """Finite-state-machine update after the layer's true activations
@@ -241,10 +300,31 @@ class ActivationPredictor:
             raise ValueError("actual mask has wrong shape")
         if predicted is not None:
             self.stats.update(predicted, actual)
-        state = self.states[layer].astype(np.int16)
-        state = np.where(actual, state + self.config.s_up,
-                         state - self.config.s_down)
-        self.states[layer] = np.clip(state, 0, STATE_MAX).astype(np.int8)
+        state = np.where(actual, self.states[layer] + self.config.s_up,
+                         self.states[layer] - self.config.s_down)
+        np.clip(state, 0, STATE_MAX, out=self.states[layer])
+
+    def observe_all(self, actuals: np.ndarray,
+                    predicted: np.ndarray | None = None) -> None:
+        """Token-level :meth:`observe`: fold one token's outcome for every
+        layer into the state table and accuracy counters at once.
+
+        Equivalent to calling ``observe(l, actuals[l], predicted[l])`` for
+        each layer — the state update is elementwise and the counters are
+        order-free sums — but costs a handful of matrix ops per token.
+        Valid whenever no reader consumes layer ``l``'s post-token state
+        between the layer loop and the end of the token, which holds for
+        the engine: online adjustment reads pre-token states only.
+        """
+        if actuals.shape != self.state_matrix.shape:
+            raise ValueError("actuals matrix has wrong shape")
+        if predicted is not None:
+            self.stats.update(predicted, actuals)
+        matrix = self.state_matrix
+        # in-place delta + clip; identical integers to the scalar update
+        matrix += np.where(actuals, np.int16(self.config.s_up),
+                           np.int16(-self.config.s_down))
+        matrix.clip(0, STATE_MAX, out=matrix)
 
     # ------------------------------------------------------------------
     def hot_mask(self, layer: int) -> np.ndarray:

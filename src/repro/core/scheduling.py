@@ -62,19 +62,31 @@ class WindowScheduler:
         self.layout = layout
         self.num_dimms = num_dimms
         self.window = window
-        self._activity = [
-            np.zeros(layout.groups_per_layer, dtype=np.int64)
-            for _ in range(layout.model.num_layers)
-        ]
+        #: dense (num_layers, groups) activity accumulator; ``_activity``
+        #: keeps the per-layer API as row views into it
+        self._activity_matrix = np.zeros(
+            (layout.model.num_layers, layout.groups_per_layer),
+            dtype=np.int64)
+        self._activity = list(self._activity_matrix)
         self._tokens_seen = 0
 
     # ------------------------------------------------------------------
-    def observe_token(self, layer_activations: list[np.ndarray]) -> None:
-        """Accumulate one token's activated groups into the window."""
-        if len(layer_activations) != len(self._activity):
-            raise ValueError("one activation mask per layer required")
-        for acc, mask in zip(self._activity, layer_activations):
-            acc += mask
+    def observe_token(self, layer_activations) -> None:
+        """Accumulate one token's activated groups into the window.
+
+        Accepts either the historical list of per-layer masks or a dense
+        (num_layers, groups) matrix (the decode fast path hands the
+        trace's token matrix straight through).
+        """
+        if isinstance(layer_activations, np.ndarray):
+            if layer_activations.shape != self._activity_matrix.shape:
+                raise ValueError("one activation mask per layer required")
+            self._activity_matrix += layer_activations
+        else:
+            if len(layer_activations) != len(self._activity):
+                raise ValueError("one activation mask per layer required")
+            for acc, mask in zip(self._activity, layer_activations):
+                acc += mask
         self._tokens_seen += 1
 
     @property
@@ -82,8 +94,7 @@ class WindowScheduler:
         return self._tokens_seen >= self.window
 
     def reset_window(self) -> None:
-        for acc in self._activity:
-            acc[:] = 0
+        self._activity_matrix[:] = 0
         self._tokens_seen = 0
 
     # ------------------------------------------------------------------
@@ -95,24 +106,36 @@ class WindowScheduler:
         activity = self._activity[layer].astype(np.float64)
         if exclude is not None:
             activity = np.where(exclude, 0.0, activity)
-        loads = np.zeros(self.num_dimms)
-        np.add.at(loads, dimm_of, activity)
-        return loads
+        # bincount over integer-valued float64 weights is exact, and far
+        # cheaper than the np.add.at scatter it replaces
+        return np.bincount(dimm_of, weights=activity,
+                           minlength=self.num_dimms)
 
     def rebalance_layer(self, layer: int, dimm_of: np.ndarray, *,
                         exclude: np.ndarray | None = None) -> RemapResult:
         """Algorithm 1 for one layer; mutates ``dimm_of`` in place."""
-        result = RemapResult()
         if self.num_dimms == 1:
-            return result
+            return RemapResult()
         activity = self._activity[layer].astype(np.float64)
         if exclude is not None:
             activity = np.where(exclude, 0.0, activity)
-        loads = self.dimm_loads(layer, dimm_of, exclude=exclude)
+        loads = np.bincount(dimm_of, weights=activity,
+                            minlength=self.num_dimms)
+        return self._rebalance_pairs(layer, dimm_of, activity, loads)
+
+    def _rebalance_pairs(self, layer: int, dimm_of: np.ndarray,
+                         activity: np.ndarray,
+                         loads: np.ndarray) -> RemapResult:
+        """Pair heaviest/lightest DIMMs and drain each pair (lines 2-6)."""
+        result = RemapResult()
         order = np.argsort(loads)[::-1]  # heaviest first (line 2)
         for pos in range(self.num_dimms // 2):
             heavy = int(order[pos])
             light = int(order[self.num_dimms - 1 - pos])
+            if loads[heavy] <= loads[light]:
+                # already balanced: any positive move would overshoot, so
+                # the drain loop could only break on its first candidate
+                continue
             moved = self._drain_pair(layer, dimm_of, activity, loads,
                                      heavy, light)
             result.merge(moved)
@@ -146,13 +169,37 @@ class WindowScheduler:
         return result
 
     # ------------------------------------------------------------------
-    def rebalance_all(self, dimm_of: list[np.ndarray], *,
-                      exclude: list[np.ndarray] | None = None
-                      ) -> RemapResult:
-        """Rebalance every layer and reset the window."""
+    def rebalance_all(self, dimm_of, *, exclude=None) -> RemapResult:
+        """Rebalance every layer and reset the window.
+
+        ``dimm_of`` and ``exclude`` may be per-layer lists or dense
+        (num_layers, groups) matrices; the matrix form computes every
+        layer's masked activity and per-DIMM loads in a few vectorized
+        ops (one flat segmented bincount) before running the per-pair
+        drains, with identical results.
+        """
         total = RemapResult()
-        for l in range(len(dimm_of)):
-            mask = exclude[l] if exclude is not None else None
-            total.merge(self.rebalance_layer(l, dimm_of[l], exclude=mask))
+        if isinstance(dimm_of, np.ndarray) and dimm_of.ndim == 2 \
+                and self.num_dimms > 1:
+            num_layers = dimm_of.shape[0]
+            activity = self._activity_matrix.astype(np.float64)
+            if exclude is not None:
+                ex = (exclude if isinstance(exclude, np.ndarray)
+                      else np.stack(list(exclude)))
+                activity = np.where(ex, 0.0, activity)
+            keys = dimm_of + (np.arange(num_layers)[:, None]
+                              * self.num_dimms)
+            loads = np.bincount(
+                keys.ravel(), weights=activity.ravel(),
+                minlength=num_layers * self.num_dimms,
+            ).reshape(num_layers, self.num_dimms)
+            for l in range(num_layers):
+                total.merge(self._rebalance_pairs(
+                    l, dimm_of[l], activity[l], loads[l]))
+        else:
+            rows = list(dimm_of)
+            for l in range(len(rows)):
+                mask = exclude[l] if exclude is not None else None
+                total.merge(self.rebalance_layer(l, rows[l], exclude=mask))
         self.reset_window()
         return total

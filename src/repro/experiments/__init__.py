@@ -25,10 +25,12 @@ from . import (
 )
 from .common import (
     ExperimentResult,
+    clear_trace_cache,
     default_machine,
     geometric_mean,
     trace_for,
 )
+from .runner import default_jobs, run_grid
 
 ALL_EXPERIMENTS = {
     "fig04": fig04_patterns.run,
@@ -52,7 +54,10 @@ ALL_EXPERIMENTS = {
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "clear_trace_cache",
+    "default_jobs",
     "default_machine",
-    "trace_for",
     "geometric_mean",
+    "run_grid",
+    "trace_for",
 ]

@@ -6,6 +6,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -24,7 +25,12 @@ def main(argv: list[str] | None = None) -> int:
                              " or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="short decode window for a fast pass")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep experiments "
+                             "(default: REPRO_JOBS env var, else 1)")
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = list(ALL_EXPERIMENTS) if "all" in args.experiments \
         else [ALIASES.get(n, n) for n in args.experiments]
@@ -33,7 +39,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
     for name in names:
         start = time.time()
-        result = ALL_EXPERIMENTS[name](quick=args.quick)
+        entry = ALL_EXPERIMENTS[name]
+        kwargs = {"quick": args.quick}
+        # sweep experiments fan their grid out over worker processes;
+        # single-shot experiments simply don't take the parameter
+        if "jobs" in inspect.signature(entry).parameters:
+            kwargs["jobs"] = args.jobs
+        result = entry(**kwargs)
         print(result.to_text())
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     return 0

@@ -42,13 +42,31 @@ def granularity_for(model: ModelSpec) -> int:
     return GRANULARITY.get(model.name, 64)
 
 
-@functools.lru_cache(maxsize=32)
+#: A 70B-scale trace runs to tens of MB (and its decode fast-path stack
+#: doubles that), so the cache holds just a few entries — enough for one
+#: experiment's model list plus the quick/full variants of the model a
+#: test suite hammers, without pinning every model ever touched.
+TRACE_CACHE_SIZE = 4
+
+
+@functools.lru_cache(maxsize=TRACE_CACHE_SIZE)
 def _cached_trace(model_name: str, prompt_len: int, decode_len: int,
                   granularity: int, seed: int) -> ActivationTrace:
     model = get_model(model_name)
     config = TraceConfig(prompt_len=prompt_len, decode_len=decode_len,
                          granularity=granularity)
     return generate_trace(model, config, seed=seed)
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace.
+
+    The bench harness calls this between timed runs so a measurement
+    neither reuses a predecessor's working set nor charges trace
+    generation to the wrong phase; long-lived driver processes can call
+    it to release 70B-scale traces eagerly.
+    """
+    _cached_trace.cache_clear()
 
 
 def trace_for(model_name: str, *, quick: bool = False,

@@ -18,6 +18,7 @@ from ..baselines import (
 from ..core import HermesSystem
 from ..models import get_model
 from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .runner import run_grid
 
 MODELS = ("Falcon-40B", "OPT-66B", "LLaMA2-70B")
 BATCHES = (1, 2, 4, 8, 16)
@@ -43,35 +44,41 @@ def _systems(machine, model):
     }
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[str, int, bool]) -> dict[str, float | None]:
+    """Throughput of every system for one (model, batch) grid cell."""
+    model_name, batch, quick = task
+    model = get_model(model_name)
+    trace = trace_for(model_name, quick=quick)
     machine = default_machine()
+    measured: dict[str, float | None] = {}
+    for system_name, system in _systems(machine, model).items():
+        if system_name in OPT_ONLY and not model_name.startswith("OPT"):
+            measured[system_name] = None
+            continue
+        measured[system_name] = system.run(
+            trace, batch=batch).tokens_per_second
+    return measured
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     batches = BATCHES[:3] if quick else BATCHES
+    points = [(model_name, batch, quick)
+              for model_name in MODELS for batch in batches]
+    results = run_grid(_point, points, jobs=jobs)
     rows = []
     ratios = {"FlexGen": [], "Deja Vu": [], "Hermes-host": []}
-    for model_name in MODELS:
-        model = get_model(model_name)
-        trace = trace_for(model_name, quick=quick)
-        systems = _systems(machine, model)
-        for batch in batches:
-            measured = {}
-            for system_name, system in systems.items():
-                if (system_name in OPT_ONLY
-                        and not model_name.startswith("OPT")):
-                    measured[system_name] = None
-                    continue
-                measured[system_name] = system.run(
-                    trace, batch=batch).tokens_per_second
-            paper_h = PAPER_HERMES[model_name][BATCHES.index(batch)]
-            for system_name, value in measured.items():
-                rows.append([
-                    model_name, batch, system_name,
-                    None if value is None else round(value, 3),
-                    paper_h if system_name == "Hermes" else "",
-                ])
-            hermes = measured["Hermes"]
-            for ref in ratios:
-                if measured.get(ref):
-                    ratios[ref].append(hermes / measured[ref])
+    for (model_name, batch, _), measured in zip(points, results):
+        paper_h = PAPER_HERMES[model_name][BATCHES.index(batch)]
+        for system_name, value in measured.items():
+            rows.append([
+                model_name, batch, system_name,
+                None if value is None else round(value, 3),
+                paper_h if system_name == "Hermes" else "",
+            ])
+        hermes = measured["Hermes"]
+        for ref in ratios:
+            if measured.get(ref):
+                ratios[ref].append(hermes / measured[ref])
     notes = [
         "paper averages: Hermes 148.98x over FlexGen, 75.24x over Deja Vu, "
         "7.17x over Hermes-host",

@@ -15,6 +15,7 @@ from ..core import HermesSystem
 from ..core.result import BREAKDOWN_KEYS
 from ..models import get_model
 from .common import ExperimentResult, default_machine, trace_for
+from .runner import flatten, run_grid
 
 PAIRS_A = ("OPT-13B", "OPT-66B")
 PAIRS_B = ("Falcon-40B", "LLaMA2-70B")
@@ -37,29 +38,26 @@ def _breakdown_row(model_name: str, batch: int, result) -> list:
             + [round(per_token[key], 3) for key in BREAKDOWN_KEYS])
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[str, str, int, bool]) -> list[list]:
+    """Baseline + Hermes breakdown rows for one (panel, model, batch)."""
+    panel, model_name, batch, quick = task
     machine = default_machine()
+    model = get_model(model_name)
+    trace = trace_for(model_name, quick=quick)
+    baseline_cls = DejaVu if panel == "a" else HermesBase
+    return [
+        _breakdown_row(model_name, batch,
+                       baseline_cls(machine, model).run(trace, batch)),
+        _breakdown_row(model_name, batch,
+                       HermesSystem(machine, model).run(trace, batch)),
+    ]
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     batches = BATCHES[:2] if quick else BATCHES
-    rows = []
-    for model_name in PAIRS_A:
-        model = get_model(model_name)
-        trace = trace_for(model_name, quick=quick)
-        for batch in batches:
-            rows.append(_breakdown_row(
-                model_name, batch, DejaVu(machine, model).run(trace, batch)))
-            rows.append(_breakdown_row(
-                model_name, batch,
-                HermesSystem(machine, model).run(trace, batch)))
-    for model_name in PAIRS_B:
-        model = get_model(model_name)
-        trace = trace_for(model_name, quick=quick)
-        for batch in batches:
-            rows.append(_breakdown_row(
-                model_name, batch,
-                HermesBase(machine, model).run(trace, batch)))
-            rows.append(_breakdown_row(
-                model_name, batch,
-                HermesSystem(machine, model).run(trace, batch)))
+    points = ([("a", m, b, quick) for m in PAIRS_A for b in batches]
+              + [("b", m, b, quick) for m in PAIRS_B for b in batches])
+    rows = flatten(run_grid(_point, points, jobs=jobs))
     headers = (["model", "batch", "system"]
                + [f"{key} ms/tok" for key in BREAKDOWN_KEYS])
     return ExperimentResult(

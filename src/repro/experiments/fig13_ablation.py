@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..core import HermesConfig, HermesSystem
 from ..models import get_model
 from .common import ExperimentResult, default_machine, trace_for
+from .runner import run_grid
 
 MODELS = ("LLaMA-13B", "LLaMA2-70B")
 BATCHES = (1, 4, 16)
@@ -40,25 +41,32 @@ PAPER_GAINS = [
 ]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[str, int, bool]) -> dict[str, float]:
+    """Per-variant decode latency for one (model, batch) grid cell."""
+    model_name, batch, quick = task
     machine = default_machine()
+    model = get_model(model_name)
+    trace = trace_for(model_name, quick=quick)
+    return {
+        variant: HermesSystem(machine, model, config).run(
+            trace, batch=batch).decode_latency_per_token
+        for variant, config in VARIANTS.items()
+    }
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     batches = (1,) if quick else BATCHES
+    points = [(model_name, batch, quick)
+              for model_name in MODELS for batch in batches]
+    results = run_grid(_point, points, jobs=jobs)
     rows = []
-    for model_name in MODELS:
-        model = get_model(model_name)
-        trace = trace_for(model_name, quick=quick)
-        for batch in batches:
-            latencies = {}
-            for variant, config in VARIANTS.items():
-                result = HermesSystem(machine, model, config).run(
-                    trace, batch=batch)
-                latencies[variant] = result.decode_latency_per_token
-            base = latencies["Hermes-random"]
-            for variant in VARIANTS:
-                rows.append([
-                    model_name, batch, variant,
-                    round(base / latencies[variant], 3),
-                ])
+    for (model_name, batch, _), latencies in zip(points, results):
+        base = latencies["Hermes-random"]
+        for variant in VARIANTS:
+            rows.append([
+                model_name, batch, variant,
+                round(base / latencies[variant], 3),
+            ])
     return ExperimentResult(
         name="fig13",
         description="scheduling ablation (speedup over Hermes-random)",

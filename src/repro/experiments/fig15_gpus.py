@@ -12,38 +12,48 @@ from ..core import HermesSystem
 from ..hardware import get_gpu
 from ..models import get_model
 from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .runner import run_grid
 
 MODELS = ("OPT-13B", "OPT-30B")
 GPUS = ("Tesla T4", "RTX 3090", "RTX 4090")
 BATCHES = (1, 4, 16)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[str, int, bool]) -> dict[str, float | None]:
+    """Hermes throughput per GPU for one (model, batch) grid cell."""
+    model_name, batch, quick = task
     base_machine = default_machine()
+    model = get_model(model_name)
+    trace = trace_for(model_name, quick=quick)
+    measured: dict[str, float | None] = {}
+    for gpu_name in GPUS:
+        machine = base_machine.with_gpu(get_gpu(gpu_name))
+        try:
+            system = HermesSystem(machine, model)
+            measured[gpu_name] = system.run(
+                trace, batch=batch).tokens_per_second
+        except ValueError:
+            measured[gpu_name] = None
+    return measured
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     batches = (1,) if quick else BATCHES
+    points = [(model_name, batch, quick)
+              for model_name in MODELS for batch in batches]
+    results = run_grid(_point, points, jobs=jobs)
     rows = []
     ratio_t4, ratio_3090 = [], []
-    for model_name in MODELS:
-        model = get_model(model_name)
-        trace = trace_for(model_name, quick=quick)
-        for batch in batches:
-            measured = {}
-            for gpu_name in GPUS:
-                machine = base_machine.with_gpu(get_gpu(gpu_name))
-                try:
-                    system = HermesSystem(machine, model)
-                    measured[gpu_name] = system.run(
-                        trace, batch=batch).tokens_per_second
-                except ValueError:
-                    measured[gpu_name] = None
-                rows.append([model_name, batch, gpu_name,
-                             None if measured[gpu_name] is None
-                             else round(measured[gpu_name], 2)])
-            if measured["Tesla T4"]:
-                ratio_t4.append(measured["RTX 4090"] / measured["Tesla T4"])
-            if measured["RTX 3090"]:
-                ratio_3090.append(measured["RTX 4090"]
-                                  / measured["RTX 3090"])
+    for (model_name, batch, _), measured in zip(points, results):
+        for gpu_name in GPUS:
+            rows.append([model_name, batch, gpu_name,
+                         None if measured[gpu_name] is None
+                         else round(measured[gpu_name], 2)])
+        if measured["Tesla T4"]:
+            ratio_t4.append(measured["RTX 4090"] / measured["Tesla T4"])
+        if measured["RTX 3090"]:
+            ratio_3090.append(measured["RTX 4090"]
+                              / measured["RTX 3090"])
     notes = ["paper: RTX 4090 averages 2.02x over T4, 1.34x over 3090"]
     if ratio_t4:
         notes.append(f"measured: {geometric_mean(ratio_t4):.2f}x over T4, "

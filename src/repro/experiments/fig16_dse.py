@@ -12,24 +12,32 @@ from __future__ import annotations
 from ..core import HermesSystem
 from ..models import get_model
 from .common import ExperimentResult, default_machine, trace_for
+from .runner import run_grid
 
 MODEL = "OPT-13B"
 MULTIPLIERS = (32, 64, 128, 256, 512)
 BATCHES = (1, 2, 4, 8, 16)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[int, bool]) -> dict[int, float]:
+    """Per-multiplier decode latency for one batch size."""
+    batch, quick = task
     base_machine = default_machine()
     model = get_model(MODEL)
     trace = trace_for(MODEL, quick=quick)
+    latencies = {}
+    for m in MULTIPLIERS:
+        machine = base_machine.with_multipliers(m)
+        result = HermesSystem(machine, model).run(trace, batch=batch)
+        latencies[m] = result.decode_latency_per_token
+    return latencies
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     batches = (1, 16) if quick else BATCHES
+    results = run_grid(_point, [(b, quick) for b in batches], jobs=jobs)
     rows = []
-    for batch in batches:
-        latencies = {}
-        for m in MULTIPLIERS:
-            machine = base_machine.with_multipliers(m)
-            result = HermesSystem(machine, model).run(trace, batch=batch)
-            latencies[m] = result.decode_latency_per_token
+    for batch, latencies in zip(batches, results):
         base = latencies[MULTIPLIERS[0]]
         rows.append([batch] + [round(base / latencies[m], 3)
                                for m in MULTIPLIERS])

@@ -12,23 +12,30 @@ from ..core import HermesSystem
 from ..hardware import machine_cost_usd, server_cost_usd
 from ..models import get_model
 from .common import ExperimentResult, default_machine, trace_for
+from .runner import run_grid
 
 MODEL = "LLaMA2-70B"
 BATCHES = (1, 2, 4, 8, 16)
 PAPER_EFFICIENCY = {1: 0.791, 2: 0.209, 4: 0.553, 8: 0.756, 16: 0.244}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _point(task: tuple[int, bool]) -> tuple[float, float]:
+    """(Hermes, TensorRT-LLM) throughput for one batch size."""
+    batch, quick = task
     machine = default_machine()
     model = get_model(MODEL)
     trace = trace_for(MODEL, quick=quick)
-    hermes = HermesSystem(machine, model)
-    tensorrt = TensorRTLLM(model)
+    h = HermesSystem(machine, model).run(trace, batch=batch).tokens_per_second
+    t = TensorRTLLM(model).run(trace, batch=batch).tokens_per_second
+    return h, t
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
+    machine = default_machine()
     batches = (1, 16) if quick else BATCHES
+    results = run_grid(_point, [(b, quick) for b in batches], jobs=jobs)
     rows = []
-    for batch in batches:
-        h = hermes.run(trace, batch=batch).tokens_per_second
-        t = tensorrt.run(trace, batch=batch).tokens_per_second
+    for batch, (h, t) in zip(batches, results):
         rows.append([batch, round(h, 2), round(t, 2),
                      round(100 * h / t, 1),
                      round(100 * PAPER_EFFICIENCY.get(batch, float("nan")),

@@ -18,6 +18,8 @@ for per-step latency control.
 
 from __future__ import annotations
 
+import functools
+
 from ..models import get_model
 from ..serving import (
     LengthDistribution,
@@ -28,6 +30,7 @@ from ..serving import (
     generate_workload,
 )
 from .common import ExperimentResult
+from .runner import run_grid
 
 POLICIES = ("fcfs-nobatch", "fcfs", "sjf", "hermes-union")
 
@@ -48,33 +51,45 @@ QUICK_SETTING = dict(
 WORKLOAD_SEED = 3
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@functools.lru_cache(maxsize=2)
+def _serving_trace(model: str, granularity: int):
+    """Per-process serving-trace cache (trace generation is deterministic,
+    so every worker reconstructs the identical trace at most once)."""
+    return default_serving_trace(get_model(model), granularity=granularity)
+
+
+def _point(task: tuple[float, str, bool]) -> list:
+    """One (arrival rate, policy) cell of the serving sweep."""
+    rate, policy, quick = task
     setting = QUICK_SETTING if quick else FULL_SETTING
-    trace = default_serving_trace(get_model(setting["model"]),
-                                  granularity=setting["granularity"])
-    rows = []
-    for rate in setting["rates"]:
-        workload = generate_workload(
-            WorkloadConfig(rate=rate,
-                           num_requests=setting["num_requests"],
-                           prompt_lens=setting["prompt_lens"],
-                           output_lens=setting["output_lens"]),
-            seed=WORKLOAD_SEED)
-        for policy in POLICIES:
-            simulator = ServingSimulator(
-                setting["model"], policy, ServingConfig(max_batch=16),
-                trace=trace)
-            report = simulator.run(workload)
-            rows.append([
-                rate, policy, len(report.completed),
-                report.tokens_per_second,
-                report.ttft_percentile(50) * 1e3,
-                report.ttft_percentile(99) * 1e3,
-                report.e2e_percentile(50) * 1e3,
-                report.e2e_percentile(99) * 1e3,
-                report.mean_batch_size,
-                report.dimm_utilization,
-            ])
+    trace = _serving_trace(setting["model"], setting["granularity"])
+    workload = generate_workload(
+        WorkloadConfig(rate=rate,
+                       num_requests=setting["num_requests"],
+                       prompt_lens=setting["prompt_lens"],
+                       output_lens=setting["output_lens"]),
+        seed=WORKLOAD_SEED)
+    simulator = ServingSimulator(
+        setting["model"], policy, ServingConfig(max_batch=16),
+        trace=trace)
+    report = simulator.run(workload)
+    return [
+        rate, policy, len(report.completed),
+        report.tokens_per_second,
+        report.ttft_percentile(50) * 1e3,
+        report.ttft_percentile(99) * 1e3,
+        report.e2e_percentile(50) * 1e3,
+        report.e2e_percentile(99) * 1e3,
+        report.mean_batch_size,
+        report.dimm_utilization,
+    ]
+
+
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
+    setting = QUICK_SETTING if quick else FULL_SETTING
+    points = [(rate, policy, quick)
+              for rate in setting["rates"] for policy in POLICIES]
+    rows = run_grid(_point, points, jobs=jobs)
     return ExperimentResult(
         name="serving_eval",
         description=f"continuous-batching serving sweep on "

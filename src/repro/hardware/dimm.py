@@ -10,6 +10,9 @@ schedule work onto.  The default configuration is exactly Table II:
 from __future__ import annotations
 
 import dataclasses
+import functools
+
+import numpy as np
 
 from ..dram import (
     DDR4Timing,
@@ -35,12 +38,16 @@ class NDPDIMM:
     def capacity_bytes(self) -> int:
         return self.geometry.capacity_bytes
 
-    @property
+    @functools.cached_property
     def internal_bandwidth(self) -> float:
-        """Sustained bandwidth the NDP core sees (all lanes in parallel)."""
+        """Sustained bandwidth the NDP core sees (all lanes in parallel).
+
+        Cached: the geometry/timing fields are frozen, and the decode hot
+        path queries this once per GEMV.
+        """
         return internal_stream_bandwidth(self.geometry, self.timing)
 
-    @property
+    @functools.cached_property
     def channel_bandwidth(self) -> float:
         """Sustained bandwidth of the external channel interface."""
         return channel_stream_bandwidth(self.geometry, self.timing)
@@ -63,6 +70,18 @@ class NDPDIMM:
         bandwidth = (self.internal_bandwidth if run_bytes is None
                      else self.effective_stream_bandwidth(run_bytes))
         return self.core.gemv_time(weight_bytes, bandwidth, batch)
+
+    def gemv_time_batch(self, weight_bytes: np.ndarray, batch: int = 1, *,
+                        run_bytes: float | None = None) -> np.ndarray:
+        """Vectorized :meth:`gemv_time` over an array of byte counts.
+
+        The decode fast path calls this once per FC block with the per-DIMM
+        byte loads instead of looping ``gemv_time`` over the pool; every
+        element equals the scalar result bit-for-bit.
+        """
+        bandwidth = (self.internal_bandwidth if run_bytes is None
+                     else self.effective_stream_bandwidth(run_bytes))
+        return self.core.gemv_time_batch(weight_bytes, bandwidth, batch)
 
     def attention_time(self, kv_bytes: float, context_len: int,
                        num_heads: int, batch: int = 1) -> float:

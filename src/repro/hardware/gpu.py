@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 GIB = 2**30
 
 
@@ -80,6 +82,29 @@ class GPUSpec:
         t_memory = weight_bytes / bandwidth
         t_compute = flops / self.effective_flops
         return max(t_memory, t_compute) + self.kernel_launch_overhead
+
+    def matmul_time_batch(self, weight_bytes: np.ndarray, batch: int = 1, *,
+                          scattered: bool = False) -> np.ndarray:
+        """Vectorized :meth:`matmul_time` over an array of byte counts.
+
+        Scalar-preserving: each element matches the scalar path bit-for-bit
+        (including the exactly-zero fast path, which skips the kernel-launch
+        overhead).
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+        if (weight_bytes < 0).any():
+            raise ValueError("weight_bytes must be non-negative")
+        bandwidth = self.effective_bandwidth
+        if scattered:
+            bandwidth *= self.gather_efficiency
+        t_memory = weight_bytes / bandwidth
+        t_compute = weight_bytes * batch / self.effective_flops
+        times = np.maximum(t_memory, t_compute) + self.kernel_launch_overhead
+        # exactly-zero loads cost exactly 0.0, as in the scalar path
+        times *= weight_bytes != 0
+        return times
 
     def attention_time(self, kv_bytes: float) -> float:
         """Decode attention over a resident KV cache (bandwidth bound)."""

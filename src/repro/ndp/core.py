@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from .activation import ActivationUnit
 from .gemv import GEMVUnit
 
@@ -47,6 +49,24 @@ class NDPCore:
         t_stream = weight_bytes / stream_bandwidth
         t_compute = self.gemv.compute_time(weight_bytes, batch)
         return max(t_stream, t_compute)
+
+    def gemv_time_batch(self, weight_bytes: np.ndarray,
+                        stream_bandwidth: float,
+                        batch: int = 1) -> np.ndarray:
+        """Vectorized :meth:`gemv_time` over an array of byte counts.
+
+        One elementwise max over the whole array replaces a Python-level
+        loop of scalar calls; each element is bit-identical to what the
+        scalar path returns (zero bytes yields exactly 0.0 either way).
+        """
+        if stream_bandwidth <= 0:
+            raise ValueError("stream_bandwidth must be positive")
+        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+        if (weight_bytes < 0).any():
+            raise ValueError("weight_bytes must be non-negative")
+        t_stream = weight_bytes / stream_bandwidth
+        t_compute = self.gemv.compute_time_batch(weight_bytes, batch)
+        return np.maximum(t_stream, t_compute)
 
     def attention_time(self, kv_bytes: float, stream_bandwidth: float,
                        context_len: int, num_heads: int,

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 
 @dataclasses.dataclass(frozen=True)
 class GEMVUnit:
@@ -54,6 +56,18 @@ class GEMVUnit:
             raise ValueError("batch must be >= 1")
         macs = weight_bytes / 2 * batch  # one MAC per FP16 weight per batch
         return macs / self.macs_per_second
+
+    def compute_time_batch(self, weight_bytes: np.ndarray,
+                           batch: int = 1) -> np.ndarray:
+        """Vectorized :meth:`compute_time` over an array of byte counts.
+
+        Element-for-element identical to the scalar path (same operation
+        order), so callers may mix the two freely.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+        return weight_bytes / 2 * batch / self.macs_per_second
 
     def scaled(self, multipliers: int) -> "GEMVUnit":
         """The same unit with a different multiplier count (Fig. 16 DSE)."""

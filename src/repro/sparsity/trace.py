@@ -72,6 +72,20 @@ class ActivationTrace:
         """Boolean activation vector of one (layer, token)."""
         return self.layers[layer][token]
 
+    def active_matrix(self, token: int) -> np.ndarray:
+        """(num_layers, groups) activation matrix of one token.
+
+        Row ``l`` equals ``active(l, token)``; the matrix is one slice of
+        a lazily-built (num_layers, tokens, groups) stack, so the decode
+        fast path reads a whole token at once instead of re-indexing per
+        layer.  The trace is treated as immutable once stacked.
+        """
+        stacked = getattr(self, "_stacked", None)
+        if stacked is None:
+            stacked = np.stack(self.layers)
+            self._stacked = stacked
+        return stacked[:, token]
+
     def density(self) -> float:
         """Overall fraction of active (group, token) pairs."""
         total = sum(m.sum() for m in self.layers)

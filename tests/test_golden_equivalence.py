@@ -1,0 +1,121 @@
+"""Golden-equivalence tests for the vectorized decode fast path.
+
+``tests/data/golden_engine_tiny.json`` was captured from the seed
+(pre-vectorization) engine by ``tools/capture_goldens.py``.  The
+vectorized engine must reproduce every recorded number *exactly* — JSON
+float serialisation round-trips, so every comparison below is bit-for-bit:
+per-step ``StepCost`` components, ``RunResult`` breakdowns, predictor
+accuracy/recall, remap/swap counters, and the serving simulator's
+percentile metrics.
+
+If an intentional engine-semantics change ever invalidates these goldens,
+regenerate them with::
+
+    PYTHONPATH=src python tools/capture_goldens.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import HermesConfig, HermesSystem
+from repro.hardware import Machine
+from repro.models import get_model
+from repro.serving import (
+    LengthDistribution,
+    ServingConfig,
+    ServingSimulator,
+    WorkloadConfig,
+    default_serving_trace,
+    generate_workload,
+)
+from repro.sparsity import TraceConfig, generate_trace
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent / "data"
+               / "golden_engine_tiny.json")
+
+CONFIGS = {
+    "default": HermesConfig(),
+    "oracle": HermesConfig(oracle=True),
+    "random-no-online": HermesConfig(
+        partition_strategy="random", online_adjustment=False,
+        window_scheduling=False),
+    "token-only": HermesConfig(layer_prediction=False,
+                               window_scheduling=False),
+    "layer-only": HermesConfig(token_prediction=False,
+                               window_scheduling=False),
+    "no-window": HermesConfig(window_scheduling=False),
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_trace(golden):
+    spec = golden["trace"]
+    model = get_model(spec["model"])
+    config = TraceConfig(prompt_len=spec["prompt_len"],
+                         decode_len=spec["decode_len"],
+                         granularity=spec["granularity"])
+    return generate_trace(model, config, seed=spec["seed"])
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("batch", (1, 4))
+def test_engine_matches_seed_goldens(golden, golden_trace, config_name,
+                                     batch):
+    key = f"{config_name}/batch{batch}"
+    want = golden["engine"][key]
+    model = get_model(golden["trace"]["model"])
+    session = HermesSystem(Machine(), model,
+                           CONFIGS[config_name]).session(golden_trace,
+                                                         batch)
+    session.prefill()
+    steps = [session.decode_step()
+             for _ in range(golden_trace.n_decode_tokens)]
+    result = session.finish()
+
+    assert result.prefill_time == want["prefill_time"]
+    assert result.decode_time == want["decode_time"]
+    assert dict(result.breakdown) == want["breakdown"]
+    assert result.metadata["predictor_accuracy"] == \
+        want["predictor_accuracy"]
+    assert result.metadata["predictor_recall"] == want["predictor_recall"]
+    assert result.metadata["remap_bytes"] == want["remap_bytes"]
+    assert result.metadata["remap_groups"] == want["remap_groups"]
+    assert result.metadata["swap_bytes"] == want["swap_bytes"]
+    assert result.metadata["hot_bytes"] == want["hot_bytes"]
+    assert [s.seconds for s in steps] == want["step_seconds"]
+    assert [s.gpu_busy for s in steps] == want["step_gpu_busy"]
+    assert [s.dimm_busy for s in steps] == want["step_dimm_busy"]
+
+
+@pytest.mark.parametrize("rate", (50.0, 2000.0))
+@pytest.mark.parametrize("policy", ("fcfs", "hermes-union"))
+def test_serving_matches_seed_goldens(golden, rate, policy):
+    want = golden["serving"][f"rate{rate:g}/{policy}"]
+    model = get_model("tiny-test")
+    trace = default_serving_trace(model, granularity=4)
+    workload = generate_workload(
+        WorkloadConfig(
+            rate=rate, num_requests=32,
+            prompt_lens=LengthDistribution(mean=32),
+            output_lens=LengthDistribution(kind="uniform", mean=24,
+                                           low=8, high=40)),
+        seed=3)
+    report = ServingSimulator("tiny-test", policy,
+                              ServingConfig(max_batch=16),
+                              trace=trace).run(workload)
+    assert len(report.completed) == want["completed"]
+    assert report.tokens_per_second == want["tokens_per_second"]
+    assert report.ttft_percentile(50) == want["ttft_p50"]
+    assert report.ttft_percentile(99) == want["ttft_p99"]
+    assert report.e2e_percentile(50) == want["e2e_p50"]
+    assert report.e2e_percentile(99) == want["e2e_p99"]
+    assert report.mean_batch_size == want["mean_batch"]
+    assert report.dimm_utilization == want["dimm_utilization"]
+    assert report.makespan == want["makespan"]

@@ -1,0 +1,77 @@
+"""Tests for the parallel sweep executor (`repro.experiments.runner`).
+
+The core guarantee: fanning a grid out over worker processes produces
+*byte-identical* experiment payloads to a serial run — same rows, same
+order, same floats.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import serving_eval
+from repro.experiments.runner import (
+    JOBS_ENV,
+    default_jobs,
+    flatten,
+    resolve_jobs,
+    run_grid,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestRunGrid:
+    def test_serial_preserves_order(self):
+        assert run_grid(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        points = list(range(7))
+        assert run_grid(_square, points, jobs=2) == \
+            [x * x for x in points]
+
+    def test_empty_grid(self):
+        assert run_grid(_square, [], jobs=4) == []
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_grid(_square, [1], jobs=0)
+
+    def test_flatten_keeps_order(self):
+        assert flatten([[[1], [2]], [], [[3]]]) == [[1], [2], [3]]
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "zero")
+        with pytest.raises(ValueError):
+            default_jobs()
+        monkeypatch.setenv(JOBS_ENV, "0")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+
+class TestParallelEquivalence:
+    def test_serving_sweep_jobs2_matches_jobs1(self):
+        """--jobs 2 must produce a byte-identical ExperimentResult
+        payload to --jobs 1 on the quick serving sweep."""
+        serial = serving_eval.run(quick=True, jobs=1)
+        parallel = serving_eval.run(quick=True, jobs=2)
+        assert json.dumps(dataclasses.asdict(serial), sort_keys=True) == \
+            json.dumps(dataclasses.asdict(parallel), sort_keys=True)

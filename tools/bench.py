@@ -1,0 +1,139 @@
+"""Performance benchmark driver: record and gate the decode fast path.
+
+Measures decode steps/sec (batch 1 and 8) plus one sweep's wall time and
+maintains ``BENCH_decode.json`` at the repo root — the committed record of
+the performance trajectory.  Modes:
+
+* default — measure and print, compare against the committed baseline
+  informationally.
+* ``--check`` — exit non-zero if decode steps/sec fall more than
+  ``--tolerance`` (default 30 %) below the committed baseline.  Used as
+  the CI bench smoke gate.  Absolute steps/sec vary across machines, so
+  the committed baseline is first *scaled* by the ratio of this machine's
+  numpy calibration score to the recorded one (a fixed engine-independent
+  kernel mix — see ``benchmarks.bench_decode.bench_calibration``); a host
+  can instead pin its own raw reference via the ``REPRO_BENCH_BASELINE``
+  env var (a float, steps/sec at batch 1), which skips calibration.
+* ``--update`` — rewrite ``BENCH_decode.json`` with this machine's
+  numbers (appends the previous record to its ``history``).
+* ``--quick`` — shorter measurement windows; what CI runs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py --quick
+    PYTHONPATH=src python tools/bench.py --quick --check
+    PYTHONPATH=src python tools/bench.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from benchmarks.bench_decode import (  # noqa: E402
+    bench_calibration,
+    bench_decode_steps,
+    bench_sweep,
+)
+
+BENCH_FILE = ROOT / "BENCH_decode.json"
+BASELINE_ENV = "REPRO_BENCH_BASELINE"
+
+
+def measure(quick: bool) -> dict:
+    min_seconds = 0.5 if quick else 2.0
+    decode_b1 = bench_decode_steps(1, min_seconds=min_seconds)
+    decode_b8 = bench_decode_steps(8, min_seconds=min_seconds)
+    sweep = bench_sweep("serving", quick=True, jobs=1)
+    return {
+        "schema": 2,
+        "recorded_unix": round(time.time(), 3),
+        "quick": quick,
+        "calibration_iters_per_sec": bench_calibration(),
+        "decode": decode_b1,
+        "decode_batch8": decode_b8,
+        "sweep": sweep,
+    }
+
+
+def load_baseline() -> dict | None:
+    if not BENCH_FILE.exists():
+        return None
+    return json.loads(BENCH_FILE.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short measurement windows (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if decode steps/sec regressed past "
+                             "--tolerance vs the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_decode.json with this run")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop for --check "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    current = measure(args.quick)
+    b1 = current["decode"]["steps_per_sec"]
+    b8 = current["decode_batch8"]["steps_per_sec"]
+    print(f"decode steps/sec  batch 1: {b1:,.0f}   batch 8: {b8:,.0f}")
+    print(f"sweep wall time   {current['sweep']['experiment']} (quick, "
+          f"1 job): {current['sweep']['seconds']:.2f}s")
+
+    baseline = load_baseline()
+    env_ref = os.environ.get(BASELINE_ENV, "").strip()
+    if env_ref:
+        ref_b1 = float(env_ref)
+        ref_src = f"{BASELINE_ENV} env"
+    elif baseline is not None:
+        ref_b1 = baseline["decode"]["steps_per_sec"]
+        ref_src = "BENCH_decode.json"
+        # rescale the recorded baseline to this machine's speed so the
+        # tolerance compares like with like across hosts
+        ref_calib = baseline.get("calibration_iters_per_sec")
+        if ref_calib:
+            scale = current["calibration_iters_per_sec"] / ref_calib
+            ref_b1 *= scale
+            ref_src += f", calibrated x{scale:.2f}"
+    else:
+        ref_b1 = None
+        ref_src = "none"
+
+    status = 0
+    if ref_b1:
+        ratio = b1 / ref_b1
+        print(f"vs baseline ({ref_src}: {ref_b1:,.0f}): {ratio:.2f}x")
+        if args.check and ratio < 1.0 - args.tolerance:
+            print(f"FAIL: decode steps/sec dropped "
+                  f"{(1.0 - ratio) * 100:.0f}% (> "
+                  f"{args.tolerance * 100:.0f}% allowed)", file=sys.stderr)
+            status = 1
+    elif args.check:
+        print("FAIL: no baseline to check against "
+              f"(commit BENCH_decode.json or set {BASELINE_ENV})",
+              file=sys.stderr)
+        status = 1
+
+    if args.update and status == 0:
+        if baseline is not None:
+            history = baseline.pop("history", [])
+            history.append(baseline)
+            current["history"] = history[-20:]
+        BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {BENCH_FILE}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

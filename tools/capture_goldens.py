@@ -1,0 +1,136 @@
+"""Capture golden outputs of the Hermes engine on ``tiny-test``.
+
+Run once against a known-good engine to (re)generate
+``tests/data/golden_engine_tiny.json``; ``tests/test_golden_equivalence.py``
+then asserts that the current engine reproduces every recorded number
+exactly.  JSON float serialisation round-trips (repr-based), so equality
+checks are bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_goldens.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.core import HermesConfig, HermesSystem
+from repro.hardware import Machine
+from repro.models import get_model
+from repro.serving import (
+    LengthDistribution,
+    ServingConfig,
+    ServingSimulator,
+    WorkloadConfig,
+    default_serving_trace,
+    generate_workload,
+)
+from repro.sparsity import TraceConfig, generate_trace
+
+#: mirrors tests/conftest.py's ``tiny_trace``
+TRACE_CONFIG = dict(prompt_len=32, decode_len=64, granularity=4)
+TRACE_SEED = 11
+
+#: engine configurations exercised by the goldens — the default plus the
+#: Fig. 13 ablation space, so every control-plane path is pinned
+CONFIGS: dict[str, HermesConfig] = {
+    "default": HermesConfig(),
+    "oracle": HermesConfig(oracle=True),
+    "random-no-online": HermesConfig(
+        partition_strategy="random", online_adjustment=False,
+        window_scheduling=False),
+    "token-only": HermesConfig(layer_prediction=False,
+                               window_scheduling=False),
+    "layer-only": HermesConfig(token_prediction=False,
+                               window_scheduling=False),
+    "no-window": HermesConfig(window_scheduling=False),
+}
+BATCHES = (1, 4)
+
+SERVING_RATES = (50.0, 2000.0)
+SERVING_POLICIES = ("fcfs", "hermes-union")
+SERVING_SEED = 3
+
+
+def engine_goldens() -> dict:
+    machine = Machine()
+    model = get_model("tiny-test")
+    trace = generate_trace(model, TraceConfig(**TRACE_CONFIG),
+                           seed=TRACE_SEED)
+    runs = {}
+    for name, config in CONFIGS.items():
+        for batch in BATCHES:
+            session = HermesSystem(machine, model, config).session(
+                trace, batch)
+            session.prefill()
+            steps = [session.decode_step() for _ in
+                     range(trace.n_decode_tokens)]
+            result = session.finish()
+            runs[f"{name}/batch{batch}"] = {
+                "prefill_time": result.prefill_time,
+                "decode_time": result.decode_time,
+                "breakdown": dict(result.breakdown),
+                "predictor_accuracy": result.metadata["predictor_accuracy"],
+                "predictor_recall": result.metadata["predictor_recall"],
+                "remap_bytes": result.metadata["remap_bytes"],
+                "remap_groups": result.metadata["remap_groups"],
+                "swap_bytes": result.metadata["swap_bytes"],
+                "hot_bytes": result.metadata["hot_bytes"],
+                "step_seconds": [s.seconds for s in steps],
+                "step_gpu_busy": [s.gpu_busy for s in steps],
+                "step_dimm_busy": [s.dimm_busy for s in steps],
+            }
+    return runs
+
+
+def serving_goldens() -> dict:
+    model = get_model("tiny-test")
+    trace = default_serving_trace(model, granularity=4)
+    runs = {}
+    for rate in SERVING_RATES:
+        workload = generate_workload(
+            WorkloadConfig(
+                rate=rate, num_requests=32,
+                prompt_lens=LengthDistribution(mean=32),
+                output_lens=LengthDistribution(kind="uniform", mean=24,
+                                               low=8, high=40)),
+            seed=SERVING_SEED)
+        for policy in SERVING_POLICIES:
+            simulator = ServingSimulator(
+                "tiny-test", policy, ServingConfig(max_batch=16),
+                trace=trace)
+            report = simulator.run(workload)
+            runs[f"rate{rate:g}/{policy}"] = {
+                "completed": len(report.completed),
+                "tokens_per_second": report.tokens_per_second,
+                "ttft_p50": report.ttft_percentile(50),
+                "ttft_p99": report.ttft_percentile(99),
+                "e2e_p50": report.e2e_percentile(50),
+                "e2e_p99": report.e2e_percentile(99),
+                "mean_batch": report.mean_batch_size,
+                "dimm_utilization": report.dimm_utilization,
+                "makespan": report.makespan,
+            }
+    return runs
+
+
+def main(argv: list[str]) -> int:
+    out = pathlib.Path(argv[1]) if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "tests" / "data" / "golden_engine_tiny.json")
+    goldens = {
+        "trace": {**TRACE_CONFIG, "seed": TRACE_SEED, "model": "tiny-test"},
+        "engine": engine_goldens(),
+        "serving": serving_goldens(),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
