@@ -1,0 +1,72 @@
+"""Cluster-serving benchmark bodies: scenario wall time + drift probes.
+
+Shared by ``tools/bench_serving.py`` (which maintains
+``BENCH_serving.json`` and the CI serving gate) and usable
+interactively::
+
+    PYTHONPATH=src python -c "
+    from benchmarks.bench_serving import bench_scenario
+    print(bench_scenario())"
+
+Two kinds of numbers come out of one measurement:
+
+* **wall time** of end-to-end scenario runs (workload gen + cluster
+  simulation + metrics) — machine-dependent, tracked informationally
+  and calibration-scaled like the decode bench;
+* **simulated metrics** (tokens/s, per-class SLO attainment,
+  preemptions) — *deterministic* given the code, so any change is real
+  behaviour drift; the CI gate pins them the way the engine goldens pin
+  ``decode_step``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.cluster_eval import resolve_scenario
+from repro.scenarios import load_scenario
+
+#: the spec the serving bench pins — the CI smoke scenario
+BENCH_SCENARIO = "mixed_slo_tiny.json"
+
+
+def bench_scenario(spec: str = BENCH_SCENARIO, *,
+                   min_seconds: float = 1.0) -> dict:
+    """Measure end-to-end runs/sec of one scenario, plus its metrics.
+
+    The scenario (spec parse, workload generation, trace, cluster
+    simulation, report) re-runs whole until ``min_seconds`` of wall time
+    accumulate; the simulated metrics of the final run are included for
+    the drift gate — they are identical across runs by construction.
+    """
+    path = resolve_scenario(spec)
+    scenario = load_scenario(path)
+    trace = scenario.build_trace()  # shared across runs, like a server
+    runs = 0
+    report = None
+    start = time.perf_counter()
+    while True:
+        report = scenario.run(trace)
+        runs += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+    attainment = {
+        name: report.slo_attainment(name)["joint"]
+        for name in report.class_names
+        if any(r.finished for r in report.class_records(name))
+    }
+    return {
+        "scenario": scenario.name,
+        "runs": runs,
+        "seconds": elapsed,
+        "runs_per_sec": runs / elapsed,
+        "simulated": {
+            "completed": len(report.completed),
+            "tokens_per_second": report.tokens_per_second,
+            "makespan": report.makespan,
+            "preemptions": report.preemptions,
+            "fairness": report.fairness_index(),
+            "slo_joint": attainment,
+        },
+    }

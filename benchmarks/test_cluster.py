@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the cluster scenario x router sweep."""
+
+from repro.experiments import cluster_eval
+
+
+def test_cluster_eval(regenerate):
+    result = regenerate(cluster_eval.run)
+    routers = set(result.column("router"))
+    assert {"round-robin", "least-loaded", "session-affinity",
+            "power-of-two"} <= routers
+    assert all(done > 0 for done in result.column("done"))
+    # the preemptive mixed-SLO scenario protects its interactive class:
+    # under the load-balancing routers, joint attainment stays >= 0.9
+    rows = [row for row in result.rows
+            if row[0] == "mixed_slo_tiny" and row[2] == "interactive"
+            and row[1] in ("least-loaded", "power-of-two")]
+    assert rows
+    joint = result.headers.index("SLO joint")
+    assert all(row[joint] >= 0.9 for row in rows)
+    # preemption happened in every mixed-SLO cell
+    preempt = result.headers.index("preempt")
+    assert all(row[preempt] > 0 for row in rows)

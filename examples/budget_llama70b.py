@@ -58,7 +58,7 @@ def main() -> None:
     efficiency = hermes.tokens_per_second / tensorrt.tokens_per_second
     print(f"\nHermes reaches {efficiency:.1%} of TensorRT-LLM throughput "
           f"at batch 1 on {budget / server:.1%} of the budget "
-          f"(paper: 79.1% at ~5%)")
+          "(paper: 79.1% at ~5%)")
 
 
 if __name__ == "__main__":

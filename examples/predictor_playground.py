@@ -62,7 +62,7 @@ def main() -> None:
     print(f"\nfootprints: state table {state_kb:.0f} KB (paper: 232 KB), "
           f"correlation table {corr_kb:.0f} KB")
     print(f"Deja Vu MLP predictors for the same model: {mlp_mb:.0f} MB "
-          f"(paper: ~2 GB, 10-25% of runtime)")
+          "(paper: ~2 GB, 10-25% of runtime)")
 
 
 if __name__ == "__main__":

@@ -35,8 +35,8 @@ def main() -> None:
     print(f"\nHermes on {model.name}: "
           f"{result.tokens_per_second:.2f} tokens/s end-to-end "
           f"({result.decode_tokens_per_second:.2f} decode-only; "
-          f"paper reports 20.37)")
-    print(f"predictor accuracy: "
+          "paper reports 20.37)")
+    print("predictor accuracy: "
           f"{result.metadata['predictor_accuracy']:.1%} (paper: ~98%)")
     print("\nper-token latency breakdown (ms):")
     for key, seconds in sorted(result.breakdown.items(),

@@ -25,8 +25,6 @@ conservative.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.result import RunResult
 from ..sparsity import ActivationTrace
 from .base import OffloadingSystem

@@ -16,7 +16,6 @@ host memory and attention runs on the CPU, paying the host-memory-bus scan.
 
 from __future__ import annotations
 
-import dataclasses
 
 from ..core.result import RunResult
 from ..sim import overlap_two_stage

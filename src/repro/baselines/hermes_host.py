@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.engine import GIB, HermesConfig, batch_union_factor
+from ..core.engine import HermesConfig, batch_union_factor
 from ..core.mapper import NeuronMapper
 from ..core.partition import PartitionCosts, solve_partition
 from ..core.predictor import ActivationPredictor, PredictorConfig

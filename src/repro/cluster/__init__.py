@@ -1,0 +1,56 @@
+"""Cluster-scale serving: routing, priority classes, SLO attainment.
+
+The serving package answers "what latency does one machine's queue see";
+this package scales that to the paper's deployment story — a fleet of
+budget NDP-DIMM machines behind a routing front door, shared by tenants
+with different priorities and SLOs:
+
+* :mod:`~repro.cluster.routers` — pluggable request routing
+  (round-robin, least-loaded, session-affinity, power-of-two-choices);
+* :mod:`~repro.cluster.slo` — priority classes with TTFT/TBT deadlines
+  and deadline-driven preemptive admission;
+* :mod:`~repro.cluster.simulator` — the cluster simulator, a thin
+  specialisation of the machine-count-agnostic serving loop;
+* :mod:`~repro.cluster.report` — per-class SLO attainment, Jain
+  fairness, and per-machine utilization on top of the serving metrics.
+
+Scenario specs under ``scenarios/`` (loaded by :mod:`repro.scenarios`)
+drive all of this declaratively.
+"""
+
+from .report import ClusterReport
+from .routers import (
+    ROUTERS,
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    get_router,
+)
+from .simulator import ClusterConfig, ClusterSimulator
+from .slo import (
+    DEFAULT_CLASS,
+    DeadlinePreemptor,
+    PriorityClass,
+    PriorityOrderedPolicy,
+    SLOPolicy,
+)
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "SessionAffinityRouter",
+    "PowerOfTwoRouter",
+    "ROUTERS",
+    "get_router",
+    "PriorityClass",
+    "DEFAULT_CLASS",
+    "SLOPolicy",
+    "PriorityOrderedPolicy",
+    "DeadlinePreemptor",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "ClusterReport",
+]

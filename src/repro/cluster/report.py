@@ -1,0 +1,136 @@
+"""Cluster-level metrics: per-class SLO attainment and fairness.
+
+Extends :class:`~repro.serving.ServingReport` with the questions an
+operator of a multi-tenant cluster asks: did each priority class meet its
+TTFT/TBT deadlines, how evenly was service spread across tenants, and
+how balanced were the machines?
+
+SLO semantics (documented in the README's scenario section):
+
+* a request **attains its TTFT SLO** when ``ttft <= ttft_slo``;
+* a request **attains its TBT SLO** when *every* inter-token gap is
+  ``<= tbt_slo`` (a preemption-induced stall therefore fails it — the
+  cost of preemption is charged where it lands);
+* **joint attainment** requires both, with an absent deadline vacuously
+  met.  Per-class attainment is the fraction of the class's completed
+  requests attaining.
+
+Fairness is Jain's index over per-tenant decode service rates (tokens
+delivered per second of end-to-end residence): 1.0 means every tenant
+saw identical service, 1/n means one tenant got everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..serving import RequestRecord, ServingReport, percentile
+from .slo import PriorityClass, SLOPolicy
+
+
+@dataclasses.dataclass
+class ClusterReport(ServingReport):
+    """Aggregate outcome of one cluster-simulation run."""
+
+    router: str = "round-robin"
+    slo: SLOPolicy = dataclasses.field(default_factory=SLOPolicy)
+
+    # ---- per-class views ---------------------------------------------
+    @property
+    def class_names(self) -> list[str]:
+        """Declared classes, highest priority first (ties by name)."""
+        ordered = sorted(self.slo.classes, key=lambda c: (-c.priority, c.name))
+        return [c.name for c in ordered]
+
+    def class_records(self, name: str) -> list[RequestRecord]:
+        return [r for r in self.records if r.request.class_name == name]
+
+    def _class_completed(self, name: str) -> list[RequestRecord]:
+        return [r for r in self.class_records(name) if r.finished]
+
+    def class_ttft_percentile(self, name: str, p: float) -> float:
+        done = self._class_completed(name)
+        if not done:
+            raise ValueError(f"no completed requests in class {name!r}")
+        return percentile([r.ttft for r in done], p)
+
+    def class_tbt_percentile(self, name: str, p: float) -> float:
+        gaps = [g for r in self._class_completed(name) for g in r.tbts]
+        if not gaps:
+            raise ValueError(f"no inter-token gaps in class {name!r}")
+        return percentile(gaps, p)
+
+    def class_e2e_percentile(self, name: str, p: float) -> float:
+        done = self._class_completed(name)
+        if not done:
+            raise ValueError(f"no completed requests in class {name!r}")
+        return percentile([r.e2e_latency for r in done], p)
+
+    # ---- SLO attainment ----------------------------------------------
+    def request_attains(self, record: RequestRecord) -> tuple[bool, bool]:
+        """(TTFT met, TBT met) for one completed request."""
+        cls = self.slo.class_of(record.request)
+        ttft_ok = cls.ttft_slo is None or record.ttft <= cls.ttft_slo
+        if cls.tbt_slo is None:
+            tbt_ok = True
+        else:
+            tbt_ok = all(g <= cls.tbt_slo for g in record.tbts)
+        return ttft_ok, tbt_ok
+
+    def slo_attainment(self, name: str) -> dict[str, float]:
+        """Fractions of class ``name``'s completed requests meeting SLOs.
+
+        Keys: ``ttft``, ``tbt``, ``joint``.  Raises if the class has no
+        completed requests (nothing to attain over).
+        """
+        done = self._class_completed(name)
+        if not done:
+            raise ValueError(f"no completed requests in class {name!r}")
+        flags = [self.request_attains(r) for r in done]
+        n = len(flags)
+        return {
+            "ttft": sum(1 for t, _ in flags if t) / n,
+            "tbt": sum(1 for _, b in flags if b) / n,
+            "joint": sum(1 for t, b in flags if t and b) / n,
+        }
+
+    def class_of(self, name: str) -> PriorityClass:
+        """The declared class object for ``name``."""
+        for cls in self.slo.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"unknown class {name!r}")
+
+    # ---- fairness and preemption -------------------------------------
+    @property
+    def preemptions(self) -> int:
+        """Total preemption events across all requests."""
+        return sum(r.preemptions for r in self.records)
+
+    def fairness_index(self, by: str = "tenant") -> float:
+        """Jain's fairness index over per-group decode service rates.
+
+        ``by`` groups completed requests per ``"tenant"`` or per
+        ``"class"``; each group's service rate is its delivered tokens
+        divided by its summed end-to-end residence time.
+        """
+        if by not in ("tenant", "class"):
+            raise ValueError("fairness_index groups by 'tenant' or 'class'")
+        groups: dict[str, tuple[int, float]] = {}
+        for record in self.completed:
+            if by == "tenant":
+                key = record.request.tenant
+            else:
+                key = record.request.class_name
+            tokens, seconds = groups.get(key, (0, 0.0))
+            groups[key] = (
+                tokens + len(record.token_times),
+                seconds + record.e2e_latency,
+            )
+        if not groups:
+            raise ValueError("no completed requests to assess fairness")
+        rates = [t / s for t, s in groups.values() if s > 0]
+        if not rates:
+            return 1.0
+        total = sum(rates)
+        return total * total / (len(rates) * sum(r * r for r in rates))

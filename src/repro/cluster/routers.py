@@ -1,0 +1,132 @@
+"""Pluggable request routers for the cluster front door.
+
+A router maps each arriving request to a machine index, consulting a
+per-machine *load* vector (queued + resident requests) the run state
+maintains.  All routers are deterministic given their construction
+arguments — power-of-two-choices draws its probes from a seeded
+generator, so a (scenario, seed) pair replays exactly.
+
+Shipped routers:
+
+* ``round-robin`` — cycle through machines in arrival order;
+* ``least-loaded`` — send to the machine with the smallest load, ties to
+  the lowest index;
+* ``session-affinity`` — hash the request's tenant to a fixed machine,
+  keeping a tenant's KV-cache locality (and hot-set stability) on one
+  box;
+* ``power-of-two`` — sample two distinct machines and pick the less
+  loaded: near-least-loaded balance with O(1) state, the classic
+  load-balancing result.
+"""
+
+from __future__ import annotations
+
+import typing
+import zlib
+
+import numpy as np
+
+from ..serving import Request
+
+
+class Router:
+    """Base router: route every request to machine 0."""
+
+    name = "single"
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        """Machine index for ``request`` given per-machine loads."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class RoundRobinRouter(Router):
+    """Cycle through machines in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        target = self._next % len(loads)
+        self._next += 1
+        return target
+
+
+class LeastLoadedRouter(Router):
+    """Send each request to the machine with the shortest queue."""
+
+    name = "least-loaded"
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        best = 0
+        for m, load in enumerate(loads):
+            if load < loads[best]:
+                best = m
+        return best
+
+
+class SessionAffinityRouter(Router):
+    """Pin each tenant to one machine via a stable hash.
+
+    Uses CRC-32 (not Python's randomised ``hash``) so the mapping is
+    identical across processes and runs.
+    """
+
+    name = "session-affinity"
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        return zlib.crc32(request.tenant.encode()) % len(loads)
+
+
+class PowerOfTwoRouter(Router):
+    """Sample two distinct machines, pick the less loaded one."""
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        n = len(loads)
+        if n == 1:
+            return 0
+        a, b = self._rng.choice(n, size=2, replace=False)
+        a, b = int(a), int(b)
+        if loads[a] < loads[b]:
+            return a
+        if loads[b] < loads[a]:
+            return b
+        return min(a, b)
+
+
+ROUTERS: dict[str, typing.Callable[..., Router]] = {
+    "round-robin": RoundRobinRouter,
+    "least-loaded": LeastLoadedRouter,
+    "session-affinity": SessionAffinityRouter,
+    "power-of-two": PowerOfTwoRouter,
+}
+
+
+def get_router(name: str | Router, *, seed: int = 0) -> Router:
+    """A *fresh* router instance by name (or pass an instance through).
+
+    Routers are stateful (round-robin cursor, power-of-two RNG), so every
+    simulation run must start from a new instance for reproducibility;
+    ``seed`` feeds the routers that randomise.
+    """
+    if isinstance(name, Router):
+        return name
+    try:
+        factory = ROUTERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ROUTERS))
+        raise KeyError(
+            f"unknown router {name!r}; known routers: {known}"
+        ) from None
+    if factory is PowerOfTwoRouter:
+        return factory(seed=seed)
+    return factory()

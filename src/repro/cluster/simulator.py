@@ -1,0 +1,110 @@
+"""The cluster simulator: routed queues, priorities, preemption.
+
+:class:`ClusterSimulator` specialises the machine-count-agnostic serving
+loop (:class:`~repro.serving.ServingSimulator`) for a front-door
+architecture: instead of every machine admitting from one shared queue,
+a :class:`~repro.cluster.routers.Router` assigns each arrival to a
+per-machine queue at ingest time, admission within a machine is ordered
+by priority class (base batching policy within a class), and — when the
+:class:`~repro.cluster.slo.SLOPolicy` enables it — a deadline-threatened
+high-priority prefill preempts the newest low-priority resident.
+
+With one machine, the round-robin router, and a single priority class,
+every specialisation collapses to the base simulator exactly (same event
+trace, bit-identical metrics) — a property the test suite pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core import HermesConfig
+from ..hardware import Machine
+from ..models import ModelSpec
+from ..serving import BatchingPolicy, Request, ServingConfig, ServingSimulator
+from ..serving.simulator import Preemptor, _RunState
+from .report import ClusterReport
+from .routers import Router, get_router
+from .slo import DeadlinePreemptor, PriorityOrderedPolicy, SLOPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig(ServingConfig):
+    """Serving knobs plus the cluster front door."""
+
+    num_machines: int = 2
+    #: router name (see :data:`repro.cluster.routers.ROUTERS`)
+    router: str = "round-robin"
+    #: seed for routers that randomise (power-of-two probes)
+    router_seed: int = 0
+
+
+class ClusterSimulator(ServingSimulator):
+    """N replicated Hermes machines behind a routing front door."""
+
+    def __init__(
+        self,
+        model: ModelSpec | str,
+        policy: BatchingPolicy | str = "fcfs",
+        config: ClusterConfig | None = None,
+        *,
+        slo: SLOPolicy | None = None,
+        router: Router | str | None = None,
+        machine: Machine | None = None,
+        hermes_config: HermesConfig | None = None,
+        trace=None,
+        granularity: int = 64,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(
+            model,
+            policy,
+            config or ClusterConfig(),
+            machine=machine,
+            hermes_config=hermes_config,
+            trace=trace,
+            granularity=granularity,
+            seed=seed,
+        )
+        self.slo = slo or SLOPolicy()
+        #: router override: an instance is reused as-is (caller owns its
+        #: state); a name is instantiated fresh per run
+        self._router_spec = router
+
+    # ------------------------------------------------------------------
+    def _make_router(self) -> Router:
+        spec = self._router_spec
+        if spec is None:
+            spec = getattr(self.config, "router", "round-robin")
+        seed = getattr(self.config, "router_seed", 0)
+        return get_router(spec, seed=seed)
+
+    def _build_state(self, workload: list[Request]) -> _RunState:
+        machines = self.config.num_machines
+        state = _RunState(workload, machines, num_queues=machines)
+        router = self._make_router()
+        state.assign = lambda request: router.route(request, state.loads())
+        self._last_router_name = router.name
+        return state
+
+    def _admission_policy(self) -> BatchingPolicy:
+        return PriorityOrderedPolicy(self.policy, self.slo)
+
+    def _preemptor(self) -> Preemptor | None:
+        if not self.slo.preemptive:
+            return None
+        return DeadlinePreemptor(self._admission_policy(), self.slo)
+
+    def _make_report(self, state: _RunState, makespan: float) -> ClusterReport:
+        return ClusterReport(
+            policy=self.policy.name,
+            num_machines=self.config.num_machines,
+            records=list(state.records.values()),
+            makespan=makespan,
+            queue_samples=state.queue_samples,
+            batch_samples=state.batch_samples,
+            machine_gpu_busy=state.machine_gpu_busy,
+            machine_dimm_busy=state.machine_dimm_busy,
+            router=self._last_router_name,
+            slo=self.slo,
+        )

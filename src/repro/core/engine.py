@@ -110,7 +110,7 @@ class HermesSystem:
         if not machine.fits_on_dimms(required):
             raise ValueError(
                 f"{model.name} needs {required / GIB:.0f} GiB of DIMM "
-                f"capacity; the pool has "
+                "capacity; the pool has "
                 f"{machine.dimm_capacity_total / GIB:.0f} GiB")
 
     # ------------------------------------------------------------------
@@ -361,7 +361,8 @@ class HermesSession:
         system = self.system
         machine = system.machine
         model = system.model
-        prompt_len = self.trace.prompt_len if prompt_len is None else prompt_len
+        if prompt_len is None:
+            prompt_len = self.trace.prompt_len
         batch = self.batch if batch is None else batch
         prefill = system._prefill_time(self.layout, prompt_len, batch)
         # Hot neurons loaded back to GPU + prompt KV cache pushed to DIMMs.

@@ -7,6 +7,7 @@ Each module exposes ``run(quick=False) -> ExperimentResult``; the
 
 from . import (
     ablation_extras,
+    cluster_eval,
     dimmlink_eval,
     energy_eval,
     fig04_patterns,
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = {
     "ablation-extras": ablation_extras.run,
     "energy": energy_eval.run,
     "serving": serving_eval.run,
+    "cluster": cluster_eval.run,
 }
 
 __all__ = [

@@ -28,6 +28,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for sweep experiments "
                              "(default: REPRO_JOBS env var, else 1)")
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="declarative scenario spec (JSON/TOML) for "
+                             "the 'cluster' experiment")
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -37,14 +40,24 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+    if args.scenario is not None:
+        takers = [n for n in names
+                  if "scenario" in
+                  inspect.signature(ALL_EXPERIMENTS[n]).parameters]
+        if not takers:
+            parser.error("--scenario only applies to the 'cluster' "
+                         "experiment")
     for name in names:
         start = time.time()
         entry = ALL_EXPERIMENTS[name]
+        params = inspect.signature(entry).parameters
         kwargs = {"quick": args.quick}
         # sweep experiments fan their grid out over worker processes;
         # single-shot experiments simply don't take the parameter
-        if "jobs" in inspect.signature(entry).parameters:
+        if "jobs" in params:
             kwargs["jobs"] = args.jobs
+        if "scenario" in params and args.scenario is not None:
+            kwargs["scenario"] = args.scenario
         result = entry(**kwargs)
         print(result.to_text())
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")

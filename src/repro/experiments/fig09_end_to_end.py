@@ -11,7 +11,12 @@ from __future__ import annotations
 from ..baselines import DejaVu, FlexGen, HermesHost, HuggingfaceAccelerate
 from ..core import HermesSystem
 from ..models import get_model
-from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .common import (
+    ExperimentResult,
+    default_machine,
+    geometric_mean,
+    trace_for,
+)
 
 MODELS = ("OPT-13B", "OPT-30B", "OPT-66B")
 #: paper Fig. 9 tokens/s, batch 1
@@ -59,7 +64,7 @@ def run(quick: bool = False) -> ExperimentResult:
         speedups_dejavu.append(hermes
                                / results["Deja Vu"].tokens_per_second)
     notes = [
-        f"measured Hermes speedup (geomean): "
+        "measured Hermes speedup (geomean): "
         f"{geometric_mean(speedups_flexgen):.1f}x over FlexGen, "
         f"{geometric_mean(speedups_dejavu):.1f}x over Deja Vu",
         "paper: 247x over FlexGen, and Deja Vu only ~2.1x over FlexGen",

@@ -12,7 +12,12 @@ from __future__ import annotations
 from ..baselines import HermesBase, HermesHost, HuggingfaceAccelerate
 from ..core import HermesSystem
 from ..models import get_model
-from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .common import (
+    ExperimentResult,
+    default_machine,
+    geometric_mean,
+    trace_for,
+)
 
 MODELS = ("LLaMA2-13B", "LLaMA2-70B", "Falcon-40B")
 #: paper Fig. 10 tokens/s, batch 1
@@ -60,9 +65,9 @@ def run(quick: bool = False) -> ExperimentResult:
                              / results["Hermes-base"].tokens_per_second)
     notes = [
         f"measured: Hermes-base {geometric_mean(base_gain):.1f}x over "
-        f"Accelerate (paper 53.9x); Hermes "
+        "Accelerate (paper 53.9x); Hermes "
         f"{geometric_mean(sparsity_gain):.1f}x over Hermes-base "
-        f"(paper ~5.2x on large models)",
+        "(paper ~5.2x on large models)",
     ]
     return ExperimentResult(
         name="fig10",

@@ -17,7 +17,12 @@ from ..baselines import (
 )
 from ..core import HermesSystem
 from ..models import get_model
-from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .common import (
+    ExperimentResult,
+    default_machine,
+    geometric_mean,
+    trace_for,
+)
 from .runner import run_grid
 
 MODELS = ("Falcon-40B", "OPT-66B", "LLaMA2-70B")

@@ -11,7 +11,12 @@ from __future__ import annotations
 from ..core import HermesSystem
 from ..hardware import get_gpu
 from ..models import get_model
-from .common import ExperimentResult, default_machine, geometric_mean, trace_for
+from .common import (
+    ExperimentResult,
+    default_machine,
+    geometric_mean,
+    trace_for,
+)
 from .runner import run_grid
 
 MODELS = ("OPT-13B", "OPT-30B")

@@ -92,7 +92,7 @@ def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     rows = run_grid(_point, points, jobs=jobs)
     return ExperimentResult(
         name="serving_eval",
-        description=f"continuous-batching serving sweep on "
+        description="continuous-batching serving sweep on "
                     f"{setting['model']} (Poisson arrivals)",
         headers=["req/s", "policy", "done", "tok/s", "TTFT p50 (ms)",
                  "TTFT p99 (ms)", "E2E p50 (ms)", "E2E p99 (ms)",

@@ -112,7 +112,8 @@ class GPUSpec:
             raise ValueError("kv_bytes must be non-negative")
         if kv_bytes == 0:
             return 0.0
-        return kv_bytes / self.effective_bandwidth + self.kernel_launch_overhead
+        return (kv_bytes / self.effective_bandwidth
+                + self.kernel_launch_overhead)
 
     def prefill_time(self, weight_bytes: float, prompt_len: int,
                      batch: int = 1) -> float:

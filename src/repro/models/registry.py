@@ -32,7 +32,8 @@ def get_model(name: str) -> ModelSpec:
         return _REGISTRY[name.lower()]
     except KeyError:
         known = ", ".join(sorted(s.name for s in _REGISTRY.values()))
-        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+        raise KeyError(
+            f"unknown model {name!r}; known models: {known}") from None
 
 
 def list_models() -> list[str]:

@@ -133,7 +133,8 @@ class ModelSpec:
     @property
     def sparse_bytes_per_layer(self) -> int:
         """Weights subject to the hot/cold partition in one layer."""
-        return self.attn_sparse_bytes_per_layer + self.mlp_sparse_bytes_per_layer
+        return (self.attn_sparse_bytes_per_layer
+                + self.mlp_sparse_bytes_per_layer)
 
     @property
     def dense_bytes_per_layer(self) -> int:
@@ -177,7 +178,8 @@ class ModelSpec:
     # ------------------------------------------------------------------
     def dense_flops_per_token(self, batch: int = 1) -> int:
         """FLOPs of the dense projection layers for one decode step."""
-        return 2 * self.dense_bytes_per_layer // BYTES_PER_PARAM * batch * self.num_layers
+        return (2 * self.dense_bytes_per_layer // BYTES_PER_PARAM
+                * batch * self.num_layers)
 
     def describe(self) -> str:
         """One-line human-readable summary used by examples and reports."""

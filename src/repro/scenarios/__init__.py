@@ -1,0 +1,30 @@
+"""Declarative workload scenarios for the cluster simulator.
+
+``scenarios/*.json`` / ``*.toml`` files at the repo root describe a full
+cluster experiment — tenants, priority classes with SLOs, router, machine
+hardware — and :func:`load_scenario` turns one into a runnable
+:class:`Scenario`:
+
+    from repro.scenarios import load_scenario
+    report = load_scenario("scenarios/mixed_slo_tiny.json").run()
+
+or from the command line::
+
+    python -m repro.experiments cluster --scenario scenarios/<file>
+"""
+
+from .spec import (
+    Scenario,
+    TenantSpec,
+    load_scenario,
+    parse_scenario,
+    scenario_trace,
+)
+
+__all__ = [
+    "Scenario",
+    "TenantSpec",
+    "load_scenario",
+    "parse_scenario",
+    "scenario_trace",
+]

@@ -1,0 +1,336 @@
+"""Declarative scenario specs: a workload is a config file, not code.
+
+A scenario file (JSON, or TOML on Python >= 3.11) describes everything
+one cluster simulation needs — the model, the hardware of each machine,
+the cluster front door (machine count, router, batching policy), the
+priority classes with their SLOs, and a list of tenant traffic streams —
+so opening a new workload means writing a spec under ``scenarios/``
+instead of touching code.  The schema (every key, with defaults) is
+documented in the README's "Scenario specs" section; unknown keys are
+rejected so typos fail loudly instead of silently meaning defaults.
+
+Determinism: every sampled quantity is seeded.  Tenants default to
+``seed + tenant index`` so two tenants never share a stream, and the
+power-of-two router draws its probes from ``cluster.router_seed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+from ..cluster import ClusterConfig, ClusterReport, ClusterSimulator, ROUTERS
+from ..cluster.slo import DEFAULT_CLASS, PriorityClass, SLOPolicy
+from ..hardware import Machine, get_gpu
+from ..models import get_model
+from ..serving import (
+    BatchingPolicy,
+    HermesUnionPolicy,
+    LengthDistribution,
+    Request,
+    WorkloadConfig,
+    generate_workload,
+    get_policy,
+    merge_workloads,
+)
+from ..sparsity import ActivationTrace, TraceConfig, generate_trace
+
+
+def scenario_trace(
+    model: str, granularity: int, seed: int
+) -> ActivationTrace:
+    """The shared activation trace a scenario's machines execute against.
+
+    Mirrors :func:`repro.serving.default_serving_trace`'s shape so a
+    scenario run exercises the same serving fast path the benchmarks
+    measure, but stays explicitly seedable from the spec.
+    """
+    config = TraceConfig(prompt_len=64, decode_len=64, granularity=granularity)
+    return generate_trace(get_model(model), config, seed=seed)
+
+
+def _take(data: dict, allowed: typing.Iterable[str], context: str) -> dict:
+    """Reject unknown keys so a typo'd spec fails with a clear error."""
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown keys {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    return data
+
+
+def _lengths(data: dict | None, context: str) -> LengthDistribution:
+    if data is None:
+        return LengthDistribution()
+    _take(data, ("kind", "mean", "low", "high", "sigma"), context)
+    return LengthDistribution(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's open-loop traffic stream."""
+
+    name: str
+    class_name: str
+    workload: WorkloadConfig
+    seed: int
+
+    def generate(self) -> list[Request]:
+        return generate_workload(
+            self.workload,
+            seed=self.seed,
+            tenant=self.name,
+            class_name=self.class_name,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A fully-resolved scenario: ``run()`` yields the cluster report."""
+
+    name: str
+    description: str
+    model: str
+    granularity: int
+    trace_seed: int
+    machine: Machine
+    config: ClusterConfig
+    policy: BatchingPolicy
+    slo: SLOPolicy
+    tenants: tuple[TenantSpec, ...]
+
+    def build_workload(self) -> list[Request]:
+        """Merge every tenant's stream into one routed workload."""
+        return merge_workloads(*(t.generate() for t in self.tenants))
+
+    def build_trace(self) -> ActivationTrace:
+        """The shared activation trace all machines execute against."""
+        return scenario_trace(self.model, self.granularity, self.trace_seed)
+
+    def build_simulator(
+        self, trace: ActivationTrace | None = None
+    ) -> ClusterSimulator:
+        return ClusterSimulator(
+            self.model,
+            self.policy,
+            self.config,
+            slo=self.slo,
+            machine=self.machine,
+            trace=trace if trace is not None else self.build_trace(),
+        )
+
+    def run(self, trace: ActivationTrace | None = None) -> ClusterReport:
+        return self.build_simulator(trace).run(self.build_workload())
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+_TOP_KEYS = (
+    "name",
+    "description",
+    "model",
+    "seed",
+    "trace",
+    "machine",
+    "cluster",
+    "slo",
+    "classes",
+    "tenants",
+)
+_TENANT_KEYS = (
+    "name",
+    "class",
+    "arrival",
+    "rate",
+    "num_requests",
+    "prompt_lens",
+    "output_lens",
+    "seed",
+    "burst_factor",
+    "burst_fraction",
+    "burst_period",
+)
+#: tenant keys forwarded verbatim to :class:`WorkloadConfig`
+_WORKLOAD_KEYS = (
+    "arrival",
+    "rate",
+    "num_requests",
+    "burst_factor",
+    "burst_fraction",
+    "burst_period",
+)
+
+
+def _parse_machine(data: dict | None) -> Machine:
+    if not data:
+        return Machine()
+    _take(
+        data,
+        ("gpu", "num_dimms", "multipliers", "sync_latency"),
+        "machine",
+    )
+    machine = Machine()
+    if "gpu" in data:
+        machine = machine.with_gpu(get_gpu(data["gpu"]))
+    if "num_dimms" in data:
+        machine = machine.with_dimms(int(data["num_dimms"]))
+    if "multipliers" in data:
+        machine = machine.with_multipliers(int(data["multipliers"]))
+    if "sync_latency" in data:
+        machine = dataclasses.replace(
+            machine, sync_latency=float(data["sync_latency"])
+        )
+    return machine
+
+
+def _parse_cluster(data: dict | None) -> tuple[ClusterConfig, str, dict]:
+    """(config, policy name, policy kwargs) from the ``cluster`` table."""
+    data = dict(data or {})
+    _take(
+        data,
+        (
+            "num_machines",
+            "max_batch",
+            "router",
+            "router_seed",
+            "policy",
+            "union_cap",
+        ),
+        "cluster",
+    )
+    policy = data.pop("policy", "fcfs")
+    policy_kwargs = {}
+    if "union_cap" in data:
+        policy_kwargs["union_cap"] = float(data.pop("union_cap"))
+    router = data.get("router", "round-robin")
+    if router not in ROUTERS:
+        known = ", ".join(sorted(ROUTERS))
+        raise ValueError(
+            f"cluster.router: unknown router {router!r}; known: {known}"
+        )
+    return ClusterConfig(**data), policy, policy_kwargs
+
+
+def _parse_policy(name: str, kwargs: dict) -> BatchingPolicy:
+    if kwargs and name != "hermes-union":
+        raise ValueError(
+            "cluster.union_cap only applies to the hermes-union policy"
+        )
+    if name == "hermes-union" and kwargs:
+        return HermesUnionPolicy(**kwargs)
+    return get_policy(name)
+
+
+def _parse_classes(classes: dict | None, slo_table: dict | None) -> SLOPolicy:
+    slo_table = dict(slo_table or {})
+    _take(slo_table, ("preemptive", "headroom"), "slo")
+    parsed: list[PriorityClass] = []
+    for name, fields in (classes or {}).items():
+        _take(fields, ("priority", "ttft_slo", "tbt_slo"), f"classes.{name}")
+        parsed.append(
+            PriorityClass(
+                name=name,
+                priority=int(fields.get("priority", 0)),
+                ttft_slo=fields.get("ttft_slo"),
+                tbt_slo=fields.get("tbt_slo"),
+            )
+        )
+    if not any(c.name == "default" for c in parsed):
+        parsed.append(DEFAULT_CLASS)
+    return SLOPolicy(classes=tuple(parsed), **slo_table)
+
+
+def _parse_tenant(
+    data: dict, index: int, base_seed: int, slo: SLOPolicy
+) -> TenantSpec:
+    context = f"tenants[{index}]"
+    _take(data, _TENANT_KEYS, context)
+    name = data.get("name", f"tenant-{index}")
+    class_name = data.get("class", "default")
+    if class_name not in {c.name for c in slo.classes}:
+        declared = ", ".join(sorted(c.name for c in slo.classes))
+        raise ValueError(
+            f"{context}: class {class_name!r} is not declared "
+            f"(declared: {declared})"
+        )
+    workload_kwargs = {}
+    for key in _WORKLOAD_KEYS:
+        if key in data:
+            workload_kwargs[key] = data[key]
+    workload = WorkloadConfig(
+        prompt_lens=_lengths(
+            data.get("prompt_lens"), f"{context}.prompt_lens"
+        ),
+        output_lens=_lengths(
+            data.get("output_lens"), f"{context}.output_lens"
+        ),
+        **workload_kwargs,
+    )
+    return TenantSpec(
+        name=name,
+        class_name=class_name,
+        workload=workload,
+        seed=int(data.get("seed", base_seed + index)),
+    )
+
+
+def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
+    """Build a :class:`Scenario` from a decoded spec mapping."""
+    _take(data, _TOP_KEYS, name_hint)
+    if "model" not in data:
+        raise ValueError(f"{name_hint}: a scenario must name its model")
+    tenants_data = data.get("tenants")
+    if not tenants_data:
+        raise ValueError(f"{name_hint}: a scenario needs >= 1 tenant")
+    base_seed = int(data.get("seed", 0))
+    trace = dict(data.get("trace") or {})
+    _take(trace, ("granularity", "seed"), f"{name_hint}.trace")
+    config, policy_name, policy_kwargs = _parse_cluster(data.get("cluster"))
+    slo = _parse_classes(data.get("classes"), data.get("slo"))
+    tenants = []
+    for index, tenant in enumerate(tenants_data):
+        tenants.append(_parse_tenant(tenant, index, base_seed, slo))
+    return Scenario(
+        name=data.get("name", name_hint),
+        description=data.get("description", ""),
+        model=data["model"],
+        granularity=int(trace.get("granularity", 64)),
+        trace_seed=int(trace.get("seed", 7)),
+        machine=_parse_machine(data.get("machine")),
+        config=config,
+        policy=_parse_policy(policy_name, policy_kwargs),
+        slo=slo,
+        tenants=tuple(tenants),
+    )
+
+
+def load_scenario(path: str | pathlib.Path) -> Scenario:
+    """Load a scenario spec from a ``.json`` or ``.toml`` file."""
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        data = json.loads(path.read_text())
+    elif suffix == ".toml":
+        if tomllib is None:
+            raise RuntimeError(
+                "TOML scenarios need Python >= 3.11 (tomllib); "
+                "use the JSON form on older interpreters"
+            )
+        data = tomllib.loads(path.read_text())
+    else:
+        raise ValueError(
+            f"unsupported scenario format {suffix!r} "
+            "(expected .json or .toml)"
+        )
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: scenario spec must be a mapping")
+    return parse_scenario(data, name_hint=path.stem)

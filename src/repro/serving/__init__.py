@@ -25,12 +25,13 @@ from .policies import (
     ShortestOutputFirstPolicy,
     get_policy,
 )
-from .simulator import ServingConfig, ServingSimulator
+from .simulator import ActiveEntry, ServingConfig, ServingSimulator
 from .workload import (
     LengthDistribution,
     Request,
     WorkloadConfig,
     generate_workload,
+    merge_workloads,
     workload_from_arrivals,
 )
 
@@ -39,7 +40,9 @@ __all__ = [
     "LengthDistribution",
     "WorkloadConfig",
     "generate_workload",
+    "merge_workloads",
     "workload_from_arrivals",
+    "ActiveEntry",
     "BatchingPolicy",
     "FCFSPolicy",
     "NoBatchPolicy",

@@ -64,6 +64,9 @@ class RequestRecord:
     machine: int = -1
     prefill_start: float | None = None
     token_times: list[float] = dataclasses.field(default_factory=list)
+    #: times this request was bumped out of a running batch by preemptive
+    #: admission (cluster SLO scheduling); 0 under non-preemptive policies
+    preemptions: int = 0
 
     @property
     def finished(self) -> bool:
@@ -110,10 +113,22 @@ class ServingReport:
     queue_samples: list[tuple[float, float]]
     #: (time, total in-flight batch) change points
     batch_samples: list[tuple[float, float]]
-    gpu_busy: float = 0.0
-    dimm_busy: float = 0.0
+    #: per-machine busy seconds (index = machine id); empty means "not
+    #: tracked", in which case the aggregate properties report 0
+    machine_gpu_busy: list[float] = dataclasses.field(default_factory=list)
+    machine_dimm_busy: list[float] = dataclasses.field(default_factory=list)
 
     # ------------------------------------------------------------------
+    @property
+    def gpu_busy(self) -> float:
+        """Total GPU busy seconds summed over machines."""
+        return sum(self.machine_gpu_busy)
+
+    @property
+    def dimm_busy(self) -> float:
+        """Total NDP-DIMM-pool busy seconds summed over machines."""
+        return sum(self.machine_dimm_busy)
+
     @property
     def completed(self) -> list[RequestRecord]:
         return [r for r in self.records if r.finished]
@@ -180,3 +195,17 @@ class ServingReport:
         if self.makespan <= 0:
             return 0.0
         return self.dimm_busy / (self.makespan * self.num_machines)
+
+    @property
+    def machine_gpu_utilization(self) -> list[float]:
+        """Per-machine GPU busy fraction over the makespan."""
+        if self.makespan <= 0:
+            return [0.0] * len(self.machine_gpu_busy)
+        return [b / self.makespan for b in self.machine_gpu_busy]
+
+    @property
+    def machine_dimm_utilization(self) -> list[float]:
+        """Per-machine NDP-DIMM pool busy fraction over the makespan."""
+        if self.makespan <= 0:
+            return [0.0] * len(self.machine_dimm_busy)
+        return [b / self.makespan for b in self.machine_dimm_busy]

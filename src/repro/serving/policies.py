@@ -32,7 +32,13 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class BatchingPolicy:
-    """Base policy: FCFS order, no extra batch cap."""
+    """Base policy: FCFS order, no extra batch cap.
+
+    Contract: ``order`` must be a *deterministic total order* (ties broken
+    down to ``req_id``, which is unique) and must accept an empty queue;
+    ``batch_limit`` must return at least 1 — the simulator additionally
+    clamps it so a buggy policy cannot wedge a machine at batch 0.
+    """
 
     name = "fcfs"
 
@@ -42,7 +48,7 @@ class BatchingPolicy:
 
     def batch_limit(self, executor: "MachineExecutor",
                     max_batch: int) -> int:
-        """Largest batch this policy lets the machine run."""
+        """Largest batch this policy lets the machine run (>= 1)."""
         return max_batch
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -71,6 +77,8 @@ class ShortestOutputFirstPolicy(BatchingPolicy):
     name = "sjf"
 
     def order(self, queue: list[Request]) -> list[Request]:
+        # equal output lengths fall back to FCFS order, then the unique
+        # req_id, so admission is a deterministic total order
         return sorted(queue,
                       key=lambda r: (r.output_len, r.arrival, r.req_id))
 
@@ -94,6 +102,9 @@ class HermesUnionPolicy(BatchingPolicy):
 
     def batch_limit(self, executor: "MachineExecutor",
                     max_batch: int) -> int:
+        # a cap at (or numerically below) the single-request union factor
+        # of exactly 1.0 still admits batch 1: max_union_batch's floor, so
+        # the machine always makes progress
         return executor.max_union_batch(self.union_cap, max_batch)
 
 

@@ -9,22 +9,33 @@ prefill as a separate process) — with the single process per machine today
 the resource is never contended.  The loop is the canonical
 iteration-level scheduler:
 
-1. ingest arrivals into the shared queue;
-2. admit queued requests in policy order while the effective batch cap
+1. ingest arrivals into the machine's queue;
+2. (cluster only) preemptively evict a low-priority resident request when
+   a queued higher-priority prefill would otherwise miss its deadline;
+3. admit queued requests in policy order while the effective batch cap
    (``min(max_batch, policy.batch_limit)``) has room, charging each
    admission's prefill on the machine;
-3. run one decode iteration for the whole resident batch (every request
+4. run one decode iteration for the whole resident batch (every request
    gains one token; the engine sees the batch's mean context length);
-4. retire finished requests and repeat — or, when fully idle, sleep until
+5. retire finished requests and repeat — or, when fully idle, sleep until
    the next arrival.
 
 Prefill blocks decode on the same machine (no chunked prefill), which is
 what creates the classic TTFT-vs-TBT tension the policies trade off.
+
+The loop itself is machine-count-agnostic: :class:`ServingSimulator` runs
+every machine against one *shared* queue (work-stealing semantics), while
+:class:`repro.cluster.ClusterSimulator` subclasses it with per-machine
+queues fed by a router, priority-aware admission order, and a preemptor —
+all through the small override points this module exposes
+(``_build_state`` / ``_admission_policy`` / ``_preemptor`` /
+``_make_report``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from ..core import HermesConfig
 from ..hardware import Machine
@@ -52,11 +63,14 @@ class ServingConfig:
 
 
 @dataclasses.dataclass
-class _Active:
+class ActiveEntry:
     """A request resident in some machine's running batch."""
 
     request: Request
     record: RequestRecord
+    #: simulation time this entry (last) joined the batch — preemption
+    #: victims are chosen newest-first among the lowest priority class
+    admitted_at: float = 0.0
 
     @property
     def next_context(self) -> int:
@@ -64,10 +78,29 @@ class _Active:
         return self.request.prompt_len + len(self.record.token_times) + 1
 
 
-class _RunState:
-    """Mutable state shared by the machine processes of one run."""
+class Preemptor(typing.Protocol):
+    """Decides whether a resident request must yield its batch slot."""
 
-    def __init__(self, workload: list[Request]) -> None:
+    def victim(self, now: float, queue: list[Request],
+               active: list[ActiveEntry],
+               executor: MachineExecutor) -> ActiveEntry | None:
+        """The entry to evict so the queue head can admit, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+class _RunState:
+    """Mutable state shared by the machine processes of one run.
+
+    ``num_queues == 1`` is the shared-queue (work-stealing) mode the
+    single-cluster :class:`ServingSimulator` uses; with one queue per
+    machine, ``assign`` routes each arrival to its machine at ingest time
+    (the cluster layer passes a router here).
+    """
+
+    def __init__(self, workload: list[Request], num_machines: int = 1, *,
+                 num_queues: int = 1,
+                 assign: typing.Callable[[Request], int] | None = None
+                 ) -> None:
         self.workload = sorted(workload, key=lambda r: (r.arrival, r.req_id))
         ids = [r.req_id for r in self.workload]
         if len(set(ids)) != len(ids):
@@ -75,27 +108,53 @@ class _RunState:
         self.records = {r.req_id: RequestRecord(request=r)
                         for r in self.workload}
         self.next_arrival_idx = 0
-        self.queue: list[Request] = []
+        self.queues: list[list[Request]] = [[] for _ in range(num_queues)]
+        self.assign = assign
         self.total_active = 0
+        self.active_counts = [0] * num_machines
         self.queue_samples: list[tuple[float, float]] = []
         self.batch_samples: list[tuple[float, float]] = []
-        self.gpu_busy = 0.0
-        self.dimm_busy = 0.0
+        self.machine_gpu_busy = [0.0] * num_machines
+        self.machine_dimm_busy = [0.0] * num_machines
 
+    # ------------------------------------------------------------------
+    def queue_of(self, m: int) -> list[Request]:
+        """Machine ``m``'s admission queue (the shared one if only one)."""
+        return self.queues[m] if len(self.queues) > 1 else self.queues[0]
+
+    def loads(self) -> list[float]:
+        """Per-machine load proxy (queued + resident) routers consult."""
+        counts = self.active_counts
+        if len(self.queues) == 1:
+            # shared queue: the backlog belongs to no machine yet
+            return [float(c) for c in counts]
+        return [len(q) + c for q, c in zip(self.queues, counts)]
+
+    def queued_total(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    # ------------------------------------------------------------------
     def ingest(self, now: float) -> bool:
-        """Move every request with ``arrival <= now`` into the queue.
+        """Move every request with ``arrival <= now`` into its queue.
 
         Returns whether anything arrived (admission order may change).
         """
         moved = False
         while (self.next_arrival_idx < len(self.workload)
                and self.workload[self.next_arrival_idx].arrival <= now):
-            self.queue.append(self.workload[self.next_arrival_idx])
+            request = self.workload[self.next_arrival_idx]
+            target = 0 if self.assign is None else self.assign(request)
+            self.queues[target].append(request)
             self.next_arrival_idx += 1
             moved = True
         if moved:
-            self.queue_samples.append((now, float(len(self.queue))))
+            self.queue_samples.append((now, float(self.queued_total())))
         return moved
+
+    def requeue(self, m: int, request: Request, now: float) -> None:
+        """Return a preempted request to machine ``m``'s queue."""
+        self.queue_of(m).append(request)
+        self.note_queue(now)
 
     def next_arrival(self) -> float | None:
         if self.next_arrival_idx >= len(self.workload):
@@ -103,7 +162,7 @@ class _RunState:
         return self.workload[self.next_arrival_idx].arrival
 
     def note_queue(self, now: float) -> None:
-        self.queue_samples.append((now, float(len(self.queue))))
+        self.queue_samples.append((now, float(self.queued_total())))
 
     def note_batch(self, now: float) -> None:
         self.batch_samples.append((now, float(self.total_active)))
@@ -141,19 +200,21 @@ class ServingSimulator:
             partition = executor.session.partition
             self.executors.append(executor)
 
-    # ------------------------------------------------------------------
-    def run(self, workload: list[Request]) -> ServingReport:
-        """Serve ``workload`` to completion; returns the metrics report."""
-        if not workload:
-            raise ValueError("workload must be non-empty")
-        sim = Simulator()
-        state = _RunState(workload)
-        for m, executor in enumerate(self.executors):
-            resource = Resource(f"machine-{m}")
-            sim.process(self._machine_proc(sim, state, m, executor,
-                                           resource),
-                        name=f"machine-{m}")
-        makespan = sim.run()
+    # ---- override points for the cluster layer -----------------------
+    def _build_state(self, workload: list[Request]) -> _RunState:
+        """Run state: one shared queue every machine admits from."""
+        return _RunState(workload, self.config.num_machines)
+
+    def _admission_policy(self) -> BatchingPolicy:
+        """The policy whose ``order`` ranks admission each round."""
+        return self.policy
+
+    def _preemptor(self) -> Preemptor | None:
+        """Preemptive-admission hook; the base simulator has none."""
+        return None
+
+    def _make_report(self, state: _RunState,
+                     makespan: float) -> ServingReport:
         return ServingReport(
             policy=self.policy.name,
             num_machines=self.config.num_machines,
@@ -161,45 +222,85 @@ class ServingSimulator:
             makespan=makespan,
             queue_samples=state.queue_samples,
             batch_samples=state.batch_samples,
-            gpu_busy=state.gpu_busy,
-            dimm_busy=state.dimm_busy,
+            machine_gpu_busy=state.machine_gpu_busy,
+            machine_dimm_busy=state.machine_dimm_busy,
         )
+
+    # ------------------------------------------------------------------
+    def run(self, workload: list[Request]) -> ServingReport:
+        """Serve ``workload`` to completion; returns the metrics report."""
+        if not workload:
+            raise ValueError("workload must be non-empty")
+        sim = Simulator()
+        state = self._build_state(workload)
+        for m, executor in enumerate(self.executors):
+            resource = Resource(f"machine-{m}")
+            sim.process(self._machine_proc(sim, state, m, executor,
+                                           resource),
+                        name=f"machine-{m}")
+        makespan = sim.run()
+        return self._make_report(state, makespan)
 
     # ------------------------------------------------------------------
     def _machine_proc(self, sim: Simulator, state: _RunState, m: int,
                       executor: MachineExecutor, resource: Resource):
         """Generator process for one machine's scheduling loop."""
         cfg = self.config
-        policy = self.policy
-        active: list[_Active] = []
+        policy = self._admission_policy()
+        preemptor = self._preemptor()
+        active: list[ActiveEntry] = []
         while True:
             state.ingest(sim.now)
+            queue = state.queue_of(m)
+
+            # ---- effective batch cap for this round ----
+            # clamped to >= 1: a policy returning 0 would otherwise wedge
+            # the machine (no admission, no decode, queue stranded)
+            limit = max(1, min(cfg.max_batch,
+                               policy.batch_limit(executor, cfg.max_batch)))
+
+            # ---- preemptive admission (cluster SLO scheduling) ----
+            if preemptor is not None and queue and len(active) >= limit:
+                victim = preemptor.victim(sim.now, queue, active, executor)
+                if victim is not None:
+                    active.remove(victim)
+                    victim.record.preemptions += 1
+                    state.total_active -= 1
+                    state.active_counts[m] -= 1
+                    state.note_batch(sim.now)
+                    state.requeue(m, victim.request, sim.now)
 
             # ---- admission: fill the batch in policy order ----
-            limit = min(cfg.max_batch,
-                        policy.batch_limit(executor, cfg.max_batch))
             # re-rank each admission: the queue changes under us while this
             # machine yields (new arrivals, and sibling machines admitting
             # from the same shared queue)
-            while len(active) < limit and state.queue:
-                request = policy.order(state.queue)[0]
-                state.queue.remove(request)
+            while len(active) < limit and queue:
+                request = policy.order(queue)[0]
+                queue.remove(request)
                 state.note_queue(sim.now)
                 record = state.records[request.req_id]
                 record.machine = m
-                record.prefill_start = sim.now
-                yield Acquire(resource)
-                compute, transfer = executor.prefill_cost(request.prompt_len)
-                yield Timeout(compute + transfer)
-                yield Release(resource)
-                # only the compute part occupies the GPU; the KV push is
-                # PCIe time (kept out of utilization, like decode's syncs)
-                state.gpu_busy += compute
-                active.append(_Active(request, record))
+                if record.prefill_start is None:
+                    record.prefill_start = sim.now
+                    yield Acquire(resource)
+                    compute, transfer = executor.prefill_cost(
+                        request.prompt_len)
+                    yield Timeout(compute + transfer)
+                    yield Release(resource)
+                    # only the compute part occupies the GPU; the KV push
+                    # is PCIe time (kept out of utilization, like decode's
+                    # syncs)
+                    state.machine_gpu_busy[m] += compute
+                # else: a preempted request re-joins — its KV state is
+                # already resident, so re-admission is free
+                active.append(ActiveEntry(request, record,
+                                          admitted_at=sim.now))
                 state.total_active += 1
+                state.active_counts[m] += 1
                 state.note_batch(sim.now)
                 # arrivals during this prefill are admissible right away
                 state.ingest(sim.now)
+                queue = state.queue_of(m)
 
             # ---- one continuous-batching decode iteration ----
             if active:
@@ -210,8 +311,8 @@ class ServingSimulator:
                 cost = executor.decode_step(batch, context)
                 yield Timeout(cost.seconds)
                 yield Release(resource)
-                state.gpu_busy += cost.gpu_busy
-                state.dimm_busy += cost.dimm_busy
+                state.machine_gpu_busy[m] += cost.gpu_busy
+                state.machine_dimm_busy[m] += cost.dimm_busy
                 now = sim.now
                 for entry in active:
                     entry.record.token_times.append(now)
@@ -219,12 +320,13 @@ class ServingSimulator:
                 if finished:
                     active = [a for a in active if not a.record.finished]
                     state.total_active -= len(finished)
+                    state.active_counts[m] -= len(finished)
                     state.note_batch(now)
                 continue
 
             # ---- idle: sleep until the next arrival, or exit ----
-            # (reaching here implies the queue is empty: with no resident
-            # batch the admission loop drains the queue first)
+            # (reaching here implies this machine's queue is empty: with no
+            # resident batch the admission loop drains the queue first)
             upcoming = state.next_arrival()
             if upcoming is None:
                 break

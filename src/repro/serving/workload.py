@@ -27,12 +27,23 @@ LENGTH_KINDS = ("fixed", "uniform", "lognormal")
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One inference request as submitted by a client."""
+    """One inference request as submitted by a client.
+
+    ``tenant`` identifies the submitting workload stream (used by
+    session-affinity routing and fairness accounting); ``class_name``
+    names the request's priority/SLO class — both default to
+    ``"default"`` so single-tenant workloads need not set them.  The
+    cluster layer (:mod:`repro.cluster`) resolves ``class_name`` against
+    its configured :class:`~repro.cluster.PriorityClass` table; the
+    single-machine simulator ignores both fields.
+    """
 
     req_id: int
     arrival: float  # seconds since simulation start
     prompt_len: int
     output_len: int
+    tenant: str = "default"
+    class_name: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -158,8 +169,15 @@ def _bursty_arrivals(config: WorkloadConfig,
     return np.asarray(arrivals[:config.num_requests])
 
 
-def generate_workload(config: WorkloadConfig, seed: int = 0) -> list[Request]:
-    """Sample a full open-loop workload; deterministic in (config, seed)."""
+def generate_workload(config: WorkloadConfig, seed: int = 0, *,
+                      tenant: str = "default",
+                      class_name: str = "default") -> list[Request]:
+    """Sample a full open-loop workload; deterministic in (config, seed).
+
+    ``tenant``/``class_name`` tag every request of the stream (used by
+    cluster routing, SLO classes, and fairness accounting); the sampled
+    arrivals and lengths do not depend on them.
+    """
     rng = np.random.default_rng(seed)
     if config.arrival == "poisson":
         arrivals = _poisson_arrivals(config, rng)
@@ -168,9 +186,26 @@ def generate_workload(config: WorkloadConfig, seed: int = 0) -> list[Request]:
     return [
         Request(req_id=i, arrival=float(t),
                 prompt_len=config.prompt_lens.sample(rng),
-                output_len=config.output_lens.sample(rng))
+                output_len=config.output_lens.sample(rng),
+                tenant=tenant, class_name=class_name)
         for i, t in enumerate(arrivals)
     ]
+
+
+def merge_workloads(*streams: list[Request]) -> list[Request]:
+    """Interleave tenant streams into one workload with fresh req_ids.
+
+    Requests are ordered by ``(arrival, source order)`` and renumbered so
+    the merged workload has unique, dense ids — the form the simulators
+    require.  Tenant and class tags are preserved.
+    """
+    tagged = [(r.arrival, s, i) for s, stream in enumerate(streams)
+              for i, r in enumerate(stream)]
+    if not tagged:
+        raise ValueError("merge_workloads needs at least one request")
+    tagged.sort()
+    return [dataclasses.replace(streams[s][i], req_id=new_id)
+            for new_id, (_, s, i) in enumerate(tagged)]
 
 
 def workload_from_arrivals(arrivals: list[float],

@@ -1,6 +1,5 @@
 """Unit tests for the DDR4 timing substrate (Table II)."""
 
-import dataclasses
 
 import pytest
 

@@ -7,7 +7,6 @@ import pytest
 from repro.core import HermesConfig, HermesSystem, batch_union_factor
 from repro.hardware import Machine, TESLA_T4
 from repro.models import get_model
-from repro.sparsity import TraceConfig, generate_trace
 
 import numpy as np
 

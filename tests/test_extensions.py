@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ActivationPredictor, PredictorConfig
-from repro.models import get_model
 from repro.ndp import (
     LinkSend,
     Mac,

@@ -7,8 +7,6 @@ import pytest
 from repro.hardware import (
     A100_40GB,
     HostCPU,
-    Machine,
-    NDPDIMM,
     RTX_3090,
     RTX_4090,
     TESLA_T4,

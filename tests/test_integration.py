@@ -7,7 +7,6 @@ from repro import (
     HermesSystem,
     Machine,
     generate_trace,
-    get_model,
     machine_cost_usd,
 )
 from repro.core import HermesConfig

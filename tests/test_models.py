@@ -87,7 +87,8 @@ class TestWeightFootprints:
         assert spec().mlp_neuron_bytes == 2 * 64 * BYTES_PER_PARAM
 
     def test_mlp_neuron_bytes_gated(self):
-        assert spec(gated_mlp=True).mlp_neuron_bytes == 3 * 64 * BYTES_PER_PARAM
+        assert spec(gated_mlp=True).mlp_neuron_bytes \
+            == 3 * 64 * BYTES_PER_PARAM
 
     def test_sparse_bytes_sum(self):
         s = spec()

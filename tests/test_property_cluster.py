@@ -1,0 +1,110 @@
+"""Property-based equivalence guarantees for the cluster layer.
+
+Two invariants the refactor to a machine-count-agnostic serving loop
+must preserve, checked over hypothesis-generated workload space:
+
+* a 1-machine cluster behind the round-robin router is *exactly* the
+  single-machine :class:`~repro.serving.ServingSimulator` — same event
+  trace, bit-identical metrics — for every policy and arrival process;
+* parallel scenario grids (``--jobs 2``) assemble byte-identical
+  experiment payloads to serial runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ClusterSimulator
+from repro.experiments import cluster_eval
+from repro.models import get_model
+from repro.serving import (
+    LengthDistribution,
+    ServingConfig,
+    ServingSimulator,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.sparsity import TraceConfig, generate_trace
+
+#: module-level trace: hypothesis examples must not rebuild it
+_TRACE = None
+
+
+def _trace():
+    global _TRACE
+    if _TRACE is None:
+        _TRACE = generate_trace(
+            get_model("tiny-test"),
+            TraceConfig(prompt_len=32, decode_len=64, granularity=4),
+            seed=11)
+    return _TRACE
+
+
+@st.composite
+def workload_cases(draw):
+    arrival = draw(st.sampled_from(["poisson", "bursty"]))
+    kwargs = {}
+    if arrival == "bursty":
+        kwargs = dict(burst_factor=3.0, burst_fraction=0.25)
+    config = WorkloadConfig(
+        arrival=arrival,
+        rate=draw(st.floats(min_value=20.0, max_value=20000.0)),
+        num_requests=draw(st.integers(min_value=2, max_value=16)),
+        prompt_lens=LengthDistribution(
+            mean=draw(st.integers(min_value=8, max_value=64))),
+        output_lens=LengthDistribution(
+            kind="uniform",
+            low=draw(st.integers(min_value=1, max_value=8)),
+            high=draw(st.integers(min_value=8, max_value=24))),
+        **kwargs)
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    policy = draw(st.sampled_from(
+        ["fcfs", "fcfs-nobatch", "sjf", "hermes-union"]))
+    max_batch = draw(st.sampled_from([1, 4, 8]))
+    return config, seed, policy, max_batch
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(workload_cases())
+def test_one_machine_cluster_is_exactly_the_serving_simulator(case):
+    config, seed, policy, max_batch = case
+    workload = generate_workload(config, seed=seed)
+    base = ServingSimulator(
+        "tiny-test", policy, ServingConfig(max_batch=max_batch),
+        trace=_trace()).run(workload)
+    clustered = ClusterSimulator(
+        "tiny-test", policy,
+        ClusterConfig(max_batch=max_batch, num_machines=1,
+                      router="round-robin"),
+        trace=_trace()).run(workload)
+    # identical event trace...
+    assert clustered.makespan == base.makespan
+    assert [(r.prefill_start, r.token_times, r.machine)
+            for r in clustered.records] == \
+        [(r.prefill_start, r.token_times, r.machine)
+         for r in base.records]
+    assert clustered.queue_samples == base.queue_samples
+    assert clustered.batch_samples == base.batch_samples
+    assert clustered.machine_gpu_busy == base.machine_gpu_busy
+    assert clustered.machine_dimm_busy == base.machine_dimm_busy
+    # ...hence identical cluster-level metrics, bit for bit
+    assert clustered.tokens_per_second == base.tokens_per_second
+    assert clustered.mean_batch_size == base.mean_batch_size
+    if base.completed:
+        for p in (50.0, 99.0):
+            assert clustered.ttft_percentile(p) == base.ttft_percentile(p)
+            assert clustered.e2e_percentile(p) == base.e2e_percentile(p)
+
+
+def test_cluster_grid_jobs2_matches_serial():
+    """--jobs 2 must produce a byte-identical ExperimentResult payload
+    to --jobs 1 on the quick cluster scenario grid."""
+    serial = cluster_eval.run(quick=True, jobs=1)
+    parallel = cluster_eval.run(quick=True, jobs=2)
+    assert json.dumps(dataclasses.asdict(serial), sort_keys=True) == \
+        json.dumps(dataclasses.asdict(parallel), sort_keys=True)

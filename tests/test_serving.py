@@ -175,6 +175,87 @@ class TestPolicies:
         ordered = get_policy("fcfs").order(queue)
         assert [r.arrival for r in ordered] == [0.5, 1.0, 2.0]
 
+    def test_empty_queue_round_is_noop(self):
+        """Regression: every policy must tolerate an empty queue round."""
+        for name in ("fcfs", "fcfs-nobatch", "sjf", "hermes-union"):
+            assert get_policy(name).order([]) == []
+
+    def test_sjf_equal_output_lengths_tiebreak_deterministic(self):
+        """Regression: SJF ties on output_len fall back to (arrival,
+        req_id) — a stable total order, not dict/insertion order."""
+        queue = [Request(req_id=i, arrival=a, prompt_len=8, output_len=16)
+                 for i, a in enumerate([1.0, 0.25, 0.25, 0.5])]
+        ordered = get_policy("sjf").order(queue)
+        assert [r.req_id for r in ordered] == [1, 2, 3, 0]
+        # shuffled input produces the identical order
+        assert get_policy("sjf").order(queue[::-1]) == ordered
+
+
+class TestUnionCapEdgeCases:
+    @pytest.fixture(scope="class")
+    def executor(self, machine, tiny_model, tiny_trace):
+        return MachineExecutor(machine, tiny_model, trace=tiny_trace)
+
+    def test_cap_at_single_request_union_admits_batch_one(self, executor):
+        """Regression: union_cap == the single-request union factor (1.0)
+        must still admit exactly one request, never zero."""
+        from repro.serving import HermesUnionPolicy
+        policy = HermesUnionPolicy(union_cap=1.0)
+        assert policy.batch_limit(executor, 16) == 1
+        # caps numerically below 1.0 (bypassing the constructor check)
+        # keep the batch-1 floor rather than wedging the machine
+        assert executor.max_union_batch(0.5, 16) == 1
+
+    def test_cap_below_one_rejected_by_constructor(self):
+        from repro.serving import HermesUnionPolicy
+        with pytest.raises(ValueError):
+            HermesUnionPolicy(union_cap=0.99)
+
+    def test_limit_one_short_circuits(self, executor):
+        assert executor.max_union_batch(10.0, 1) == 1
+        with pytest.raises(ValueError):
+            executor.max_union_batch(10.0, 0)
+
+    def test_union_capped_serving_run_completes(self, tiny_trace):
+        """A union cap of exactly 1.0 degrades to no-batching service
+        but must still drain the whole workload deterministically."""
+        from repro.serving import HermesUnionPolicy
+        workload = generate_workload(
+            WorkloadConfig(rate=500.0, num_requests=12,
+                           prompt_lens=LengthDistribution(mean=16),
+                           output_lens=LengthDistribution(mean=6)),
+            seed=5)
+        reports = [
+            ServingSimulator("tiny-test", HermesUnionPolicy(union_cap=1.0),
+                             ServingConfig(max_batch=8),
+                             trace=tiny_trace).run(workload)
+            for _ in range(2)
+        ]
+        assert all(len(r.completed) == 12 for r in reports)
+        assert reports[0].makespan == reports[1].makespan
+        assert reports[0].mean_batch_size <= 1.0 + 1e-9
+
+    def test_zero_batch_limit_policy_is_clamped(self, tiny_trace):
+        """Regression: a (buggy) policy returning batch_limit 0 used to
+        strand the queue forever; the simulator clamps it to 1."""
+        from repro.serving import BatchingPolicy
+
+        class ZeroLimit(BatchingPolicy):
+            name = "zero-limit"
+
+            def batch_limit(self, executor, max_batch):
+                return 0
+
+        workload = generate_workload(
+            WorkloadConfig(rate=500.0, num_requests=6,
+                           prompt_lens=LengthDistribution(mean=16),
+                           output_lens=LengthDistribution(mean=4)),
+            seed=6)
+        report = ServingSimulator("tiny-test", ZeroLimit(),
+                                  ServingConfig(max_batch=8),
+                                  trace=tiny_trace).run(workload)
+        assert len(report.completed) == 6
+
 
 class TestExecutor:
     @pytest.fixture(scope="class")

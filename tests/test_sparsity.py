@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.models import get_model
 from repro.sparsity import (
     ActivationTrace,
     NeuronLayout,

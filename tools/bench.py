@@ -82,6 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop for --check "
                              "(default 0.30)")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="also write this run's record to PATH "
+                             "(for CI artifacts)")
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
@@ -115,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         ratio = b1 / ref_b1
         print(f"vs baseline ({ref_src}: {ref_b1:,.0f}): {ratio:.2f}x")
         if args.check and ratio < 1.0 - args.tolerance:
-            print(f"FAIL: decode steps/sec dropped "
+            print("FAIL: decode steps/sec dropped "
                   f"{(1.0 - ratio) * 100:.0f}% (> "
                   f"{args.tolerance * 100:.0f}% allowed)", file=sys.stderr)
             status = 1
@@ -125,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         status = 1
 
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(current, indent=1) + "\n")
+        print(f"wrote {args.json_out}")
     if args.update and status == 0:
         if baseline is not None:
             history = baseline.pop("history", [])

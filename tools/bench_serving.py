@@ -1,0 +1,151 @@
+"""Serving benchmark driver: record and gate the cluster scenario path.
+
+Companion to ``tools/bench.py`` (decode fast path) for the serving
+layer: measures end-to-end runs/sec of the CI smoke scenario
+(``scenarios/mixed_slo_tiny.json``) and maintains ``BENCH_serving.json``
+at the repo root.  Modes:
+
+* default — measure and print, compare informationally.
+* ``--check`` — exit non-zero when the *simulated* metrics (tokens/s,
+  SLO attainment, preemptions) drift from the committed record beyond
+  float noise.  Simulated outputs are deterministic, so this is a
+  golden-style behaviour gate on the full cluster stack; wall time is
+  machine-dependent and only reported (calibration-scaled, like the
+  decode bench).
+* ``--update`` — rewrite ``BENCH_serving.json`` with this machine's
+  numbers (appends the previous record to its ``history``).
+* ``--quick`` — shorter measurement window; what CI runs.
+* ``--json-out PATH`` — also dump this run's record (for CI artifacts).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serving.py --quick
+    PYTHONPATH=src python tools/bench_serving.py --quick --check
+    PYTHONPATH=src python tools/bench_serving.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from benchmarks.bench_decode import bench_calibration  # noqa: E402
+from benchmarks.bench_serving import bench_scenario  # noqa: E402
+
+BENCH_FILE = ROOT / "BENCH_serving.json"
+
+#: relative tolerance for the deterministic simulated-metric gate —
+#: generous against float-libm jitter across platforms, far below any
+#: real scheduling-behaviour change
+DRIFT_RTOL = 1e-6
+
+
+def measure(quick: bool) -> dict:
+    min_seconds = 0.5 if quick else 2.0
+    return {
+        "schema": 1,
+        "recorded_unix": round(time.time(), 3),
+        "quick": quick,
+        "calibration_iters_per_sec": bench_calibration(),
+        "scenario": bench_scenario(min_seconds=min_seconds),
+    }
+
+
+def _drifted(current: dict, baseline: dict, prefix: str = "") -> list[str]:
+    """Human-readable diffs between simulated metric records."""
+    problems = []
+    for key in sorted(set(current) | set(baseline)):
+        label = f"{prefix}{key}"
+        if key not in current or key not in baseline:
+            problems.append(f"{label}: missing on one side")
+            continue
+        want, got = baseline[key], current[key]
+        if isinstance(want, dict):
+            problems.extend(_drifted(got, want, f"{label}."))
+            continue
+        if isinstance(want, float) and want:
+            ok = abs(got - want) <= DRIFT_RTOL * abs(want)
+        else:
+            ok = got == want
+        if not ok:
+            problems.append(f"{label}: baseline {want!r} -> "
+                            f"current {got!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short measurement window (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if simulated serving metrics drift "
+                             "from the committed baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_serving.json with this run")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="also write this run's record to PATH")
+    args = parser.parse_args(argv)
+
+    current = measure(args.quick)
+    scen = current["scenario"]
+    sim = scen["simulated"]
+    print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
+          f"runs/sec ({scen['runs']} runs in {scen['seconds']:.2f}s)")
+    print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
+          f"{sim['preemptions']} preemptions, "
+          f"slo_joint {sim['slo_joint']}")
+
+    baseline = None
+    if BENCH_FILE.exists():
+        baseline = json.loads(BENCH_FILE.read_text())
+
+    status = 0
+    if baseline is not None:
+        base_scen = baseline["scenario"]
+        ref = base_scen["runs_per_sec"]
+        calib = baseline.get("calibration_iters_per_sec")
+        src = "BENCH_serving.json"
+        if calib:
+            scale = current["calibration_iters_per_sec"] / calib
+            ref *= scale
+            src += f", calibrated x{scale:.2f}"
+        print(f"wall time vs baseline ({src}): "
+              f"{scen['runs_per_sec'] / ref:.2f}x")
+        problems = _drifted(sim, base_scen["simulated"])
+        if problems:
+            print("simulated-metric drift vs baseline:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            if args.check:
+                print("FAIL: cluster serving behaviour drifted; if "
+                      "intentional, rerun with --update",
+                      file=sys.stderr)
+                status = 1
+    elif args.check:
+        print("FAIL: no baseline to check against "
+              "(commit BENCH_serving.json)", file=sys.stderr)
+        status = 1
+
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(current, indent=1) + "\n")
+        print(f"wrote {args.json_out}")
+    if args.update and status == 0:
+        if baseline is not None:
+            history = baseline.pop("history", [])
+            history.append(baseline)
+            current["history"] = history[-20:]
+        BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {BENCH_FILE}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,21 @@ then asserts that the current engine reproduces every recorded number
 exactly.  JSON float serialisation round-trips (repr-based), so equality
 checks are bit-for-bit.
 
+``--verify`` instead *recomputes* every golden and diffs it against the
+committed file without writing anything — the CI golden-drift gate.  It
+covers the same ground as the equivalence test but from a clean process
+with zero pytest machinery, so a drift report names exactly which
+recorded quantity moved.
+
 Usage::
 
     PYTHONPATH=src python tools/capture_goldens.py [output.json]
+    PYTHONPATH=src python tools/capture_goldens.py --verify [golden.json]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
@@ -117,8 +125,56 @@ def serving_goldens() -> dict:
     return runs
 
 
-def main(argv: list[str]) -> int:
-    out = pathlib.Path(argv[1]) if len(argv) > 1 else (
+def _flatten(value, prefix: str = "") -> dict:
+    """Flatten nested dicts/lists to dotted-path -> leaf scalars."""
+    flat = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            flat.update(_flatten(sub, f"{prefix}{key}."))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            flat.update(_flatten(sub, f"{prefix}{i}."))
+    else:
+        flat[prefix.rstrip(".")] = value
+    return flat
+
+
+def verify(path: pathlib.Path, goldens: dict) -> int:
+    """Diff freshly-computed goldens against the committed record."""
+    if not path.exists():
+        print(f"FAIL: no committed goldens at {path}", file=sys.stderr)
+        return 1
+    # round-trip through JSON so float repr conventions match the file
+    current = _flatten(json.loads(json.dumps(goldens)))
+    recorded = _flatten(json.loads(path.read_text()))
+    drifted = sorted(
+        key for key in set(current) | set(recorded)
+        if current.get(key) != recorded.get(key))
+    if drifted:
+        print(f"FAIL: {len(drifted)} golden value(s) drifted from {path}:",
+              file=sys.stderr)
+        for key in drifted[:20]:
+            print(f"  {key}: recorded {recorded.get(key)!r} -> "
+                  f"current {current.get(key)!r}", file=sys.stderr)
+        if len(drifted) > 20:
+            print(f"  ... and {len(drifted) - 20} more", file=sys.stderr)
+        print("if the change is intentional, regenerate with "
+              "tools/capture_goldens.py", file=sys.stderr)
+        return 1
+    print(f"OK: {len(current)} golden values match {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=None,
+                        help="golden file (default: "
+                             "tests/data/golden_engine_tiny.json)")
+    parser.add_argument("--verify", action="store_true",
+                        help="recompute goldens and fail on any drift "
+                             "instead of writing")
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.path) if args.path else (
         pathlib.Path(__file__).resolve().parent.parent
         / "tests" / "data" / "golden_engine_tiny.json")
     goldens = {
@@ -126,6 +182,8 @@ def main(argv: list[str]) -> int:
         "engine": engine_goldens(),
         "serving": serving_goldens(),
     }
+    if args.verify:
+        return verify(out, goldens)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
     print(f"wrote {out}")
@@ -133,4 +191,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())
