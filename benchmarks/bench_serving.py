@@ -21,6 +21,7 @@ Two kinds of numbers come out of one measurement:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from repro.experiments.cluster_eval import resolve_scenario
@@ -38,6 +39,12 @@ def bench_scenario(spec: str = BENCH_SCENARIO, *,
     simulation, report) re-runs whole until ``min_seconds`` of wall time
     accumulate; the simulated metrics of the final run are included for
     the drift gate — they are identical across runs by construction.
+
+    The default path is the macro-stepped (fused multi-token) serving
+    loop; a shorter measurement of the same scenario with
+    ``macro_step=False`` — the per-token reference loop, which produces
+    bit-identical simulated metrics — is reported under ``fused_loop``
+    so the committed record tracks what the fusion buys end to end.
     """
     path = resolve_scenario(spec)
     scenario = load_scenario(path)
@@ -51,6 +58,22 @@ def bench_scenario(spec: str = BENCH_SCENARIO, *,
         elapsed = time.perf_counter() - start
         if elapsed >= min_seconds:
             break
+    fused_rps = runs / elapsed
+
+    # stepped reference: same scenario, macro-stepping off
+    stepped = dataclasses.replace(
+        scenario,
+        config=dataclasses.replace(scenario.config, macro_step=False))
+    stepped_runs = 0
+    stepped_start = time.perf_counter()
+    while True:
+        stepped.run(trace)
+        stepped_runs += 1
+        stepped_elapsed = time.perf_counter() - stepped_start
+        if stepped_elapsed >= min_seconds / 2:
+            break
+    stepped_rps = stepped_runs / stepped_elapsed
+
     attainment = {
         name: report.slo_attainment(name)["joint"]
         for name in report.class_names
@@ -60,7 +83,12 @@ def bench_scenario(spec: str = BENCH_SCENARIO, *,
         "scenario": scenario.name,
         "runs": runs,
         "seconds": elapsed,
-        "runs_per_sec": runs / elapsed,
+        "runs_per_sec": fused_rps,
+        "fused_loop": {
+            "stepped_runs": stepped_runs,
+            "stepped_runs_per_sec": stepped_rps,
+            "speedup": fused_rps / stepped_rps,
+        },
         "simulated": {
             "completed": len(report.completed),
             "tokens_per_second": report.tokens_per_second,

@@ -102,12 +102,20 @@ class PriorityOrderedPolicy(BatchingPolicy):
         self.base = base
         self.slo = slo
         self.name = f"{base.name}+priority"
+        #: keys are immutable per request, and the admission scan
+        #: evaluates them for the whole queue on every select — memoise
+        #: by the unique req_id (one policy instance serves one run)
+        self._key_cache: dict[int, tuple] = {}
 
-    def order(self, queue: list[Request]) -> list[Request]:
-        return sorted(
-            self.base.order(queue),
-            key=lambda r: -self.slo.priority_of(r),
-        )
+    def key(self, request: Request):
+        key = self._key_cache.get(request.req_id)
+        if key is None:
+            # negated priority first, then the base policy's total order
+            # — exactly the (stable) sort of base order by descending
+            # priority
+            key = (-self.slo.priority_of(request), self.base.key(request))
+            self._key_cache[request.req_id] = key
+        return key
 
     def batch_limit(self, executor: MachineExecutor, max_batch: int) -> int:
         return self.base.batch_limit(executor, max_batch)
@@ -141,7 +149,7 @@ class DeadlinePreemptor:
         active: list[ActiveEntry],
         executor: MachineExecutor,
     ) -> ActiveEntry | None:
-        head = self.policy.order(queue)[0]
+        head = queue[self.policy.select(queue)]
         cls = self.slo.class_of(head)
         if cls.ttft_slo is None:
             return None
@@ -163,3 +171,38 @@ class DeadlinePreemptor:
                 -a.request.req_id,
             ),
         )
+
+    def next_trigger(
+        self,
+        now: float,
+        queue: list[Request],
+        active: list[ActiveEntry],
+        executor: MachineExecutor,
+    ) -> float | None:
+        """Earliest time :meth:`victim` could stop returning ``None``.
+
+        Valid while ``queue`` and ``active`` are unchanged — exactly the
+        span a macro-stepped machine holds its batch fixed for.  ``None``
+        means *never* under the current state (queue head has no TTFT
+        SLO, or no lower-class resident exists).  The returned time is a
+        conservative lower bound: :meth:`victim`'s slack test subtracts
+        ``now`` *inside* the comparison while this solves for it
+        algebraically, so a tiny guard band absorbs the float re-rounding
+        — boundaries inside the band simply fall back to the exact
+        per-boundary check, which remains the source of truth.
+        """
+        head = queue[self.policy.select(queue)]
+        cls = self.slo.class_of(head)
+        if cls.ttft_slo is None:
+            return None
+        if not any(
+            self.slo.priority_of(a.request) < cls.priority for a in active
+        ):
+            return None
+        trigger = (
+            head.arrival
+            + cls.ttft_slo
+            - executor.prefill_seconds(head.prompt_len)
+            - self.slo.headroom * cls.ttft_slo
+        )
+        return trigger - 1e-9 * max(1.0, abs(trigger))

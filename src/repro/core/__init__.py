@@ -22,6 +22,7 @@ from .engine import (
     HermesConfig,
     HermesSession,
     HermesSystem,
+    SpanCost,
     StepCost,
     batch_union_factor,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "HermesConfig",
     "HermesSession",
     "HermesSystem",
+    "SpanCost",
     "StepCost",
     "batch_union_factor",
 ]

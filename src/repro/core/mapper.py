@@ -50,6 +50,10 @@ class NeuronMapper:
             (layout.model.num_layers, layout.groups_per_layer), dtype=bool)
         self.resident: list[np.ndarray] = list(self.resident_matrix)
         self.resident_bytes = 0
+        #: bumped whenever residency actually changes (initialize, or an
+        #: adjust that swapped something) — lets the decode loop cache
+        #: views derived from the residency matrix between changes
+        self.version = 0
         #: plain-int mirrors for the adjustment inner loop (indexing a
         #: Python list beats per-element ndarray item extraction)
         self._group_bytes_list: list[int] = layout.group_bytes.tolist()
@@ -79,6 +83,7 @@ class NeuronMapper:
         if total > self.gpu_budget_bytes:
             raise ValueError("offline partition exceeds the GPU budget")
         self.resident_bytes = total
+        self.version += 1
 
     # ------------------------------------------------------------------
     def adjust(self, layer: int, states: np.ndarray, *,
@@ -194,9 +199,21 @@ class NeuronMapper:
             result.swapped_in += 1
             result.bytes_in += b
         self._layer_used[layer] = layer_used
+        if result.swapped_in or result.swapped_out:
+            self.version += 1
         return result
 
     # ------------------------------------------------------------------
+    def free_bytes(self, layer: int) -> int:
+        """Headroom a swap-in to ``layer`` may use without evicting.
+
+        The tighter of the global GPU budget slack and the layer's frozen
+        residency ceiling — the same quantity :meth:`adjust` computes
+        internally, exposed so the engine can skip no-op adjust calls.
+        """
+        return min(self.gpu_budget_bytes - self.resident_bytes,
+                   self.layer_budget[layer] - self._layer_used[layer])
+
     def residency_bytes(self, layer: int) -> int:
         return int(self.layout.group_bytes[self.resident[layer]].sum())
 

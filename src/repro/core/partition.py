@@ -75,6 +75,12 @@ class OfflinePartition:
     #: ``dimm_of`` are kept as views into this matrix (in-place row
     #: mutations by the window scheduler stay visible both ways)
     dimm_of_matrix: np.ndarray = dataclasses.field(init=False, repr=False)
+    #: bumped by whoever remaps ``dimm_of`` in place (the engine's window
+    #: rebalance), so sessions *sharing* this partition — the machines of
+    #: a homogeneous serving cluster — can cache derived views of the
+    #: mapping and still observe each other's migrations
+    remap_version: int = dataclasses.field(default=0, init=False,
+                                           repr=False)
 
     def __post_init__(self) -> None:
         self.dimm_of_matrix = np.stack(self.dimm_of)

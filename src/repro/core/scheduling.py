@@ -125,8 +125,17 @@ class WindowScheduler:
 
     def _rebalance_pairs(self, layer: int, dimm_of: np.ndarray,
                          activity: np.ndarray,
-                         loads: np.ndarray) -> RemapResult:
-        """Pair heaviest/lightest DIMMs and drain each pair (lines 2-6)."""
+                         loads: np.ndarray,
+                         peak: np.ndarray | None = None) -> RemapResult:
+        """Pair heaviest/lightest DIMMs and drain each pair (lines 2-6).
+
+        ``peak`` optionally carries each DIMM's hottest member activity
+        (a scatter-max the matrix caller computes for all layers at
+        once); a pair whose heaviest member cannot move — inactive, or
+        the move would overshoot the balance point — is skipped without
+        touching the membership arrays, which is the common
+        near-balanced outcome.
+        """
         result = RemapResult()
         order = np.argsort(loads)[::-1]  # heaviest first (line 2)
         for pos in range(self.num_dimms // 2):
@@ -136,6 +145,12 @@ class WindowScheduler:
                 # already balanced: any positive move would overshoot, so
                 # the drain loop could only break on its first candidate
                 continue
+            if peak is not None:
+                amax = peak[heavy]
+                # the drain probes its hottest member first; this is its
+                # first-probe exit, decided without gathering members
+                if amax <= 0 or loads[heavy] - amax < loads[light] + amax:
+                    continue
             moved = self._drain_pair(layer, dimm_of, activity, loads,
                                      heavy, light)
             result.merge(moved)
@@ -145,38 +160,67 @@ class WindowScheduler:
                     activity: np.ndarray, loads: np.ndarray,
                     heavy: int, light: int) -> RemapResult:
         """Move hottest groups heavy -> light while the pair max shrinks
-        (Algorithm 1 lines 3-6)."""
+        (Algorithm 1 lines 3-6).
+
+        The greedy scan is closed-form: every quantity is an
+        integer-valued float64 (windowed activation counts), so the
+        prefix arithmetic reproduces the sequential move-by-move loop
+        it replaced exactly — including its two stopping rules (first
+        inactive group, first move that would overshoot the balance
+        point).
+        """
         result = RemapResult()
         members = np.flatnonzero(dimm_of == heavy)
         if members.size == 0:
             return result
-        members = members[np.argsort(activity[members])[::-1]]
-        for idx in members:
-            a = float(activity[idx])
-            if a <= 0:
-                break
-            # moving idx helps only while it reduces max(heavy, light)
-            if loads[heavy] - a < loads[light] + a:
-                break
-            dimm_of[idx] = light
-            loads[heavy] -= a
-            loads[light] += a
-            b = int(self.layout.group_bytes[idx])
-            result.moved_groups += 1
-            result.moved_bytes += b
-            pair = (heavy, light)
-            result.pair_bytes[pair] = result.pair_bytes.get(pair, 0) + b
+        act = activity[members]
+        amax = act.max()
+        # The hottest candidate is probed first, so if even it cannot
+        # move — inactive, or the move would overshoot the balance point
+        # — the greedy scan stops with nothing moved.  That is the
+        # common near-balanced outcome; bail before the argsort.
+        if amax <= 0 or loads[heavy] - amax < loads[light] + amax:
+            return result
+        order = np.argsort(act)[::-1]
+        members = members[order]
+        hot = act[order]
+        # the greedy loop stops at the first inactive group
+        n_pos = int(np.searchsorted(-hot, 0.0, side="left"))
+        if n_pos == 0:
+            return result
+        hot = hot[:n_pos]
+        drained = np.cumsum(hot)
+        before = drained - hot  # load already moved when each probe runs
+        # moving group i still helps while (H - before_i) - a_i >=
+        # (L + before_i) + a_i, i.e. while it reduces max(heavy, light)
+        ok = loads[heavy] - loads[light] - 2.0 * before - 2.0 * hot >= 0.0
+        moved_n = n_pos if ok.all() else int(np.argmin(ok))
+        if moved_n == 0:
+            return result
+        moved = members[:moved_n]
+        dimm_of[moved] = light
+        total = float(drained[moved_n - 1])
+        loads[heavy] -= total
+        loads[light] += total
+        moved_bytes = int(self.layout.group_bytes[moved].sum())
+        result.moved_groups = moved_n
+        result.moved_bytes = moved_bytes
+        result.pair_bytes[(heavy, light)] = moved_bytes
         return result
 
     # ------------------------------------------------------------------
-    def rebalance_all(self, dimm_of, *, exclude=None) -> RemapResult:
+    def rebalance_all(self, dimm_of, *, exclude=None,
+                      keys: np.ndarray | None = None) -> RemapResult:
         """Rebalance every layer and reset the window.
 
         ``dimm_of`` and ``exclude`` may be per-layer lists or dense
         (num_layers, groups) matrices; the matrix form computes every
         layer's masked activity and per-DIMM loads in a few vectorized
         ops (one flat segmented bincount) before running the per-pair
-        drains, with identical results.
+        drains, with identical results.  ``keys`` optionally supplies
+        the flattened ``layer * num_dimms + dimm_of`` bin keys — a
+        caller that tracks remaps (the engine, via the partition's
+        ``remap_version``) can cache them between moves.
         """
         total = RemapResult()
         if isinstance(dimm_of, np.ndarray) and dimm_of.ndim == 2 \
@@ -187,15 +231,22 @@ class WindowScheduler:
                 ex = (exclude if isinstance(exclude, np.ndarray)
                       else np.stack(list(exclude)))
                 activity = np.where(ex, 0.0, activity)
-            keys = dimm_of + (np.arange(num_layers)[:, None]
-                              * self.num_dimms)
+            if keys is None:
+                keys = dimm_of + (np.arange(num_layers)[:, None]
+                                  * self.num_dimms)
+            flat_keys = keys.ravel()
             loads = np.bincount(
-                keys.ravel(), weights=activity.ravel(),
+                flat_keys, weights=activity.ravel(),
                 minlength=num_layers * self.num_dimms,
             ).reshape(num_layers, self.num_dimms)
+            # hottest member per (layer, DIMM) — one scatter-max feeding
+            # the per-pair first-probe exits of every layer's drain
+            peak = np.zeros(num_layers * self.num_dimms)
+            np.maximum.at(peak, flat_keys, activity.ravel())
+            peak = peak.reshape(num_layers, self.num_dimms)
             for l in range(num_layers):
                 total.merge(self._rebalance_pairs(
-                    l, dimm_of[l], activity[l], loads[l]))
+                    l, dimm_of[l], activity[l], loads[l], peak[l]))
         else:
             rows = list(dimm_of)
             for l in range(len(rows)):

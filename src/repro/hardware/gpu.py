@@ -84,18 +84,22 @@ class GPUSpec:
         return max(t_memory, t_compute) + self.kernel_launch_overhead
 
     def matmul_time_batch(self, weight_bytes: np.ndarray, batch: int = 1, *,
-                          scattered: bool = False) -> np.ndarray:
+                          scattered: bool = False,
+                          check: bool = True) -> np.ndarray:
         """Vectorized :meth:`matmul_time` over an array of byte counts.
 
         Scalar-preserving: each element matches the scalar path bit-for-bit
         (including the exactly-zero fast path, which skips the kernel-launch
-        overhead).
+        overhead).  ``check=False`` skips the input validation scan for
+        callers whose loads are non-negative by construction (the decode
+        loop calls this every step).
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
-        if (weight_bytes < 0).any():
-            raise ValueError("weight_bytes must be non-negative")
+        if check:
+            weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+            if (weight_bytes < 0).any():
+                raise ValueError("weight_bytes must be non-negative")
         bandwidth = self.effective_bandwidth
         if scattered:
             bandwidth *= self.gather_efficiency

@@ -52,20 +52,25 @@ class NDPCore:
 
     def gemv_time_batch(self, weight_bytes: np.ndarray,
                         stream_bandwidth: float,
-                        batch: int = 1) -> np.ndarray:
+                        batch: int = 1, *,
+                        check: bool = True) -> np.ndarray:
         """Vectorized :meth:`gemv_time` over an array of byte counts.
 
         One elementwise max over the whole array replaces a Python-level
         loop of scalar calls; each element is bit-identical to what the
         scalar path returns (zero bytes yields exactly 0.0 either way).
+        ``check=False`` skips the input validation scan for callers whose
+        loads are non-negative by construction.
         """
         if stream_bandwidth <= 0:
             raise ValueError("stream_bandwidth must be positive")
-        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
-        if (weight_bytes < 0).any():
-            raise ValueError("weight_bytes must be non-negative")
+        if check:
+            weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+            if (weight_bytes < 0).any():
+                raise ValueError("weight_bytes must be non-negative")
         t_stream = weight_bytes / stream_bandwidth
-        t_compute = self.gemv.compute_time_batch(weight_bytes, batch)
+        t_compute = self.gemv.compute_time_batch(weight_bytes, batch,
+                                                 check=check)
         return np.maximum(t_stream, t_compute)
 
     def attention_time(self, kv_bytes: float, stream_bandwidth: float,
@@ -85,6 +90,28 @@ class NDPCore:
         t_softmax = self.activation.attention_softmax_time(
             context_len, num_heads, batch)
         return t_stream + 0.1 * t_softmax
+
+    def attention_time_span(self, kv_bytes, stream_bandwidth: float,
+                            context_len, num_heads: int,
+                            batch: int = 1):
+        """Vectorized :meth:`attention_time` over per-step KV loads.
+
+        The macro-stepped decode span knows every step's context up
+        front, so one call costs the whole span's attention;
+        element-for-element identical to the scalar path.
+        """
+        if stream_bandwidth <= 0:
+            raise ValueError("stream_bandwidth must be positive")
+        kv_bytes = np.asarray(kv_bytes, dtype=np.float64)
+        if (kv_bytes < 0).any():
+            raise ValueError("kv_bytes must be non-negative")
+        t_stream = self.gemv_time_batch(kv_bytes, stream_bandwidth, batch)
+        t_softmax = self.activation.attention_softmax_time_span(
+            context_len, num_heads, batch)
+        times = t_stream + 0.1 * t_softmax
+        # exactly-zero KV loads cost exactly 0.0, as in the scalar path
+        times *= kv_bytes != 0
+        return times
 
     def merge_time(self, n_values: int, batch: int = 1) -> float:
         """Merge kernel gathering GPU and DIMM partial results (§IV-A2)."""

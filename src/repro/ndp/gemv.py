@@ -58,15 +58,18 @@ class GEMVUnit:
         return macs / self.macs_per_second
 
     def compute_time_batch(self, weight_bytes: np.ndarray,
-                           batch: int = 1) -> np.ndarray:
+                           batch: int = 1, *,
+                           check: bool = True) -> np.ndarray:
         """Vectorized :meth:`compute_time` over an array of byte counts.
 
         Element-for-element identical to the scalar path (same operation
-        order), so callers may mix the two freely.
+        order), so callers may mix the two freely.  ``check=False`` skips
+        the conversion for inputs already in float64 arrays.
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+        if check:
+            weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
         return weight_bytes / 2 * batch / self.macs_per_second
 
     def scaled(self, multipliers: int) -> "GEMVUnit":

@@ -200,6 +200,7 @@ def _parse_cluster(data: dict | None) -> tuple[ClusterConfig, str, dict]:
         (
             "num_machines",
             "max_batch",
+            "macro_step",
             "router",
             "router_seed",
             "policy",

@@ -34,17 +34,40 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class BatchingPolicy:
     """Base policy: FCFS order, no extra batch cap.
 
-    Contract: ``order`` must be a *deterministic total order* (ties broken
-    down to ``req_id``, which is unique) and must accept an empty queue;
-    ``batch_limit`` must return at least 1 — the simulator additionally
-    clamps it so a buggy policy cannot wedge a machine at batch 0.
+    Contract: admission priority is a *deterministic total order* defined
+    by :meth:`key` (ties broken down to ``req_id``, which is unique).
+    ``order`` sorts a whole queue by it and must accept an empty queue;
+    ``select`` returns the index of the single next request to admit in
+    one O(n) pass — the hot-path form the simulator uses, since admitting
+    one request at a time never needs the full sort.  A subclass that
+    overrides ``order`` directly (instead of ``key``) must keep ``select``
+    consistent with ``order(queue)[0]``.  ``batch_limit`` must return at
+    least 1 — the simulator additionally clamps it so a buggy policy
+    cannot wedge a machine at batch 0 — and is treated as fixed while the
+    running batch's composition is unchanged (true for every shipped
+    policy, whose caps depend only on immutable trace statistics); the
+    macro-stepped serving loop re-evaluates it at batch-composition
+    boundaries.
     """
 
     name = "fcfs"
 
+    def key(self, request: Request):
+        """Sort key of one request — lowest key admits first."""
+        return (request.arrival, request.req_id)
+
     def order(self, queue: list[Request]) -> list[Request]:
         """Queued requests in admission-priority order (highest first)."""
-        return sorted(queue, key=lambda r: (r.arrival, r.req_id))
+        return sorted(queue, key=self.key)
+
+    def select(self, queue: list[Request]) -> int:
+        """Index of the next request to admit (== ``order(queue)[0]``).
+
+        Single pass, no sort and no scan-based removal: the simulator
+        pops the returned index directly.
+        """
+        key = self.key
+        return min(range(len(queue)), key=lambda i: key(queue[i]))
 
     def batch_limit(self, executor: "MachineExecutor",
                     max_batch: int) -> int:
@@ -76,11 +99,10 @@ class ShortestOutputFirstPolicy(BatchingPolicy):
 
     name = "sjf"
 
-    def order(self, queue: list[Request]) -> list[Request]:
+    def key(self, request: Request):
         # equal output lengths fall back to FCFS order, then the unique
         # req_id, so admission is a deterministic total order
-        return sorted(queue,
-                      key=lambda r: (r.output_len, r.arrival, r.req_id))
+        return (request.output_len, request.arrival, request.req_id)
 
 
 class HermesUnionPolicy(BatchingPolicy):

@@ -20,6 +20,24 @@ iteration-level scheduler:
 5. retire finished requests and repeat — or, when fully idle, sleep until
    the next arrival.
 
+**Macro-stepping** (``ServingConfig.macro_step``, on by default): between
+two batch-composition changes the loop above is a straight-line token
+run — same batch, context growing by exactly one per step — so instead
+of one calendar event + one engine dispatch per token, the machine
+computes the *horizon* its composition is provably fixed for (the
+earliest deterministic completion via ``max_new_tokens``, the next
+arrival, and a conservative preemption-trigger bound from the
+preemptor) and runs the whole span as one fused
+:meth:`~repro.core.HermesSession.decode_steps` call, then replays the
+stepped loop's per-token event pattern at the precomputed boundary
+times (simultaneous events resolve by push order, and identical
+machines tie on exact boundary times constantly).  Per-token
+timestamps are back-filled from the span's sequentially-accumulated
+cost array, so records, busy accounting, queue samples and every
+scheduling decision are bit-for-bit identical to the step-at-a-time
+loop (kept as the ``macro_step=False`` reference path and pinned by
+the equivalence tests and golden files).
+
 Prefill blocks decode on the same machine (no chunked prefill), which is
 what creates the classic TTFT-vs-TBT tension the policies trade off.
 
@@ -40,7 +58,7 @@ import typing
 from ..core import HermesConfig
 from ..hardware import Machine
 from ..models import ModelSpec, get_model
-from ..sim import Acquire, Release, Resource, Simulator, Timeout
+from ..sim import Acquire, Release, Resource, Simulator, Timeout, WaitUntil
 from ..sparsity import ActivationTrace
 from .executor import MachineExecutor, default_serving_trace
 from .metrics import RequestRecord, ServingReport
@@ -54,6 +72,10 @@ class ServingConfig:
 
     max_batch: int = 16
     num_machines: int = 1
+    #: fuse straight-line token runs into one engine call + one calendar
+    #: event (see the module docstring); ``False`` keeps the per-token
+    #: reference loop, which the equivalence tests pin against
+    macro_step: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -79,12 +101,26 @@ class ActiveEntry:
 
 
 class Preemptor(typing.Protocol):
-    """Decides whether a resident request must yield its batch slot."""
+    """Decides whether a resident request must yield its batch slot.
+
+    ``next_trigger`` is the macro-stepping hook: a conservative lower
+    bound on the first time ``victim`` could return non-``None`` while
+    the queue and resident batch stay unchanged (``None`` = never under
+    the current state).  A preemptor without it still works — the
+    simulator falls back to checking at every token boundary, i.e. the
+    stepped loop.
+    """
 
     def victim(self, now: float, queue: list[Request],
                active: list[ActiveEntry],
                executor: MachineExecutor) -> ActiveEntry | None:
         """The entry to evict so the queue head can admit, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def next_trigger(self, now: float, queue: list[Request],
+                     active: list[ActiveEntry],
+                     executor: MachineExecutor) -> float | None:
+        """Earliest time ``victim`` could fire, given unchanged state."""
         ...  # pragma: no cover - protocol
 
 
@@ -185,20 +221,19 @@ class ServingSimulator:
         if trace is None:
             trace = default_serving_trace(self.model,
                                           granularity=granularity, seed=seed)
-        # Each machine gets its own executor (own online engine state) over
-        # the shared activation trace; the offline partition is solved once
-        # and reused — it is deterministic in (trace, batch, config), so the
-        # machines of a homogeneous cluster share it.
+        # Each machine gets its own executor (own online engine state)
+        # over the shared activation trace.  The offline partition is
+        # solved once — it is deterministic in (trace, batch, config) —
+        # and every machine receives its *own clone* from the per-trace
+        # cache: window scheduling remaps ``dimm_of`` in place, and a
+        # machine's live DIMM mapping is its own hardware state, not
+        # something a sibling's migrations may mutate mid-flight.
         nominal_batch = max(2, self.config.max_batch // 2)
-        self.executors: list[MachineExecutor] = []
-        partition = None
-        for _ in range(self.config.num_machines):
-            executor = MachineExecutor(machine, self.model, hermes_config,
-                                       trace=trace,
-                                       nominal_batch=nominal_batch,
-                                       partition=partition)
-            partition = executor.session.partition
-            self.executors.append(executor)
+        self.executors: list[MachineExecutor] = [
+            MachineExecutor(machine, self.model, hermes_config,
+                            trace=trace, nominal_batch=nominal_batch)
+            for _ in range(self.config.num_machines)
+        ]
 
     # ---- override points for the cluster layer -----------------------
     def _build_state(self, workload: list[Request]) -> _RunState:
@@ -248,6 +283,9 @@ class ServingSimulator:
         cfg = self.config
         policy = self._admission_policy()
         preemptor = self._preemptor()
+        macro = cfg.macro_step
+        trigger_fn = (getattr(preemptor, "next_trigger", None)
+                      if preemptor is not None else None)
         active: list[ActiveEntry] = []
         while True:
             state.ingest(sim.now)
@@ -275,8 +313,7 @@ class ServingSimulator:
             # machine yields (new arrivals, and sibling machines admitting
             # from the same shared queue)
             while len(active) < limit and queue:
-                request = policy.order(queue)[0]
-                queue.remove(request)
+                request = queue.pop(policy.select(queue))
                 state.note_queue(sim.now)
                 record = state.records[request.req_id]
                 record.machine = m
@@ -302,8 +339,9 @@ class ServingSimulator:
                 state.ingest(sim.now)
                 queue = state.queue_of(m)
 
-            # ---- one continuous-batching decode iteration ----
-            if active:
+            # ---- continuous-batching decode ----
+            if active and not macro:
+                # reference path: one iteration per scheduling round
                 batch = len(active)
                 context = max(1, round(sum(a.next_context for a in active)
                                        / batch))
@@ -316,6 +354,87 @@ class ServingSimulator:
                 now = sim.now
                 for entry in active:
                     entry.record.token_times.append(now)
+                finished = [a for a in active if a.record.finished]
+                if finished:
+                    active = [a for a in active if not a.record.finished]
+                    state.total_active -= len(finished)
+                    state.active_counts[m] -= len(finished)
+                    state.note_batch(now)
+                continue
+
+            if active:
+                # ---- macro step: one fused engine call per span ----
+                # The batch composition is provably fixed until the
+                # earliest deterministic completion; admission, routing
+                # and preemption decisions can additionally only change
+                # at the next arrival (when there is room, or when a
+                # preemptor's verdict may depend on the queue) or at the
+                # preemptor's trigger bound.  Contexts form an arithmetic
+                # ramp: every resident request gains exactly one token
+                # per iteration, so the mean context the engine sees
+                # grows by one per step.
+                batch = len(active)
+                ctx_sum = sum(a.next_context for a in active)
+                k_max = min(a.request.output_len - len(a.record.token_times)
+                            for a in active)
+                until = None
+                if preemptor is not None and queue:
+                    if trigger_fn is None:
+                        # opaque preemptor: check every boundary
+                        k_max = 1
+                    else:
+                        until = trigger_fn(sim.now, queue, active,
+                                           executor)
+                # Every span additionally ends at the machine's first
+                # boundary past the next arrival: an arrival can admit
+                # (room), shift a preemption verdict, and — with
+                # router-fed per-machine queues — must be *routed*
+                # against the load snapshot of its arrival boundary.
+                # Bounding unconditionally also makes the ingest
+                # boundaries (hence ``queue_samples``) identical to the
+                # stepped loop's: an arrival is ingested at the first
+                # any-machine token boundary past it in both modes.
+                upcoming = state.next_arrival()
+                if upcoming is not None and (until is None
+                                             or upcoming < until):
+                    until = upcoming
+                if until is not None:
+                    # size the context ramp from the engine's recent
+                    # step time: an under-sized span just ends at a
+                    # no-op boundary and a fresh span continues, so the
+                    # estimate never affects scheduling outcomes
+                    est = executor.session.last_step_seconds
+                    if est > 0.0:
+                        k_max = max(1, min(
+                            k_max,
+                            int((until - sim.now) / est) + 2))
+                contexts = [max(1, round((ctx_sum + i * batch) / batch))
+                            for i in range(k_max)]
+                span = executor.decode_span(batch, contexts,
+                                            start_time=sim.now, until=until)
+                times = span.end_times.tolist()
+                # Replay the stepped loop's exact per-step event pattern
+                # (Acquire -> sleep-to-boundary -> Release).  The span's
+                # engine work is already done, but shared-queue machines
+                # resolve *simultaneous* events by push order, and
+                # identical machines tie on exact boundary times
+                # constantly — one big sleep would enqueue this
+                # machine's wake-up earlier than the stepped loop would
+                # have, flipping tie-breaks.  WaitUntil (not Timeout)
+                # lands each wake-up on the bit-exact boundary.
+                for boundary in times:
+                    yield Acquire(resource)
+                    yield WaitUntil(boundary)
+                    yield Release(resource)
+                gpu_busy = state.machine_gpu_busy
+                dimm_busy = state.machine_dimm_busy
+                for g, d in zip(span.gpu_busy.tolist(),
+                                span.dimm_busy.tolist()):
+                    gpu_busy[m] += g
+                    dimm_busy[m] += d
+                for entry in active:
+                    entry.record.token_times.extend(times)
+                now = sim.now
                 finished = [a for a in active if a.record.finished]
                 if finished:
                     active = [a for a in active if not a.record.finished]

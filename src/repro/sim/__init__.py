@@ -1,6 +1,14 @@
 """Discrete-event simulation engine and overlap helpers."""
 
-from .engine import Acquire, Process, Release, Resource, Simulator, Timeout
+from .engine import (
+    Acquire,
+    Process,
+    Release,
+    Resource,
+    Simulator,
+    Timeout,
+    WaitUntil,
+)
 from .pipeline import overlap_two_stage, pipeline_makespan
 
 __all__ = [
@@ -8,6 +16,7 @@ __all__ = [
     "Process",
     "Resource",
     "Timeout",
+    "WaitUntil",
     "Acquire",
     "Release",
     "pipeline_makespan",

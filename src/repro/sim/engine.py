@@ -6,6 +6,11 @@ projection window — is easiest to get right with a real event calendar.
 Processes are Python generators that yield simulation primitives:
 
 * ``Timeout(dt)`` — advance this process by ``dt`` seconds;
+* ``WaitUntil(t)`` — advance this process to the *absolute* time ``t``
+  (no-op when already past).  Macro-stepped processes use this to land on
+  exactly the clock value a chain of per-step ``Timeout`` yields would
+  have produced — ``now + (t - now)`` re-rounds in floating point, an
+  absolute target does not;
 * ``Acquire(resource)`` / ``Release(resource)`` — serialise on a device;
 * another process handle — join (wait for completion).
 
@@ -28,6 +33,19 @@ class Timeout:
     def __post_init__(self) -> None:
         if self.delay < 0:
             raise ValueError("delay must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitUntil:
+    """Advance the yielding process to absolute time ``time``.
+
+    Fires immediately when ``time`` is not in the future.  Unlike
+    ``Timeout(time - now)``, the wake-up lands on exactly ``time`` —
+    no float re-rounding — which is what lets a fused multi-step span
+    end on the same clock value as its step-at-a-time equivalent.
+    """
+
+    time: float
 
 
 class Resource:
@@ -104,6 +122,9 @@ class Simulator:
     def _dispatch(self, proc: Process, item) -> None:
         if isinstance(item, Timeout):
             self._push(self.now + item.delay, proc)
+        elif isinstance(item, WaitUntil):
+            self._push(item.time if item.time > self.now else self.now,
+                       proc)
         elif isinstance(item, Acquire):
             resource = item.resource
             if resource._holder is None:

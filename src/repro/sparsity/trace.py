@@ -72,19 +72,35 @@ class ActivationTrace:
         """Boolean activation vector of one (layer, token)."""
         return self.layers[layer][token]
 
-    def active_matrix(self, token: int) -> np.ndarray:
-        """(num_layers, groups) activation matrix of one token.
+    def _ensure_stacked(self) -> np.ndarray:
+        """Lazily-built (num_layers, tokens, groups) activation stack.
 
-        Row ``l`` equals ``active(l, token)``; the matrix is one slice of
-        a lazily-built (num_layers, tokens, groups) stack, so the decode
-        fast path reads a whole token at once instead of re-indexing per
-        layer.  The trace is treated as immutable once stacked.
+        The trace is treated as immutable once stacked.
         """
         stacked = getattr(self, "_stacked", None)
         if stacked is None:
             stacked = np.stack(self.layers)
             self._stacked = stacked
-        return stacked[:, token]
+        return stacked
+
+    def active_matrix(self, token: int) -> np.ndarray:
+        """(num_layers, groups) activation matrix of one token.
+
+        Row ``l`` equals ``active(l, token)``; the matrix is one slice of
+        the lazy stack, so the decode fast path reads a whole token at
+        once instead of re-indexing per layer.
+        """
+        return self._ensure_stacked()[:, token]
+
+    def active_span(self, tokens: "list[int] | slice") -> np.ndarray:
+        """(len(tokens), num_layers, groups) activation stack of a span.
+
+        Element ``[i]`` equals ``active_matrix(tokens[i])``; the fused
+        decode path reads a whole run of consecutive tokens in one
+        gather instead of re-slicing the stack per step.  A ``slice``
+        (the common non-wrapping case) yields a copy-free view.
+        """
+        return self._ensure_stacked()[:, tokens].swapaxes(0, 1)
 
     def density(self) -> float:
         """Overall fraction of active (group, token) pairs."""

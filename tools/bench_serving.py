@@ -8,10 +8,12 @@ at the repo root.  Modes:
 * default — measure and print, compare informationally.
 * ``--check`` — exit non-zero when the *simulated* metrics (tokens/s,
   SLO attainment, preemptions) drift from the committed record beyond
-  float noise.  Simulated outputs are deterministic, so this is a
-  golden-style behaviour gate on the full cluster stack; wall time is
-  machine-dependent and only reported (calibration-scaled, like the
-  decode bench).
+  float noise, **or** when the fused-loop scenario runs/sec fall more
+  than ``--tolerance`` (default 40 %) below the committed baseline
+  after calibration scaling.  Simulated outputs are deterministic, so
+  the drift half is a golden-style behaviour gate on the full cluster
+  stack; the wall-time half guards the macro-stepped serving fast path
+  the way ``tools/bench.py`` guards ``decode_step``.
 * ``--update`` — rewrite ``BENCH_serving.json`` with this machine's
   numbers (appends the previous record to its ``history``).
 * ``--quick`` — shorter measurement window; what CI runs.
@@ -91,6 +93,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="rewrite BENCH_serving.json with this run")
     parser.add_argument("--json-out", default=None, metavar="PATH",
                         help="also write this run's record to PATH")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional runs/sec drop for "
+                             "--check (default 0.40)")
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
@@ -98,6 +103,11 @@ def main(argv: list[str] | None = None) -> int:
     sim = scen["simulated"]
     print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
           f"runs/sec ({scen['runs']} runs in {scen['seconds']:.2f}s)")
+    fused = scen.get("fused_loop")
+    if fused:
+        print(f"fused loop: {fused['speedup']:.2f}x over the stepped "
+              f"reference ({fused['stepped_runs_per_sec']:.2f} runs/sec "
+              "with macro_step off)")
     print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
           f"{sim['preemptions']} preemptions, "
           f"slo_joint {sim['slo_joint']}")
@@ -116,8 +126,14 @@ def main(argv: list[str] | None = None) -> int:
             scale = current["calibration_iters_per_sec"] / calib
             ref *= scale
             src += f", calibrated x{scale:.2f}"
-        print(f"wall time vs baseline ({src}): "
-              f"{scen['runs_per_sec'] / ref:.2f}x")
+        ratio = scen["runs_per_sec"] / ref
+        print(f"wall time vs baseline ({src}): {ratio:.2f}x")
+        if args.check and ratio < 1.0 - args.tolerance:
+            print("FAIL: fused-loop scenario runs/sec dropped "
+                  f"{(1.0 - ratio) * 100:.0f}% (> "
+                  f"{args.tolerance * 100:.0f}% allowed)",
+                  file=sys.stderr)
+            status = 1
         problems = _drifted(sim, base_scen["simulated"])
         if problems:
             print("simulated-metric drift vs baseline:", file=sys.stderr)
