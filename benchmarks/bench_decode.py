@@ -66,15 +66,14 @@ def bench_calibration(*, min_seconds: float = 0.4) -> float:
 
 def _bench_session(batch: int):
     model = get_model(BENCH_MODEL)
-    trace = generate_trace(model, TraceConfig(**BENCH_TRACE),
-                           seed=BENCH_SEED)
-    session = HermesSystem(Machine(), model).session(trace, batch,
-                                                     wrap=True)
+    trace = generate_trace(model, TraceConfig(**BENCH_TRACE), seed=BENCH_SEED)
+    session = HermesSystem(Machine(), model).session(trace, batch, wrap=True)
     return session
 
 
-def bench_decode_steps(batch: int = 1, *, min_seconds: float = 1.5,
-                       warmup_steps: int = 128) -> dict:
+def bench_decode_steps(
+    batch: int = 1, *, min_seconds: float = 1.5, warmup_steps: int = 128
+) -> dict:
     """Measure decode steps/sec at one batch size.
 
     Runs ``warmup_steps`` first (session caches fill, branch-predictor-ish
@@ -102,8 +101,9 @@ def bench_decode_steps(batch: int = 1, *, min_seconds: float = 1.5,
     }
 
 
-def bench_sweep(experiment: str = "serving", *, quick: bool = True,
-                jobs: int = 1) -> dict:
+def bench_sweep(
+    experiment: str = "serving", *, quick: bool = True, jobs: int = 1
+) -> dict:
     """Wall time of one experiment sweep, trace caches cleared first."""
     if experiment not in ALL_EXPERIMENTS:
         raise ValueError(f"unknown experiment {experiment!r}")

@@ -17,6 +17,11 @@ Two kinds of numbers come out of one measurement:
   preemptions) — *deterministic* given the code, so any change is real
   behaviour drift; the CI gate pins them the way the engine goldens pin
   ``decode_step``.
+
+Two scenarios are benched: the homogeneous-Hermes SLO smoke scenario,
+and the mixed hermes/dense/dejavu fleet behind the throughput-weighted
+router (``backend_shootout_tiny.json``), so both the Hermes fast path
+and the pluggable-backend dispatch stay gated.
 """
 
 from __future__ import annotations
@@ -29,10 +34,15 @@ from repro.scenarios import load_scenario
 
 #: the spec the serving bench pins — the CI smoke scenario
 BENCH_SCENARIO = "mixed_slo_tiny.json"
+#: the heterogeneous-fleet spec the bench also pins: three backends
+#: (hermes/dense/dejavu) behind the throughput-weighted router, so the
+#: gate covers the pluggable-backend dispatch path end to end
+BENCH_MIXED_FLEET_SCENARIO = "backend_shootout_tiny.json"
 
 
-def bench_scenario(spec: str = BENCH_SCENARIO, *,
-                   min_seconds: float = 1.0) -> dict:
+def bench_scenario(
+    spec: str = BENCH_SCENARIO, *, min_seconds: float = 1.0
+) -> dict:
     """Measure end-to-end runs/sec of one scenario, plus its metrics.
 
     The scenario (spec parse, workload generation, trace, cluster
@@ -49,6 +59,7 @@ def bench_scenario(spec: str = BENCH_SCENARIO, *,
     path = resolve_scenario(spec)
     scenario = load_scenario(path)
     trace = scenario.build_trace()  # shared across runs, like a server
+    scenario.run(trace)  # warmup: solve partitions/unions once, untimed
     runs = 0
     report = None
     start = time.perf_counter()
@@ -64,6 +75,7 @@ def bench_scenario(spec: str = BENCH_SCENARIO, *,
     stepped = dataclasses.replace(
         scenario,
         config=dataclasses.replace(scenario.config, macro_step=False))
+    stepped.run(trace)  # warmup, untimed
     stepped_runs = 0
     stepped_start = time.perf_counter()
     while True:

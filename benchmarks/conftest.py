@@ -17,8 +17,9 @@ def regenerate(benchmark, capsys):
     """Run an experiment once under the benchmark timer and print it."""
 
     def _run(experiment, *, quick: bool = True):
-        result = benchmark.pedantic(experiment, kwargs={"quick": quick},
-                                    rounds=1, iterations=1)
+        result = benchmark.pedantic(
+            experiment, kwargs={"quick": quick}, rounds=1, iterations=1
+        )
         with capsys.disabled():
             print()
             print(result.to_text())

@@ -5,8 +5,7 @@ from repro.experiments import fig11_batching
 
 def test_fig11(regenerate):
     result = regenerate(fig11_batching.run)
-    hermes = {(r[0], r[1]): r[3] for r in result.rows
-              if r[2] == "Hermes"}
+    hermes = {(r[0], r[1]): r[3] for r in result.rows if r[2] == "Hermes"}
     for model in fig11_batching.MODELS:
         batches = sorted(b for m, b in hermes if m == model)
         series = [hermes[(model, b)] for b in batches]

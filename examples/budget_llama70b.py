@@ -29,8 +29,10 @@ def main() -> None:
     model = get_model("LLaMA2-70B")
     machine = Machine()
     trace = generate_trace(
-        model, TraceConfig(prompt_len=128, decode_len=128, granularity=64),
-        seed=7)
+        model,
+        TraceConfig(prompt_len=128, decode_len=128, granularity=64),
+        seed=7,
+    )
 
     budget = machine_cost_usd(machine)
     server = server_cost_usd(num_a100=5)

@@ -42,8 +42,10 @@ def replay(trace, config: PredictorConfig) -> ActivationPredictor:
 def main() -> None:
     model = get_model("LLaMA-7B")
     trace = generate_trace(
-        model, TraceConfig(prompt_len=128, decode_len=128, granularity=32),
-        seed=7)
+        model,
+        TraceConfig(prompt_len=128, decode_len=128, granularity=32),
+        seed=7,
+    )
     print(f"{model.describe()}\n")
 
     print(f"{'mode':26s}{'accuracy':>10s}{'recall':>9s}{'precision':>11s}")
@@ -57,8 +59,7 @@ def main() -> None:
     state_kb = predictor.state_table_bytes() / 1024
     corr_kb = predictor.correlation.table_bytes() / 1024
     dejavu = DejaVu(Machine(), model)
-    mlp_mb = (dejavu.predictor_bytes_per_layer() * model.num_layers
-              / 2**20)
+    mlp_mb = (dejavu.predictor_bytes_per_layer() * model.num_layers / 2**20)
     print(f"\nfootprints: state table {state_kb:.0f} KB (paper: 232 KB), "
           f"correlation table {corr_kb:.0f} KB")
     print(f"Deja Vu MLP predictors for the same model: {mlp_mb:.0f} MB "

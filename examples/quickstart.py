@@ -24,8 +24,10 @@ def main() -> None:
           f"{machine.dimm_bandwidth_total / 1e9:.0f} GB/s internal)")
 
     trace = generate_trace(
-        model, TraceConfig(prompt_len=128, decode_len=128, granularity=64),
-        seed=7)
+        model,
+        TraceConfig(prompt_len=128, decode_len=128, granularity=64),
+        seed=7,
+    )
     print(f"trace: {trace.n_tokens} tokens, "
           f"{trace.density():.1%} activation density")
 
@@ -39,8 +41,9 @@ def main() -> None:
     print("predictor accuracy: "
           f"{result.metadata['predictor_accuracy']:.1%} (paper: ~98%)")
     print("\nper-token latency breakdown (ms):")
-    for key, seconds in sorted(result.breakdown.items(),
-                               key=lambda kv: -kv[1]):
+    for key, seconds in sorted(
+        result.breakdown.items(), key=lambda kv: -kv[1]
+    ):
         print(f"  {key:14s} {1e3 * seconds / result.n_decode_tokens:8.3f}")
 
 

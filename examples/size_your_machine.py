@@ -32,8 +32,10 @@ def main() -> None:
     batch = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     model = get_model(model_name)
     trace = generate_trace(
-        model, TraceConfig(prompt_len=128, decode_len=64, granularity=64),
-        seed=7)
+        model,
+        TraceConfig(prompt_len=128, decode_len=64, granularity=64),
+        seed=7,
+    )
     print(f"{model.describe()}, batch {batch}\n")
 
     results: dict[tuple[int, int], float] = {}

@@ -43,10 +43,10 @@ class HuggingfaceAccelerate(OffloadingSystem):
         # prefill: same synchronous streaming, no overlap
         prefill = 0.0
         for _ in range(model.num_layers):
-            prefill += (link.transfer_time(model.layer_bytes)
-                        / STAGING_FACTOR)
+            prefill += (link.transfer_time(model.layer_bytes) / STAGING_FACTOR)
             prefill += self.machine.gpu.prefill_time(
-                model.layer_bytes, trace.prompt_len, batch)
+                model.layer_bytes, trace.prompt_len, batch
+            )
             prefill += DISPATCH_OVERHEAD
         result.prefill_time = prefill
         result.add("prefill", prefill)
@@ -57,10 +57,12 @@ class HuggingfaceAccelerate(OffloadingSystem):
             context = trace.prompt_len + step + 1
             token = 0.0
             for _ in range(model.num_layers):
-                transfer = (link.transfer_time(model.layer_bytes)
-                            / STAGING_FACTOR)
+                transfer = (
+                    link.transfer_time(model.layer_bytes) / STAGING_FACTOR
+                )
                 compute = self.machine.gpu.matmul_time(
-                    model.layer_bytes, batch)
+                    model.layer_bytes, batch
+                )
                 token += transfer + compute + DISPATCH_OVERHEAD
                 result.add("communication", transfer)
                 result.add("fc", compute)

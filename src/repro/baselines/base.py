@@ -6,6 +6,19 @@ what differs is each system's *data-movement schedule* — which bytes cross
 PCIe, which stay on the GPU, and what overlaps with what.  The paper's
 comparisons are dominated by exactly those schedules, so the baselines model
 them faithfully and share the byte-accounting helpers defined here.
+
+The byte accounting is exposed twice:
+
+* as **module-level per-token cost kernels** (``weights_resident_fraction``,
+  ``zigzag_prefill_time``, ``streamed_dense_token_cost``,
+  ``gpu_kv_attention_time``, ``gather_stream_bandwidth``) — pure functions
+  of (machine, model, token state) that the *steppable* serving backends
+  (:mod:`repro.serving.backends`) charge one decode iteration at a time;
+* as :class:`OffloadingSystem` methods delegating to those kernels, which
+  each offline ``run()`` composes into a whole prefill+decode pass.
+
+Both layers share one spelling of every formula, so the offline figures
+(fig09/fig17) and the online serving backends cannot drift apart.
 """
 
 from __future__ import annotations
@@ -24,6 +37,121 @@ from ..sparsity import ActivationTrace
 GIB = 2**30
 
 
+# ----------------------------------------------------------------------
+# per-token cost kernels (pure functions; steppable backends call these)
+# ----------------------------------------------------------------------
+def weights_resident_fraction(machine: Machine, model: ModelSpec, *,
+                              reserve_bytes: int = 1 * GIB) -> float:
+    """Fraction of the layer weights that fits in GPU memory.
+
+    Embeddings and the KV cache claim GPU space first (these systems
+    keep the KV cache on the GPU); layer weights fill the rest.
+    """
+    usable = machine.gpu.memory_bytes - reserve_bytes
+    usable -= model.embedding_bytes
+    layer_pool = model.layer_bytes * model.num_layers
+    if usable <= 0:
+        return 0.0
+    return min(1.0, usable / layer_pool)
+
+
+def zigzag_prefill_time(
+    machine: Machine,
+    model: ModelSpec,
+    prompt_len: int,
+    batch: int,
+    resident_fraction: float,
+    *,
+    pinned: bool = True,
+) -> float:
+    """Prefill with layer-by-layer weight streaming over PCIe."""
+    pcie = machine.pcie if pinned else _pageable_pcie()
+    transfer, compute = [], []
+    for _ in range(model.num_layers):
+        stream = model.layer_bytes * (1.0 - resident_fraction)
+        transfer.append(pcie.transfer_time(stream))
+        compute.append(
+            machine.gpu.prefill_time(model.layer_bytes, prompt_len, batch)
+        )
+    return overlap_two_stage(transfer, compute)
+
+
+def streamed_dense_token_cost(
+    machine: Machine,
+    model: ModelSpec,
+    batch: int,
+    *,
+    resident_fraction: float = 0.0,
+    link_utilisation: float = 1.0,
+    per_layer_overhead: float = 0.0,
+) -> tuple[float, float]:
+    """One dense decode token with zig-zag weight streaming.
+
+    Per layer, the PCIe stream of the next layer's non-resident weights
+    overlaps this layer's GPU compute (FlexGen's block schedule at batch
+    size 1..16 — transfer-bound for over-sized models).  Returns
+    ``(pipeline_seconds, transfer_only_seconds)`` so callers can split
+    the communication/compute breakdown the way the figures do.
+    """
+    stream_bytes = model.layer_bytes * (1.0 - resident_fraction)
+    link_bw = machine.pcie.effective_bandwidth * link_utilisation
+    transfers, computes = [], []
+    for _ in range(model.num_layers):
+        transfers.append(machine.pcie.latency + stream_bytes / link_bw)
+        computes.append(machine.gpu.matmul_time(model.layer_bytes, batch)
+                        + per_layer_overhead)
+    pipeline = overlap_two_stage(transfers, computes)
+    return pipeline, sum(transfers)
+
+
+def resident_dense_token_cost(
+    machine: Machine, model: ModelSpec, batch: int
+) -> float:
+    """One dense decode token with *all* weights GPU-resident.
+
+    The TensorRT-style regime: every layer's FC weights are read at HBM
+    bandwidth, no PCIe traffic at all (attention is charged separately).
+    """
+    token = 0.0
+    for _ in range(model.num_layers):
+        token += machine.gpu.matmul_time(model.layer_bytes, batch)
+    return token
+
+
+def gpu_kv_attention_time(
+    machine: Machine, model: ModelSpec, context: int, batch: int
+) -> float:
+    """Decode attention over a GPU-resident KV cache."""
+    kv_bytes = 2 * model.kv_dim * 2 * context * batch
+    return machine.gpu.attention_time(kv_bytes * model.num_layers)
+
+
+def gather_stream_bandwidth(machine: Machine) -> float:
+    """Effective PCIe stream rate of scattered host-memory neuron rows.
+
+    The CPU gathers non-contiguous rows (scattered reads at
+    ``scatter_efficiency``) into a pinned staging buffer (a second write
+    pass) before the DMA, so the gather pipeline — not PCIe — usually
+    bounds the stream.
+    """
+    bus = machine.host.memory_bus.effective_bandwidth
+    gather_bw = bus * machine.host.scatter_efficiency / 2
+    return min(machine.pcie.effective_bandwidth, gather_bw)
+
+
+def trace_union_factors(trace: ActivationTrace, batch: int) -> np.ndarray:
+    """Per-layer batch-union inflation of the activated set."""
+    return np.array([
+        batch_union_factor(trace.prefill_frequencies(l), batch)
+        for l in range(trace.num_layers)
+    ])
+
+
+def _pageable_pcie():
+    from ..hardware.links import pcie4_x16
+    return pcie4_x16(pinned=False)
+
+
 class OffloadingSystem(abc.ABC):
     """Base class: a model deployed on a machine with host-memory backing."""
 
@@ -40,54 +168,48 @@ class OffloadingSystem(abc.ABC):
 
     # ------------------------------------------------------------------
     def resident_fraction(self, *, reserve_bytes: int = 1 * GIB) -> float:
-        """Fraction of the weights that fits in GPU memory.
+        """Fraction of the weights that fits in GPU memory."""
+        return weights_resident_fraction(
+            self.machine, self.model, reserve_bytes=reserve_bytes
+        )
 
-        Embeddings and the KV cache claim GPU space first (these systems
-        keep the KV cache on the GPU); layer weights fill the rest.
-        """
-        model = self.model
-        usable = self.machine.gpu.memory_bytes - reserve_bytes
-        usable -= model.embedding_bytes
-        layer_pool = model.layer_bytes * model.num_layers
-        if usable <= 0:
-            return 0.0
-        return min(1.0, usable / layer_pool)
-
-    def gpu_prefill_time(self, prompt_len: int, batch: int,
-                         resident_fraction: float, *,
-                         pinned: bool = True) -> float:
+    def gpu_prefill_time(
+        self,
+        prompt_len: int,
+        batch: int,
+        resident_fraction: float,
+        *,
+        pinned: bool = True,
+    ) -> float:
         """Prefill with layer-by-layer weight streaming over PCIe."""
-        model = self.model
-        pcie = self.machine.pcie if pinned else self._pageable_pcie()
-        transfer, compute = [], []
-        for _ in range(model.num_layers):
-            stream = model.layer_bytes * (1.0 - resident_fraction)
-            transfer.append(pcie.transfer_time(stream))
-            compute.append(self.machine.gpu.prefill_time(
-                model.layer_bytes, prompt_len, batch))
-        return overlap_two_stage(transfer, compute)
+        return zigzag_prefill_time(
+            self.machine,
+            self.model,
+            prompt_len,
+            batch,
+            resident_fraction,
+            pinned=pinned,
+        )
 
     def _pageable_pcie(self):
-        from ..hardware.links import pcie4_x16
-        return pcie4_x16(pinned=False)
+        return _pageable_pcie()
 
     def gpu_attention_time(self, context: int, batch: int) -> float:
         """Decode attention over a GPU-resident KV cache."""
-        kv_bytes = 2 * self.model.kv_dim * 2 * context * batch
-        return self.machine.gpu.attention_time(kv_bytes
-                                               * self.model.num_layers)
+        return gpu_kv_attention_time(self.machine, self.model, context, batch)
 
     # ------------------------------------------------------------------
     def union_factors(self, trace: ActivationTrace,
                       batch: int) -> np.ndarray:
         """Per-layer batch-union inflation of the activated set."""
-        return np.array([
-            batch_union_factor(trace.prefill_frequencies(l), batch)
-            for l in range(trace.num_layers)
-        ])
+        return trace_union_factors(trace, batch)
 
     def make_result(self, batch: int, trace: ActivationTrace) -> RunResult:
         return RunResult(
-            system=self.name, model=self.model.name, batch=batch,
-            prefill_time=1e-12, decode_time=1e-12,
-            n_decode_tokens=max(1, trace.n_decode_tokens))
+            system=self.name,
+            model=self.model.name,
+            batch=batch,
+            prefill_time=1e-12,
+            decode_time=1e-12,
+            n_decode_tokens=max(1, trace.n_decode_tokens),
+        )

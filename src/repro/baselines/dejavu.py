@@ -25,12 +25,34 @@ conservative.
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
+
 from ..core.result import RunResult
 from ..sparsity import ActivationTrace
-from .base import OffloadingSystem
+from .base import OffloadingSystem, gather_stream_bandwidth
 
 #: MLP predictor: hidden -> rank -> neurons, rank = hidden // 8 (Deja Vu)
 PREDICTOR_RANK_DIVISOR = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class DejaVuTokenCost:
+    """Per-layer component breakdown of one Deja Vu decode token.
+
+    ``total`` accumulates the components in the exact per-layer order the
+    offline loop uses (transfer + compute + predictor + projection per
+    layer, then attention), so offline passes and steppable serving
+    backends charge bit-identical step latencies.
+    """
+
+    transfers: list[float]
+    computes: list[float]
+    predictors: list[float]
+    projections: list[float]
+    attention: float
+    total: float
 
 
 class DejaVu(OffloadingSystem):
@@ -46,22 +68,69 @@ class DejaVu(OffloadingSystem):
         mlp = model.hidden_size * rank + rank * model.ffn_size
         return (attn + mlp) * 2
 
+    def token_cost(
+        self,
+        trace: ActivationTrace,
+        t: int,
+        context: int,
+        batch: int,
+        union: np.ndarray,
+    ) -> DejaVuTokenCost:
+        """The steppable core: decode ground-truth token ``t``.
+
+        ``t`` indexes the trace's token axis (a decode token row);
+        ``union`` is the per-layer batch-union column for ``batch``
+        (hoisted by callers — it is constant per batch size).  Pure cost
+        query; both the offline ``run()`` loop and the serving backend's
+        per-iteration charging call exactly this.
+        """
+        model = self.model
+        machine = self.machine
+        layout = trace.layout
+        stream_bw = gather_stream_bandwidth(machine)
+        predictor_bytes = self.predictor_bytes_per_layer()
+        transfers: list[float] = []
+        computes: list[float] = []
+        predictors: list[float] = []
+        projections: list[float] = []
+        token = 0.0
+        for l in range(model.num_layers):
+            active = trace.active(l, t)
+            sparse_bytes = float(layout.group_bytes[active].sum()) * union[l]
+            sparse_bytes = min(sparse_bytes, float(layout.group_bytes.sum()))
+            # stream activated neurons, then compute them (the
+            # prediction -> gather -> transfer chain cannot overlap
+            # with this layer's own compute)
+            transfer = machine.pcie.latency + sparse_bytes / stream_bw
+            compute = machine.gpu.matmul_time(
+                sparse_bytes, batch, scattered=True
+            )
+            predictor = machine.gpu.matmul_time(predictor_bytes, batch)
+            projection = machine.gpu.matmul_time(
+                model.dense_bytes_per_layer, batch
+            )
+            token += transfer + compute + predictor + projection
+            transfers.append(transfer)
+            computes.append(compute)
+            predictors.append(predictor)
+            projections.append(projection)
+        attn = self.gpu_attention_time(context, batch)
+        token += attn
+        return DejaVuTokenCost(
+            transfers=transfers,
+            computes=computes,
+            predictors=predictors,
+            projections=projections,
+            attention=attn,
+            total=token,
+        )
+
     def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
         if batch < 1:
             raise ValueError("batch must be >= 1")
         model = self.model
-        machine = self.machine
-        layout = trace.layout
         result = self.make_result(batch, trace)
         union = self.union_factors(trace, batch)
-
-        # Effective stream rate of scattered neuron rows: the CPU gathers
-        # non-contiguous rows (scattered reads at scatter_efficiency) into
-        # a pinned staging buffer (a second write pass) before the DMA, so
-        # the gather pipeline — not PCIe — bounds the stream.
-        bus = machine.host.memory_bus.effective_bandwidth
-        gather_bw = bus * machine.host.scatter_efficiency / 2
-        stream_bw = min(machine.pcie.effective_bandwidth, gather_bw)
 
         # prefill: dense, streamed like FlexGen (sparsity needs per-token
         # predictions that do not exist for the whole prompt at once)
@@ -70,36 +139,19 @@ class DejaVu(OffloadingSystem):
         result.prefill_time = prefill
         result.add("prefill", prefill)
 
-        predictor_bytes = self.predictor_bytes_per_layer()
         decode = 0.0
         for step, t in enumerate(trace.decode_tokens()):
             context = trace.prompt_len + step + 1
-            token = 0.0
+            cost = self.token_cost(trace, t, context, batch, union)
             for l in range(model.num_layers):
-                active = trace.active(l, t)
-                sparse_bytes = float(
-                    layout.group_bytes[active].sum()) * union[l]
-                sparse_bytes = min(sparse_bytes,
-                                   float(layout.group_bytes.sum()))
-                # stream activated neurons, then compute them (the
-                # prediction -> gather -> transfer chain cannot overlap
-                # with this layer's own compute)
-                transfer = machine.pcie.latency + sparse_bytes / stream_bw
-                compute = machine.gpu.matmul_time(sparse_bytes, batch,
-                                                  scattered=True)
-                predictor = machine.gpu.matmul_time(predictor_bytes, batch)
-                projection = machine.gpu.matmul_time(
-                    model.dense_bytes_per_layer, batch)
-                token += transfer + compute + predictor + projection
-                result.add("communication", transfer)
-                result.add("fc", compute)
-                result.add("predictor", predictor)
-                result.add("projection", projection)
-            attn = self.gpu_attention_time(context, batch)
-            token += attn
-            result.add("attention", attn)
-            decode += token
+                result.add("communication", cost.transfers[l])
+                result.add("fc", cost.computes[l])
+                result.add("predictor", cost.predictors[l])
+                result.add("projection", cost.projections[l])
+            result.add("attention", cost.attention)
+            decode += cost.total
         result.decode_time = decode
         result.metadata["predictor_bytes_total"] = (
-            predictor_bytes * model.num_layers)
+            self.predictor_bytes_per_layer() * model.num_layers
+        )
         return result

@@ -16,11 +16,9 @@ host memory and attention runs on the CPU, paying the host-memory-bus scan.
 
 from __future__ import annotations
 
-
 from ..core.result import RunResult
-from ..sim import overlap_two_stage
 from ..sparsity import ActivationTrace
-from .base import OffloadingSystem
+from .base import OffloadingSystem, streamed_dense_token_cost
 
 #: achieved fraction of pinned PCIe bandwidth during decode
 DECODE_LINK_UTILISATION = 0.45
@@ -33,44 +31,53 @@ class FlexGen(OffloadingSystem):
 
     name = "FlexGen"
 
+    # FlexGen's local-deployment policy places the weight pool in host
+    # memory wholesale (w_gpu_percent=0): GPU memory is reserved for
+    # the block's activations and the compute double-buffers, which is
+    # what lets the same policy file serve every model size.
+    resident = 0.0
+
+    def token_cost(
+        self, context: int, batch: int
+    ) -> tuple[float, float, float]:
+        """One decode token's ``(pipeline, transfer_only, attention)``.
+
+        The steppable core: per layer, transfer(next layer) overlaps
+        compute(this layer); attention scans the host-resident KV cache
+        on the CPU.  Pure function of (context, batch) — the serving
+        backend charges it per continuous-batching iteration and
+        ``run()`` composes it into the offline pass.
+        """
+        machine = self.machine
+        model = self.model
+        pipeline, transfer_only = streamed_dense_token_cost(
+            machine,
+            model,
+            batch,
+            resident_fraction=self.resident,
+            link_utilisation=DECODE_LINK_UTILISATION,
+            per_layer_overhead=SCHEDULE_OVERHEAD,
+        )
+        kv_bytes = (2 * model.kv_dim * 2 * context * batch * model.num_layers)
+        attn = machine.host.gemv_time(kv_bytes, 1, scattered=False)
+        return pipeline, transfer_only, attn
+
     def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        model = self.model
-        machine = self.machine
         result = self.make_result(batch, trace)
-        # FlexGen's local-deployment policy places the weight pool in host
-        # memory wholesale (w_gpu_percent=0): GPU memory is reserved for
-        # the block's activations and the compute double-buffers, which is
-        # what lets the same policy file serve every model size.
-        resident = 0.0
-        stream_bytes = model.layer_bytes * (1.0 - resident)
-        link_bw = (machine.pcie.effective_bandwidth
-                   * DECODE_LINK_UTILISATION)
 
         # prefill: the zig-zag schedule at its best (large block)
-        prefill = self.gpu_prefill_time(trace.prompt_len, batch, resident)
+        prefill = self.gpu_prefill_time(trace.prompt_len, batch,
+                                        self.resident)
         result.prefill_time = prefill
         result.add("prefill", prefill)
 
         decode = 0.0
         for step in range(trace.n_decode_tokens):
             context = trace.prompt_len + step + 1
-            # per-layer: transfer(next layer) overlaps compute(this layer)
-            transfers, computes = [], []
-            for _ in range(model.num_layers):
-                transfers.append(machine.pcie.latency
-                                 + stream_bytes / link_bw)
-                computes.append(
-                    machine.gpu.matmul_time(model.layer_bytes, batch)
-                    + SCHEDULE_OVERHEAD)
-            pipeline = overlap_two_stage(transfers, computes)
-            # attention over the host-resident KV cache, on the CPU
-            kv_bytes = (2 * model.kv_dim * 2 * context * batch
-                        * model.num_layers)
-            attn = machine.host.gemv_time(kv_bytes, 1, scattered=False)
+            pipeline, transfer_only, attn = self.token_cost(context, batch)
             decode += pipeline + attn
-            transfer_only = sum(transfers)
             result.add("communication", min(pipeline, transfer_only))
             result.add("fc", max(0.0, pipeline - transfer_only))
             result.add("attention", attn)

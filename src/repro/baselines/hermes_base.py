@@ -50,8 +50,10 @@ class HermesBase(OffloadingSystem):
         heads_per_dimm = -(-model.num_heads // n_dimms)
 
         prefill = self.gpu_prefill_time(
-            trace.prompt_len, batch,
-            resident_fraction=n_gpu_layers / model.num_layers)
+            trace.prompt_len,
+            batch,
+            resident_fraction=n_gpu_layers / model.num_layers,
+        )
         kv_prompt = model.kv_bytes_total(trace.prompt_len, batch)
         kv_push = machine.pcie.transfer_time(kv_prompt)
         result.prefill_time = prefill + kv_push
@@ -68,7 +70,8 @@ class HermesBase(OffloadingSystem):
                     t_fc = machine.gpu.matmul_time(
                         model.sparse_bytes_per_layer, batch)
                     t_proj = machine.gpu.matmul_time(
-                        model.dense_bytes_per_layer, batch)
+                        model.dense_bytes_per_layer, batch
+                    )
                     result.add("fc", t_fc)
                     result.add("projection", t_proj)
                     token += t_fc + t_proj + 2 * machine.sync_latency
@@ -83,7 +86,8 @@ class HermesBase(OffloadingSystem):
                     token += t_fc
                 kv_bytes = 2 * model.kv_dim * 2 * context * batch
                 t_attn = machine.dimm.attention_time(
-                    kv_bytes / n_dimms, context, heads_per_dimm, batch)
+                    kv_bytes / n_dimms, context, heads_per_dimm, batch
+                )
                 result.add("attention", t_attn)
                 token += t_attn
             decode += token

@@ -33,8 +33,9 @@ class HermesHost(OffloadingSystem):
     #: executors measure a few hundred microseconds per layer block).
     hybrid_sync = 250e-6
 
-    def __init__(self, machine, model, config: HermesConfig | None = None
-                 ) -> None:
+    def __init__(
+        self, machine, model, config: HermesConfig | None = None
+    ) -> None:
         super().__init__(machine, model)
         self.config = config or HermesConfig()
 
@@ -63,8 +64,7 @@ class HermesHost(OffloadingSystem):
         layout = trace.layout
         result = self.make_result(batch, trace)
 
-        freqs = [trace.prefill_frequencies(l)
-                 for l in range(trace.num_layers)]
+        freqs = [trace.prefill_frequencies(l) for l in range(trace.num_layers)]
         costs = PartitionCosts(
             gpu_seconds_per_byte=1.0 / machine.gpu.effective_bandwidth,
             dimm_seconds_per_byte=1.0 / machine.host_bandwidth,
@@ -73,9 +73,13 @@ class HermesHost(OffloadingSystem):
             gpu_budget_bytes=self.gpu_hot_budget,
             dimm_capacity_bytes=machine.dimm_capacity_total,
         )
-        partition = solve_partition(freqs, layout, costs,
-                                    strategy=cfg.partition_strategy,
-                                    seed=trace.seed)
+        partition = solve_partition(
+            freqs,
+            layout,
+            costs,
+            strategy=cfg.partition_strategy,
+            seed=trace.seed,
+        )
         mapper = NeuronMapper(layout, costs.gpu_budget_bytes)
         mapper.initialize(partition)
         predictor = ActivationPredictor(layout, PredictorConfig(
@@ -86,8 +90,9 @@ class HermesHost(OffloadingSystem):
         union = np.array([batch_union_factor(freqs[l], batch)
                           for l in range(model.num_layers)])
 
-        prefill = self.gpu_prefill_time(trace.prompt_len, batch,
-                                        self.resident_fraction())
+        prefill = self.gpu_prefill_time(
+            trace.prompt_len, batch, self.resident_fraction()
+        )
         hot_load = machine.pcie.transfer_time(partition.gpu_bytes(layout))
         result.prefill_time = prefill + hot_load
         result.add("prefill", prefill)
@@ -110,14 +115,17 @@ class HermesHost(OffloadingSystem):
                     pred_b[block] = predicted[block]
                     actual_b = np.zeros_like(actual)
                     actual_b[block] = actual[block]
-                    gpu_bytes = (layout.group_bytes[pred_b & resident].sum()
-                                 * union[l])
+                    gpu_bytes = (
+                        layout.group_bytes[pred_b & resident].sum() * union[l]
+                    )
                     # false negatives are computed late by the CPU
                     cold_mask = (pred_b & ~resident) | (actual_b & ~pred_b)
-                    cold_bytes = (layout.group_bytes[cold_mask].sum()
-                                  * union[l])
+                    cold_bytes = (
+                        layout.group_bytes[cold_mask].sum() * union[l]
+                    )
                     t_gpu = machine.gpu.matmul_time(
-                        float(gpu_bytes), batch, scattered=True)
+                        float(gpu_bytes), batch, scattered=True
+                    )
                     t_cpu = machine.host.gemv_time(float(cold_bytes), batch)
                     # GPU and CPU halves run concurrently; merge on GPU
                     fc_time += max(t_gpu, t_cpu) + self.hybrid_sync
@@ -128,7 +136,8 @@ class HermesHost(OffloadingSystem):
                 result.add("attention", t_attn)
 
                 t_proj = machine.gpu.matmul_time(
-                    model.dense_bytes_per_layer, batch)
+                    model.dense_bytes_per_layer, batch
+                )
                 result.add("projection", t_proj)
                 proj_window_pcie += t_proj
 
@@ -137,11 +146,15 @@ class HermesHost(OffloadingSystem):
                 token += fc_time + t_attn + t_proj + t_pred
 
                 if cfg.online_adjustment:
-                    budget = int(proj_window_pcie
-                                 * machine.pcie.effective_bandwidth)
+                    budget = int(
+                        proj_window_pcie * machine.pcie.effective_bandwidth
+                    )
                     adjust = mapper.adjust(
-                        l, predictor.states[l],
-                        hot_threshold=cfg.hot_threshold, max_bytes=budget)
+                        l,
+                        predictor.states[l],
+                        hot_threshold=cfg.hot_threshold,
+                        max_bytes=budget,
+                    )
                     proj_window_pcie = max(
                         0.0, proj_window_pcie - adjust.bytes_in
                         / machine.pcie.effective_bandwidth)
@@ -151,5 +164,6 @@ class HermesHost(OffloadingSystem):
             decode += token
         result.decode_time = decode
         result.metadata["predictor_accuracy"] = (
-            predictor.stats.accuracy if predictor.stats.total else None)
+            predictor.stats.accuracy if predictor.stats.total else None
+        )
         return result

@@ -48,14 +48,44 @@ class TensorRTLLM:
         ring_factor = 2.0 * (self.num_gpus - 1) / self.num_gpus
         return ALLREDUCE_LATENCY + payload * ring_factor / NVLINK_BANDWIDTH
 
+    def layer_costs(
+        self, context: int, batch: int
+    ) -> tuple[float, float, float]:
+        """One decode layer's ``(fc, communication, attention)`` costs.
+
+        The steppable core: each GPU reads its local weight shard at HBM
+        bandwidth, pays two all-reduces, and attends over its slice of
+        the KV cache.  Pure function of (context, batch); the offline
+        ``run()`` loop and the dense serving backend charge exactly this.
+        """
+        model = self.model
+        shard = model.layer_bytes / self.num_gpus
+        t_fc = self.gpu.matmul_time(shard, batch)
+        t_comm = 2 * self._allreduce_time(batch)
+        kv_bytes = 2 * model.kv_dim * 2 * context * batch
+        t_attn = self.gpu.attention_time(kv_bytes / self.num_gpus)
+        return t_fc, t_comm, t_attn
+
+    def decode_token_cost(self, context: int, batch: int) -> float:
+        """One decode token across all layers (critical-path seconds)."""
+        token = 0.0
+        for _ in range(self.model.num_layers):
+            t_fc, t_comm, t_attn = self.layer_costs(context, batch)
+            token += t_fc + t_comm + t_attn
+        return token
+
     def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
         if batch < 1:
             raise ValueError("batch must be >= 1")
         model = self.model
         result = RunResult(
-            system=self.name, model=model.name, batch=batch,
-            prefill_time=1e-12, decode_time=1e-12,
-            n_decode_tokens=max(1, trace.n_decode_tokens))
+            system=self.name,
+            model=model.name,
+            batch=batch,
+            prefill_time=1e-12,
+            decode_time=1e-12,
+            n_decode_tokens=max(1, trace.n_decode_tokens),
+        )
 
         # prefill: compute-bound dense GEMM across all GPUs
         shard = model.layer_bytes / self.num_gpus
@@ -71,10 +101,7 @@ class TensorRTLLM:
             context = trace.prompt_len + step + 1
             token = 0.0
             for _ in range(model.num_layers):
-                t_fc = self.gpu.matmul_time(shard, batch)
-                t_comm = 2 * self._allreduce_time(batch)
-                kv_bytes = 2 * model.kv_dim * 2 * context * batch
-                t_attn = self.gpu.attention_time(kv_bytes / self.num_gpus)
+                t_fc, t_comm, t_attn = self.layer_costs(context, batch)
                 token += t_fc + t_comm + t_attn
                 result.add("fc", t_fc)
                 result.add("communication", t_comm)

@@ -6,7 +6,8 @@ budget NDP-DIMM machines behind a routing front door, shared by tenants
 with different priorities and SLOs:
 
 * :mod:`~repro.cluster.routers` — pluggable request routing
-  (round-robin, least-loaded, session-affinity, power-of-two-choices);
+  (round-robin, least-loaded, session-affinity, power-of-two-choices,
+  throughput-weighted least-loaded for heterogeneous fleets);
 * :mod:`~repro.cluster.slo` — priority classes with TTFT/TBT deadlines
   and deadline-driven preemptive admission;
 * :mod:`~repro.cluster.simulator` — the cluster simulator, a thin
@@ -26,6 +27,7 @@ from .routers import (
     RoundRobinRouter,
     Router,
     SessionAffinityRouter,
+    ThroughputLeastLoadedRouter,
     get_router,
 )
 from .simulator import ClusterConfig, ClusterSimulator
@@ -43,6 +45,7 @@ __all__ = [
     "LeastLoadedRouter",
     "SessionAffinityRouter",
     "PowerOfTwoRouter",
+    "ThroughputLeastLoadedRouter",
     "ROUTERS",
     "get_router",
     "PriorityClass",

@@ -16,7 +16,11 @@ Shipped routers:
   box;
 * ``power-of-two`` — sample two distinct machines and pick the less
   loaded: near-least-loaded balance with O(1) state, the classic
-  load-balancing result.
+  load-balancing result;
+* ``throughput-least-loaded`` — least-loaded with each machine's load
+  normalized by its backend's estimated tokens/sec: the right notion of
+  "least loaded" on a heterogeneous fleet, where equal queue depths
+  mean very different drain times.
 """
 
 from __future__ import annotations
@@ -33,10 +37,20 @@ class Router:
     """Base router: route every request to machine 0."""
 
     name = "single"
+    #: routers that normalize load by machine speed set this; the
+    #: cluster simulator then calls :meth:`bind_fleet` before the run
+    needs_throughputs = False
 
     def route(self, request: Request, loads: typing.Sequence[float]) -> int:
         """Machine index for ``request`` given per-machine loads."""
         return 0
+
+    def bind_fleet(self, tokens_per_second: typing.Sequence[float]) -> None:
+        """Receive per-machine throughput estimates (no-op by default).
+
+        Called once per run by the cluster simulator, before any
+        routing decision, with one estimate per machine index.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"
@@ -103,11 +117,55 @@ class PowerOfTwoRouter(Router):
         return min(a, b)
 
 
+class ThroughputLeastLoadedRouter(Router):
+    """Least *drain time* routing: load normalized by machine speed.
+
+    Uniform least-loaded routing is wrong the moment machines differ —
+    three requests queued on a machine that decodes 5x faster drain
+    sooner than two on a slow one.  This router divides each machine's
+    (queued + resident) load by its backend's estimated tokens/sec
+    (bound once per run via :meth:`bind_fleet`) and picks the smallest
+    quotient, ties to the lowest index.  On a homogeneous fleet every
+    weight is equal and it degenerates to ``least-loaded`` exactly.
+    """
+
+    name = "throughput-least-loaded"
+    needs_throughputs = True
+
+    def __init__(self) -> None:
+        self._weights: list[float] | None = None
+
+    def bind_fleet(self, tokens_per_second: typing.Sequence[float]) -> None:
+        if any(t <= 0 for t in tokens_per_second):
+            raise ValueError("throughput estimates must be positive")
+        self._weights = [float(t) for t in tokens_per_second]
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        weights = self._weights
+        if weights is None:
+            # unbound (e.g. used directly on a ServingSimulator):
+            # uniform speeds — plain least-loaded
+            weights = [1.0] * len(loads)
+        if len(weights) != len(loads):
+            raise ValueError(
+                f"router bound to {len(weights)} machines but asked to "
+                f"route over {len(loads)}")
+        best = 0
+        best_cost = loads[0] / weights[0]
+        for m in range(1, len(loads)):
+            cost = loads[m] / weights[m]
+            if cost < best_cost:
+                best = m
+                best_cost = cost
+        return best
+
+
 ROUTERS: dict[str, typing.Callable[..., Router]] = {
     "round-robin": RoundRobinRouter,
     "least-loaded": LeastLoadedRouter,
     "session-affinity": SessionAffinityRouter,
     "power-of-two": PowerOfTwoRouter,
+    "throughput-least-loaded": ThroughputLeastLoadedRouter,
 }
 
 

@@ -17,11 +17,18 @@ trace, bit-identical metrics) — a property the test suite pins.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from ..core import HermesConfig
 from ..hardware import Machine
 from ..models import ModelSpec
-from ..serving import BatchingPolicy, Request, ServingConfig, ServingSimulator
+from ..serving import (
+    BatchingPolicy,
+    MachineGroup,
+    Request,
+    ServingConfig,
+    ServingSimulator,
+)
 from ..serving.simulator import Preemptor, _RunState
 from .report import ClusterReport
 from .routers import Router, get_router
@@ -55,6 +62,7 @@ class ClusterSimulator(ServingSimulator):
         trace=None,
         granularity: int = 64,
         seed: int = 7,
+        fleet: typing.Sequence[MachineGroup] | None = None,
     ) -> None:
         super().__init__(
             model,
@@ -65,6 +73,7 @@ class ClusterSimulator(ServingSimulator):
             trace=trace,
             granularity=granularity,
             seed=seed,
+            fleet=fleet,
         )
         self.slo = slo or SLOPolicy()
         #: router override: an instance is reused as-is (caller owns its
@@ -83,6 +92,11 @@ class ClusterSimulator(ServingSimulator):
         machines = self.config.num_machines
         state = _RunState(workload, machines, num_queues=machines)
         router = self._make_router()
+        if getattr(router, "needs_throughputs", False):
+            router.bind_fleet([
+                executor.estimated_tokens_per_second()
+                for executor in self.executors
+            ])
         state.assign = lambda request: router.route(request, state.loads())
         self._last_router_name = router.name
         return state
@@ -93,6 +107,17 @@ class ClusterSimulator(ServingSimulator):
     def _preemptor(self) -> Preemptor | None:
         if not self.slo.preemptive:
             return None
+        unsupported = sorted({
+            getattr(executor, "name", type(executor).__name__)
+            for executor in self.executors
+            if not getattr(executor, "supports_preemption", True)
+        })
+        if unsupported:
+            raise ValueError(
+                "slo.preemptive requires every backend to support free "
+                f"re-admission after eviction; these do not: "
+                f"{', '.join(unsupported)} (see the README capability "
+                "matrix)")
         return DeadlinePreemptor(self._admission_policy(), self.slo)
 
     def _make_report(self, state: _RunState, makespan: float) -> ClusterReport:
@@ -105,6 +130,7 @@ class ClusterSimulator(ServingSimulator):
             batch_samples=state.batch_samples,
             machine_gpu_busy=state.machine_gpu_busy,
             machine_dimm_busy=state.machine_dimm_busy,
+            batch_limit_clamps=state.batch_limit_clamps,
             router=self._last_router_name,
             slo=self.slo,
         )

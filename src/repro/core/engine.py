@@ -120,9 +120,11 @@ class SpanCost:
 
     def step(self, i: int) -> StepCost:
         """The ``i``-th step's cost in scalar :class:`StepCost` form."""
-        return StepCost(seconds=float(self.seconds[i]),
-                        gpu_busy=float(self.gpu_busy[i]),
-                        dimm_busy=float(self.dimm_busy[i]))
+        return StepCost(
+            seconds=float(self.seconds[i]),
+            gpu_busy=float(self.gpu_busy[i]),
+            dimm_busy=float(self.dimm_busy[i]),
+        )
 
 
 class HermesSystem:
@@ -130,8 +132,12 @@ class HermesSystem:
 
     name = "Hermes"
 
-    def __init__(self, machine: Machine, model: ModelSpec,
-                 config: HermesConfig | None = None) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        model: ModelSpec,
+        config: HermesConfig | None = None,
+    ) -> None:
         self.machine = machine
         self.model = model
         self.config = config or HermesConfig()
@@ -160,8 +166,9 @@ class HermesSystem:
                 f"{self.model.name}")
         return budget
 
-    def partition_costs(self, layout: NeuronLayout,
-                        batch: int = 1) -> PartitionCosts:
+    def partition_costs(
+        self, layout: NeuronLayout, batch: int = 1
+    ) -> PartitionCosts:
         """Per-byte execution rates (Eq. 4-5), batch-aware.
 
         Batching multiplies MACs but not weight traffic, so each side's
@@ -171,11 +178,14 @@ class HermesSystem:
         """
         machine = self.machine
         gpu = machine.gpu
-        gpu_rate = max(1.0 / gpu.effective_bandwidth,
-                       batch / gpu.effective_flops)
+        gpu_rate = max(
+            1.0 / gpu.effective_bandwidth, batch / gpu.effective_flops
+        )
         core = machine.dimm.core
-        dimm_rate = max(1.0 / machine.dimm.internal_bandwidth,
-                        batch / (2.0 * core.gemv.macs_per_second))
+        dimm_rate = max(
+            1.0 / machine.dimm.internal_bandwidth,
+            batch / (2.0 * core.gemv.macs_per_second),
+        )
         return PartitionCosts(
             gpu_seconds_per_byte=gpu_rate,
             dimm_seconds_per_byte=dimm_rate,
@@ -198,11 +208,11 @@ class HermesSystem:
             window = slice(trace.prompt_len, trace.n_tokens)
             return [trace.frequencies(l, tokens=window)
                     for l in range(trace.num_layers)]
-        return [trace.prefill_frequencies(l)
-                for l in range(trace.num_layers)]
+        return [trace.prefill_frequencies(l) for l in range(trace.num_layers)]
 
-    def _prefill_time(self, layout: NeuronLayout, prompt_len: int,
-                      batch: int) -> float:
+    def _prefill_time(
+        self, layout: NeuronLayout, prompt_len: int, batch: int
+    ) -> float:
         """Prompting stage: GPU with zig-zag weight streaming (§IV-A2).
 
         Layer weights stream over PCIe while the previous layer computes —
@@ -213,7 +223,8 @@ class HermesSystem:
         transfer = []
         compute = []
         resident_fraction = min(
-            1.0, self.machine.gpu.memory_bytes / model.total_weight_bytes)
+            1.0, self.machine.gpu.memory_bytes / model.total_weight_bytes
+        )
         for _ in range(model.num_layers):
             layer_bytes = model.layer_bytes
             stream_bytes = layer_bytes * (1.0 - resident_fraction)
@@ -238,8 +249,9 @@ class HermesSystem:
         (trace, batch, config), so sessions over the same inputs — e.g.
         the machines of a serving cluster — need not re-solve it).
         """
-        return HermesSession(self, trace, batch, wrap=wrap,
-                             partition=partition)
+        return HermesSession(
+            self, trace, batch, wrap=wrap, partition=partition
+        )
 
     def run(self, trace: ActivationTrace, batch: int = 1) -> RunResult:
         """Simulate one full prefill + decode pass over ``trace``."""
@@ -260,9 +272,15 @@ class HermesSession:
     the hot/cold placement keeps evolving underneath.
     """
 
-    def __init__(self, system: HermesSystem, trace: ActivationTrace,
-                 batch: int = 1, *, wrap: bool = False,
-                 partition: OfflinePartition | None = None) -> None:
+    def __init__(
+        self,
+        system: HermesSystem,
+        trace: ActivationTrace,
+        batch: int = 1,
+        *,
+        wrap: bool = False,
+        partition: OfflinePartition | None = None,
+    ) -> None:
         if trace.layout.model.name != system.model.name:
             raise ValueError("trace was generated for a different model")
         if batch < 1:
@@ -276,9 +294,13 @@ class HermesSession:
         machine = system.machine
 
         self.result = RunResult(
-            system=system.name, model=system.model.name, batch=batch,
-            prefill_time=1e-12, decode_time=1e-12,
-            n_decode_tokens=max(1, trace.n_decode_tokens))
+            system=system.name,
+            model=system.model.name,
+            batch=batch,
+            prefill_time=1e-12,
+            decode_time=1e-12,
+            n_decode_tokens=max(1, trace.n_decode_tokens),
+        )
 
         # ---------------- offline stage ----------------
         self.freqs = system._profiled_frequencies(trace)
@@ -291,14 +313,19 @@ class HermesSession:
             self.partition = partition
         else:
             if batch > 1:
-                partition_freqs = [1.0 - (1.0 - f) ** batch
-                                   for f in self.freqs]
+                partition_freqs = [
+                    1.0 - (1.0 - f) ** batch for f in self.freqs
+                ]
             else:
                 partition_freqs = self.freqs
             self.partition = solve_partition(
-                partition_freqs, self.layout, self.costs,
-                strategy=cfg.partition_strategy, seed=trace.seed,
-                balanced_dimms=cfg.partition_strategy != "random")
+                partition_freqs,
+                self.layout,
+                self.costs,
+                strategy=cfg.partition_strategy,
+                seed=trace.seed,
+                balanced_dimms=cfg.partition_strategy != "random",
+            )
         self.mapper = NeuronMapper(self.layout, self.costs.gpu_budget_bytes)
         self.mapper.initialize(self.partition)
         self.predictor = ActivationPredictor(self.layout, PredictorConfig(
@@ -307,13 +334,15 @@ class HermesSession:
             hot_threshold=cfg.hot_threshold,
         ))
         self.predictor.initialize(trace)
-        self.scheduler = WindowScheduler(self.layout, machine.num_dimms,
-                                         window=cfg.window)
+        self.scheduler = WindowScheduler(
+            self.layout, machine.num_dimms, window=cfg.window
+        )
 
         self.hot_bytes = self.partition.gpu_bytes(self.layout)
         self._run_bytes = float(self.layout.group_bytes.mean())
-        self._attn_heads_per_dimm = -(-system.model.num_heads
-                                      // machine.num_dimms)
+        self._attn_heads_per_dimm = -(
+            -system.model.num_heads // machine.num_dimms
+        )
         # Batch-union factors, filled lazily one batch column at a time
         # into a dense (num_layers, max_batch_seen) array.  Bounded by the
         # largest batch ever requested — unlike a per-(layer, batch) dict,
@@ -328,8 +357,9 @@ class HermesSession:
         #: both blocks' GPU-side bytes for every layer at once
         num_layers = system.model.num_layers
         n_dimms = machine.num_dimms
-        self._gpu_block_matrix = np.zeros((layout.groups_per_layer, 2),
-                                          dtype=np.int64)
+        self._gpu_block_matrix = np.zeros(
+            (layout.groups_per_layer, 2), dtype=np.int64
+        )
         for b, block in enumerate((layout.attn_slice, layout.mlp_slice)):
             self._gpu_block_matrix[block, b] = layout.group_bytes[block]
         #: flat bin key offsets mapping (layer, block, dimm) to
@@ -417,8 +447,9 @@ class HermesSession:
         """
         return self._union_column(batch)
 
-    def _union_views(self, batch: int
-                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _union_views(
+        self, batch: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(column, column[:, None], doubled column[:, None]) at ``batch``.
 
         The reshaped views feed the decode loop's FC byte math every
@@ -428,8 +459,7 @@ class HermesSession:
         views = self._union_views_cache.get(batch)
         if views is None:
             col = self._union_column(batch)
-            views = (col, col[:, None],
-                     np.concatenate((col, col))[:, None])
+            views = (col, col[:, None], np.concatenate((col, col))[:, None])
             self._union_views_cache[batch] = views
         return views
 
@@ -454,8 +484,7 @@ class HermesSession:
         partition = self.partition
         if (self._rb_keys_cache is None
                 or self._rb_keys_version != partition.remap_version):
-            self._rb_keys_cache = (partition.dimm_of_matrix
-                                   + self._rb_offsets)
+            self._rb_keys_cache = (partition.dimm_of_matrix + self._rb_offsets)
             self._rb_keys_version = partition.remap_version
         return self._rb_keys_cache
 
@@ -474,9 +503,13 @@ class HermesSession:
             self._union_factors = grown
         return self._union_factors[:, batch - 1]
 
-    def prefill_cost(self, prompt_len: int | None = None,
-                     batch: int | None = None, *,
-                     reload_hot: bool = False) -> tuple[float, float]:
+    def prefill_cost(
+        self,
+        prompt_len: int | None = None,
+        batch: int | None = None,
+        *,
+        reload_hot: bool = False,
+    ) -> tuple[float, float]:
         """Prompting-stage cost split as (GPU compute, PCIe transfer).
 
         ``reload_hot`` additionally charges re-loading the non-resident part
@@ -498,17 +531,23 @@ class HermesSession:
         # re-transferred; only the remainder crosses PCIe again.
         resident_fraction = min(
             1.0, machine.gpu.memory_bytes / model.total_weight_bytes)
-        reload_bytes = (self.hot_bytes * (1.0 - resident_fraction)
-                        if reload_hot else 0.0)
+        reload_bytes = (
+            self.hot_bytes * (1.0 - resident_fraction) if reload_hot else 0.0
+        )
         kv_prompt = model.kv_bytes_total(prompt_len, batch)
         return prefill, machine.pcie.transfer_time(reload_bytes + kv_prompt)
 
-    def prefill_seconds(self, prompt_len: int | None = None,
-                        batch: int | None = None, *,
-                        reload_hot: bool = False) -> float:
+    def prefill_seconds(
+        self,
+        prompt_len: int | None = None,
+        batch: int | None = None,
+        *,
+        reload_hot: bool = False,
+    ) -> float:
         """Total prompting-stage latency (see :meth:`prefill_cost`)."""
-        compute, transfer = self.prefill_cost(prompt_len, batch,
-                                              reload_hot=reload_hot)
+        compute, transfer = self.prefill_cost(
+            prompt_len, batch, reload_hot=reload_hot
+        )
         return compute + transfer
 
     def prefill(self) -> float:
@@ -539,18 +578,21 @@ class HermesSession:
                     and mapper.free_bytes(layer) < min_wanted_bytes)):
             return 0
         adjust = mapper.adjust(
-            layer, states_row,
+            layer,
+            states_row,
             hot_threshold=self.system.config.hot_threshold,
             max_bytes=budget,
             coldest_state=coldest,
             wanted_row=wanted_matrix[layer],
             hottest_wanted=hottest_wanted,
-            min_wanted_bytes=min_wanted_bytes)
+            min_wanted_bytes=min_wanted_bytes,
+        )
         self._swap_bytes_total += adjust.bytes_in
         return adjust.bytes_in
 
-    def decode_step(self, batch: int | None = None,
-                    context: int | None = None) -> StepCost:
+    def decode_step(
+        self, batch: int | None = None, context: int | None = None
+    ) -> StepCost:
         """Generate one token; returns the step's critical-path cost.
 
         ``batch`` overrides the session batch for this step (continuous
@@ -563,19 +605,22 @@ class HermesSession:
             raise ValueError("batch must be >= 1")
         n_decode = self.trace.n_decode_tokens
         if n_decode == 0:
-            raise RuntimeError("trace has no decode region "
-                               "(generated with decode_len=0)")
+            raise RuntimeError(
+                "trace has no decode region " "(generated with decode_len=0)"
+            )
         if self.steps_done >= n_decode and not self.wrap:
             raise RuntimeError("trace decode tokens exhausted "
                                "(open the session with wrap=True)")
         if context is None:
             context = self.trace.prompt_len + self.steps_done + 1
         seconds, gpu_busy, dimm_busy = self._single_step(batch, context)
-        return StepCost(seconds=seconds, gpu_busy=gpu_busy,
-                        dimm_busy=dimm_busy)
+        return StepCost(
+            seconds=seconds, gpu_busy=gpu_busy, dimm_busy=dimm_busy
+        )
 
-    def _single_step(self, batch: int, context: int
-                     ) -> tuple[float, float, float]:
+    def _single_step(
+        self, batch: int, context: int
+    ) -> tuple[float, float, float]:
         """One decode token through the per-token control-plane path.
 
         The validated single-token core shared by :meth:`decode_step`
@@ -598,19 +643,22 @@ class HermesSession:
         t_proj = self._proj_time_cache.get(batch)
         if t_proj is None:
             t_proj = gpu.matmul_time(
-                self.system.model.dense_bytes_per_layer, batch)
+                self.system.model.dense_bytes_per_layer, batch
+            )
             self._proj_time_cache[batch] = t_proj
         t_merge = self._merge_time_cache.get(batch)
         if t_merge is None:
             t_merge = dimm.core.merge_time(
-                self.system.model.hidden_size, batch)
+                self.system.model.hidden_size, batch
+            )
             self._merge_time_cache[batch] = t_merge
         t_pred = self._pred_overhead
 
         t = prompt_len + self.steps_done % n_decode
         kv_bytes = kv_token * context * batch
         t_attn = dimm.attention_time(
-            kv_bytes / n_dimms, context, heads_per_dimm, batch)
+            kv_bytes / n_dimms, context, heads_per_dimm, batch
+        )
         # ---- vectorized control plane: all layers of the token at once
         # (see decode_steps for the dependence argument)
         actuals = trace.active_matrix(t)
@@ -620,8 +668,9 @@ class HermesSession:
             predicted_all = predictor.predict_all(actuals)
         resident_all = mapper.resident_matrix
         on_gpu_all = predicted_all & resident_all
-        on_dimm_all = ((predicted_all & ~resident_all)
-                       | (actuals & ~predicted_all))
+        on_dimm_all = (
+            (predicted_all & ~resident_all) | (actuals & ~predicted_all)
+        )
         if self._resident_caps_version != mapper.version:
             caps = resident_all @ group_bytes
             self._resident_caps = (caps, caps[:, None])
@@ -635,8 +684,9 @@ class HermesSession:
             self._fc_keys(), weights=weights.ravel(),
             minlength=fc_bins,
         ).reshape(2 * num_layers, n_dimms) * union_twice
-        t_gpu = gpu.matmul_time_batch(gpu_bytes, batch,
-                                      scattered=True, check=False)
+        t_gpu = gpu.matmul_time_batch(
+            gpu_bytes, batch, scattered=True, check=False
+        )
         t_dimm = dimm.core.gemv_time_batch(
             dimm_bytes, gemv_bandwidth, batch, check=False).max(axis=1)
         tg_q, tg_m = t_gpu[:, 0], t_gpu[:, 1]
@@ -648,8 +698,7 @@ class HermesSession:
         td_qkv, td_mlp = td_q.tolist(), td_m.tolist()
         if online:
             state_matrix = predictor.state_matrix
-            wanted_matrix = ((state_matrix > hot_threshold)
-                             & ~resident_all)
+            wanted_matrix = ((state_matrix > hot_threshold) & ~resident_all)
             adjust_rows = wanted_matrix.any(axis=1).tolist()
             if True in adjust_rows:
                 coldest = np.where(resident_all, state_matrix,
@@ -685,18 +734,21 @@ class HermesSession:
             bd_others += t_merge
             bd_pred += t_pred
             dimm_busy += t_merge
-            token_time += (fc_time + t_attn + t_proj
-                           + t_merge + t_pred)
+            token_time += (fc_time + t_attn + t_proj + t_merge + t_pred)
             if online and adjust_rows[l]:
                 bytes_in = self._maybe_adjust(
-                    l, states[l],
+                    l,
+                    states[l],
                     int(proj_window_pcie * pcie_bandwidth),
-                    wanted_matrix, coldest[l], hottest_wanted[l],
-                    min_wanted_bytes[l])
+                    wanted_matrix,
+                    coldest[l],
+                    hottest_wanted[l],
+                    min_wanted_bytes[l],
+                )
                 if bytes_in:
                     proj_window_pcie = max(
-                        0.0,
-                        proj_window_pcie - bytes_in / pcie_bandwidth)
+                        0.0, proj_window_pcie - bytes_in / pcie_bandwidth
+                    )
         breakdown["fc"] = bd_fc
         breakdown["attention"] = bd_attn
         breakdown["projection"] = bd_proj
@@ -708,7 +760,8 @@ class HermesSession:
             remap = scheduler.rebalance_all(
                 partition.dimm_of_matrix,
                 exclude=mapper.resident_matrix,
-                keys=self._rebalance_keys())
+                keys=self._rebalance_keys(),
+            )
             link_time = dimm.migration_time(remap.max_link_bytes)
             overflow = max(0.0, link_time - proj_window_pcie)
             result.add("communication", overflow)
@@ -725,11 +778,15 @@ class HermesSession:
         self._last_step_seconds = token_time
         return token_time, gpu_busy, dimm_busy
 
-    def decode_steps(self, batch: int | None = None,
-                     contexts: typing.Sequence[int] | None = None, *,
-                     max_steps: int | None = None,
-                     start_time: float = 0.0,
-                     until: float | None = None) -> SpanCost:
+    def decode_steps(
+        self,
+        batch: int | None = None,
+        contexts: typing.Sequence[int] | None = None,
+        *,
+        max_steps: int | None = None,
+        start_time: float = 0.0,
+        until: float | None = None,
+    ) -> SpanCost:
         """Run up to K consecutive decode iterations in one fused call.
 
         The macro-stepped serving loop's engine entry point: a span of
@@ -778,8 +835,9 @@ class HermesSession:
         trace = self.trace
         n_decode = trace.n_decode_tokens
         if n_decode == 0:
-            raise RuntimeError("trace has no decode region "
-                               "(generated with decode_len=0)")
+            raise RuntimeError(
+                "trace has no decode region " "(generated with decode_len=0)"
+            )
         if not self.wrap and self.steps_done + k > n_decode:
             raise RuntimeError("trace decode tokens exhausted "
                                "(open the session with wrap=True)")
@@ -791,12 +849,13 @@ class HermesSession:
                 context = contexts[0]
             else:
                 context = trace.prompt_len + self.steps_done + 1
-            seconds, gpu_busy, dimm_busy = self._single_step(batch,
-                                                             context)
-            return SpanCost(seconds=np.array([seconds]),
-                            gpu_busy=np.array([gpu_busy]),
-                            dimm_busy=np.array([dimm_busy]),
-                            end_times=np.array([start_time + seconds]))
+            seconds, gpu_busy, dimm_busy = self._single_step(batch, context)
+            return SpanCost(
+                seconds=np.array([seconds]),
+                gpu_busy=np.array([gpu_busy]),
+                dimm_busy=np.array([dimm_busy]),
+                end_times=np.array([start_time + seconds]),
+            )
         system = self.system
         cfg = system.config
         machine = system.machine
@@ -890,7 +949,8 @@ class HermesSession:
                 breakdown["others"] = bd_others
                 breakdown["predictor"] = bd_pred
                 token_time, gpu_busy, dimm_busy = self._single_step(
-                    batch, context)
+                    batch, context
+                )
                 bd_fc = breakdown["fc"]
                 bd_attn = breakdown["attention"]
                 bd_proj = breakdown["projection"]
@@ -913,16 +973,17 @@ class HermesSession:
             base = self.steps_done
             first = base % n_decode
             if first + span_len <= n_decode:
-                rows: "typing.Any" = slice(prompt_len + first,
-                                           prompt_len + first + span_len)
+                rows: "typing.Any" = slice(
+                    prompt_len + first, prompt_len + first + span_len
+                )
             else:  # wrap crossing: gather the cyclic row list
-                rows = [prompt_len + (base + j) % n_decode
-                        for j in range(span_len)]
+                rows = [
+                    prompt_len + (base + j) % n_decode for j in range(span_len)
+                ]
             if contexts is not None:
                 ctx_list = list(contexts[pos:pos + span_len])
             else:
-                ctx_list = [prompt_len + base + j + 1
-                            for j in range(span_len)]
+                ctx_list = [prompt_len + base + j + 1 for j in range(span_len)]
             actuals_span = np.ascontiguousarray(trace.active_span(rows))
             deltas_span = predictor.span_deltas(actuals_span)
             states_span = predictor.span_states(deltas_span)
@@ -930,8 +991,9 @@ class HermesSession:
                 pred_span = actuals_span
             else:
                 scores_span = predictor.span_scores(actuals_span)
-                pred_span = predictor.span_predictions(scores_span,
-                                                       states_span)
+                pred_span = predictor.span_predictions(
+                    scores_span, states_span
+                )
             # predicted-or-activated union: every group some device must
             # compute this step (on_dimm = this minus the GPU's share)
             pa_span = pred_span | actuals_span
@@ -943,8 +1005,7 @@ class HermesSession:
                 heads_per_dimm, batch).tolist()
             if not inline_times:
                 gpu_bytes_span = np.empty((span_len, num_layers, 2))
-                dimm_bytes_span = np.empty((span_len, 2 * num_layers,
-                                            n_dimms))
+                dimm_bytes_span = np.empty((span_len, 2 * num_layers, n_dimms))
                 overflows: list[float] = [0.0] * span_len
 
             n_done = 0
@@ -984,8 +1045,7 @@ class HermesSession:
                 # NDP-side loads (zero-weight entries leave the exact
                 # per-bin sums unchanged).
                 gpu_sums = on_gpu_all @ block_matrix
-                gpu_bytes = np.minimum(gpu_sums * union_col2d,
-                                       resident_caps2d)
+                gpu_bytes = np.minimum(gpu_sums * union_col2d, resident_caps2d)
                 weights = on_dimm_all * group_bytes
                 dimm_bytes = np.bincount(
                     self._fc_keys(), weights=weights.ravel(),
@@ -993,9 +1053,9 @@ class HermesSession:
                 ).reshape(2 * num_layers, n_dimms) * union_twice
 
                 if inline_times:
-                    t_gpu = gpu.matmul_time_batch(gpu_bytes, batch,
-                                                  scattered=True,
-                                                  check=False)
+                    t_gpu = gpu.matmul_time_batch(
+                        gpu_bytes, batch, scattered=True, check=False
+                    )
                     t_dimm = dimm.core.gemv_time_batch(
                         dimm_bytes, gemv_bandwidth, batch,
                         check=False).max(axis=1)
@@ -1059,14 +1119,19 @@ class HermesSession:
                         bd_others += t_merge
                         bd_pred += t_pred
                         dimm_busy += t_merge
-                        token_time += (fc_time + t_attn + t_proj
-                                       + t_merge + t_pred)
+                        token_time += (
+                            fc_time + t_attn + t_proj + t_merge + t_pred
+                        )
                         if online and adjust_rows[l]:
                             bytes_in = self._maybe_adjust(
-                                l, states_i[l],
+                                l,
+                                states_i[l],
                                 int(proj_window_pcie * pcie_bandwidth),
-                                wanted_matrix, coldest[l],
-                                hottest_wanted[l], min_wanted_bytes[l])
+                                wanted_matrix,
+                                coldest[l],
+                                hottest_wanted[l],
+                                min_wanted_bytes[l],
+                            )
                             if bytes_in:
                                 proj_window_pcie = max(
                                     0.0, proj_window_pcie
@@ -1076,10 +1141,14 @@ class HermesSession:
                         proj_window_pcie += t_proj
                         if online and adjust_rows[l]:
                             bytes_in = self._maybe_adjust(
-                                l, states_i[l],
+                                l,
+                                states_i[l],
                                 int(proj_window_pcie * pcie_bandwidth),
-                                wanted_matrix, coldest[l],
-                                hottest_wanted[l], min_wanted_bytes[l])
+                                wanted_matrix,
+                                coldest[l],
+                                hottest_wanted[l],
+                                min_wanted_bytes[l],
+                            )
                             if bytes_in:
                                 proj_window_pcie = max(
                                     0.0, proj_window_pcie
@@ -1094,7 +1163,8 @@ class HermesSession:
                     remap = scheduler.rebalance_all(
                         partition.dimm_of_matrix,
                         exclude=mapper.resident_matrix,
-                        keys=self._rebalance_keys())
+                        keys=self._rebalance_keys(),
+                    )
                     link_time = dimm.migration_time(remap.max_link_bytes)
                     # migrations overlap the token's projection windows
                     overflow = max(0.0, link_time - proj_window_pcie)
@@ -1127,8 +1197,7 @@ class HermesSession:
             # ---- commit the chunk's control-plane evolution ----
             pos += n_done
             predictor.sync_states(states_span[n_done])
-            predictor.record_span(pred_span[:n_done],
-                                  actuals_span[:n_done])
+            predictor.record_span(pred_span[:n_done], actuals_span[:n_done])
 
             if inline_times:
                 continue
@@ -1177,8 +1246,9 @@ class HermesSession:
                     bd_others += t_merge
                     bd_pred += t_pred
                     dimm_busy += t_merge
-                    token_time += (fc_time + t_attn + t_proj
-                                   + t_merge + t_pred)
+                    token_time += (
+                        fc_time + t_attn + t_proj + t_merge + t_pred
+                    )
                 token_time += overflows[i]
                 self.decode_time += token_time
                 self._last_step_seconds = token_time
@@ -1193,10 +1263,12 @@ class HermesSession:
         breakdown["projection"] = bd_proj
         breakdown["others"] = bd_others
         breakdown["predictor"] = bd_pred
-        return SpanCost(seconds=np.asarray(seconds_out),
-                        gpu_busy=np.asarray(gpu_busy_out),
-                        dimm_busy=np.asarray(dimm_busy_out),
-                        end_times=np.asarray(end_times))
+        return SpanCost(
+            seconds=np.asarray(seconds_out),
+            gpu_busy=np.asarray(gpu_busy_out),
+            dimm_busy=np.asarray(dimm_busy_out),
+            end_times=np.asarray(end_times),
+        )
 
     # ------------------------------------------------------------------
     def finish(self) -> RunResult:

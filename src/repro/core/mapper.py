@@ -149,11 +149,14 @@ class NeuronMapper:
                 hottest_wanted = int(states[wanted_idx].max())
             if min_wanted_bytes is None:
                 min_wanted_bytes = int(
-                    self.layout.group_bytes[wanted_idx].min())
+                    self.layout.group_bytes[wanted_idx].min()
+                )
         if min_wanted_bytes > budget:
             return result
-        free0 = min(self.gpu_budget_bytes - self.resident_bytes,
-                    self.layer_budget[layer] - layer_used)
+        free0 = min(
+            self.gpu_budget_bytes - self.resident_bytes,
+            self.layer_budget[layer] - layer_used,
+        )
         if coldest_state >= hottest_wanted and free0 < min_wanted_bytes:
             return result
 
@@ -172,8 +175,10 @@ class NeuronMapper:
             b = group_bytes[idx]
             if b > budget:
                 break
-            free = min(self.gpu_budget_bytes - self.resident_bytes,
-                       self.layer_budget[layer] - layer_used)
+            free = min(
+                self.gpu_budget_bytes - self.resident_bytes,
+                self.layer_budget[layer] - layer_used,
+            )
             if free < b and evictable is None:
                 evictable = np.flatnonzero(entry_resident)
                 evictable = evictable[np.argsort(states[evictable])]
@@ -211,8 +216,10 @@ class NeuronMapper:
         residency ceiling — the same quantity :meth:`adjust` computes
         internally, exposed so the engine can skip no-op adjust calls.
         """
-        return min(self.gpu_budget_bytes - self.resident_bytes,
-                   self.layer_budget[layer] - self._layer_used[layer])
+        return min(
+            self.gpu_budget_bytes - self.resident_bytes,
+            self.layer_budget[layer] - self._layer_used[layer],
+        )
 
     def residency_bytes(self, layer: int) -> int:
         return int(self.layout.group_bytes[self.resident[layer]].sum())
@@ -220,8 +227,7 @@ class NeuronMapper:
     def check_invariants(self) -> None:
         """Internal consistency: byte counter matches the masks and the
         budget holds (used by property tests)."""
-        total = sum(self.residency_bytes(l)
-                    for l in range(len(self.resident)))
+        total = sum(self.residency_bytes(l) for l in range(len(self.resident)))
         if total != self.resident_bytes:
             raise AssertionError("resident byte counter out of sync")
         if total > self.gpu_budget_bytes:

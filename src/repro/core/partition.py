@@ -118,8 +118,9 @@ def gpu_mass_share(costs: PartitionCosts) -> float:
     return pool_rate / (costs.gpu_seconds_per_byte + pool_rate)
 
 
-def _greedy_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
-                      costs: PartitionCosts) -> list[np.ndarray]:
+def _greedy_hot_masks(
+    frequencies: list[np.ndarray], layout: NeuronLayout, costs: PartitionCosts
+) -> list[np.ndarray]:
     """Rate-balanced water-filling, hottest groups first.
 
     Groups are taken in global frequency order; a group joins the hot set
@@ -152,9 +153,12 @@ def _greedy_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
     return [selected[l * g:(l + 1) * g].copy() for l in range(num_layers)]
 
 
-def _random_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
-                      costs: PartitionCosts,
-                      rng: np.random.Generator) -> list[np.ndarray]:
+def _random_hot_masks(
+    frequencies: list[np.ndarray],
+    layout: NeuronLayout,
+    costs: PartitionCosts,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
     """Random GPU fill (the Hermes-random ablation)."""
     num_layers = len(frequencies)
     g = layout.groups_per_layer
@@ -170,8 +174,9 @@ def _random_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
     return [selected[l * g:(l + 1) * g].copy() for l in range(num_layers)]
 
 
-def _lp_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
-                  costs: PartitionCosts) -> list[np.ndarray]:
+def _lp_hot_masks(
+    frequencies: list[np.ndarray], layout: NeuronLayout, costs: PartitionCosts
+) -> list[np.ndarray]:
     """LP relaxation of Eq. 1-7 (HiGHS) + deterministic rounding.
 
     Variables: x[l,i] in [0,1] (GPU placement) and one makespan m_l per
@@ -216,8 +221,13 @@ def _lp_hot_masks(frequencies: list[np.ndarray], layout: NeuronLayout,
     rows_b.append(float(costs.gpu_budget_bytes))
 
     bounds = [(0.0, 1.0)] * n_x + [(0.0, None)] * num_layers
-    result = linprog(cost, A_ub=np.array(rows_a), b_ub=np.array(rows_b),
-                     bounds=bounds, method="highs")
+    result = linprog(
+        cost,
+        A_ub=np.array(rows_a),
+        b_ub=np.array(rows_b),
+        bounds=bounds,
+        method="highs",
+    )
     if not result.success:
         raise RuntimeError(f"LP solve failed: {result.message}")
     x = result.x[:n_x]
@@ -286,7 +296,8 @@ def assign_dimms(frequencies: list[np.ndarray], hot_masks: list[np.ndarray],
                     break
             else:
                 raise ValueError(
-                    f"layer {l}: DIMM pool too small for the model")
+                    f"layer {l}: DIMM pool too small for the model"
+                )
         assignments.append(dimm_of)
     return assignments
 
@@ -320,9 +331,16 @@ def solve_partition(frequencies: list[np.ndarray], layout: NeuronLayout,
         hot = _random_hot_masks(frequencies, layout, costs, rng)
     else:
         raise ValueError(f"unknown strategy {strategy!r}")
-    dimm_of = assign_dimms(frequencies, hot, layout, costs, rng=rng,
-                           balanced=balanced_dimms and strategy != "random")
-    partition = OfflinePartition(hot_masks=hot, dimm_of=dimm_of,
-                                 strategy=strategy)
+    dimm_of = assign_dimms(
+        frequencies,
+        hot,
+        layout,
+        costs,
+        rng=rng,
+        balanced=balanced_dimms and strategy != "random",
+    )
+    partition = OfflinePartition(
+        hot_masks=hot, dimm_of=dimm_of, strategy=strategy
+    )
     partition.validate(layout, costs)
     return partition

@@ -80,8 +80,9 @@ class CorrelationTable:
         return cls(parents)
 
     @classmethod
-    def from_trace(cls, trace: ActivationTrace, *,
-                   tokens: slice | None = None) -> "CorrelationTable":
+    def from_trace(
+        cls, trace: ActivationTrace, *, tokens: slice | None = None
+    ) -> "CorrelationTable":
         """Estimate parent pairs statistically from a profiling window.
 
         The data-driven alternative to :meth:`from_profiling` for traces
@@ -102,8 +103,9 @@ class CorrelationTable:
             # from the merely hot one; centering removes that bias.
             prev_c = prev - prev.mean(axis=0)
             cur_c = cur - cur.mean(axis=0)
-            denom = np.outer(np.linalg.norm(prev_c, axis=0),
-                             np.linalg.norm(cur_c, axis=0))
+            denom = np.outer(
+                np.linalg.norm(prev_c, axis=0), np.linalg.norm(cur_c, axis=0)
+            )
             with np.errstate(invalid="ignore", divide="ignore"):
                 corr = np.where(denom > 0, prev_c.T @ cur_c / denom, 0.0)
             # top-2 parents per child by correlation
@@ -169,8 +171,9 @@ class PredictionStats:
 class ActivationPredictor:
     """Combined token-wise + layer-wise activation predictor."""
 
-    def __init__(self, layout: NeuronLayout,
-                 config: PredictorConfig | None = None) -> None:
+    def __init__(
+        self, layout: NeuronLayout, config: PredictorConfig | None = None
+    ) -> None:
         self.layout = layout
         self.config = config or PredictorConfig()
         self.num_layers = layout.model.num_layers
@@ -202,7 +205,8 @@ class ActivationPredictor:
         for l in range(self.num_layers):
             freq = trace.prefill_frequencies(l)
             self.states[l][:] = np.minimum(
-                (freq * (STATE_MAX + 1)).astype(np.int16), STATE_MAX)
+                (freq * (STATE_MAX + 1)).astype(np.int16), STATE_MAX
+            )
         self._parents_stack = None
         if self.config.use_layer_prediction:
             if correlation == "profiled":
@@ -210,8 +214,7 @@ class ActivationPredictor:
             elif correlation == "sampled":
                 self.correlation = CorrelationTable.from_trace(trace)
             else:
-                raise ValueError(
-                    f"unknown correlation source {correlation!r}")
+                raise ValueError(f"unknown correlation source {correlation!r}")
 
     # ------------------------------------------------------------------
     def predict(self, layer: int,
@@ -243,8 +246,9 @@ class ActivationPredictor:
         # permanently-active neuron with silent parents.
         return score >= cfg.threshold
 
-    def _stacked_parents(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
-                                        bool]:
+    def _stacked_parents(
+        self
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
         """(layer indices, gather rows, stacked top-2 parent table,
         indices-are-contiguous flag) for the vectorized layer-wise term;
         layers without a table are absent from the stack."""
@@ -323,8 +327,11 @@ class ActivationPredictor:
 
     def span_deltas(self, actuals_span: np.ndarray) -> np.ndarray:
         """Pre-clip state-table deltas of every step, in one ``where``."""
-        return np.where(actuals_span, np.int16(self.config.s_up),
-                        np.int16(-self.config.s_down))
+        return np.where(
+            actuals_span,
+            np.int16(self.config.s_up),
+            np.int16(-self.config.s_down),
+        )
 
     def span_states(self, deltas_span: np.ndarray) -> np.ndarray:
         """State-table snapshots across a span: ``(K + 1, L, G)``.
@@ -349,8 +356,9 @@ class ActivationPredictor:
             np.minimum(nxt, STATE_MAX, out=nxt)
         return out
 
-    def span_predictions(self, scores_span: np.ndarray,
-                         states_span: np.ndarray) -> np.ndarray:
+    def span_predictions(
+        self, scores_span: np.ndarray, states_span: np.ndarray
+    ) -> np.ndarray:
         """Predicted masks for every step of a span, in two matrix ops.
 
         ``scores_span`` from :meth:`span_scores`, ``states_span`` from
@@ -369,8 +377,9 @@ class ActivationPredictor:
         """Commit a span's realized final state snapshot to the table."""
         self.state_matrix[:] = states
 
-    def record_span(self, predicted_span: np.ndarray,
-                    actuals_span: np.ndarray) -> None:
+    def record_span(
+        self, predicted_span: np.ndarray, actuals_span: np.ndarray
+    ) -> None:
         """Fold a whole span's outcomes into the accuracy counters.
 
         The counters are order-free integer sums, so one update over the
@@ -387,12 +396,16 @@ class ActivationPredictor:
             raise ValueError("actual mask has wrong shape")
         if predicted is not None:
             self.stats.update(predicted, actual)
-        state = np.where(actual, self.states[layer] + self.config.s_up,
-                         self.states[layer] - self.config.s_down)
+        state = np.where(
+            actual,
+            self.states[layer] + self.config.s_up,
+            self.states[layer] - self.config.s_down,
+        )
         np.clip(state, 0, STATE_MAX, out=self.states[layer])
 
-    def observe_all(self, actuals: np.ndarray,
-                    predicted: np.ndarray | None = None) -> None:
+    def observe_all(
+        self, actuals: np.ndarray, predicted: np.ndarray | None = None
+    ) -> None:
         """Token-level :meth:`observe`: fold one token's outcome for every
         layer into the state table and accuracy counters at once.
 

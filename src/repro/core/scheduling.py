@@ -53,8 +53,9 @@ class RemapResult:
 class WindowScheduler:
     """Sliding-window activity tracker + Algorithm 1 rebalancer."""
 
-    def __init__(self, layout: NeuronLayout, num_dimms: int,
-                 window: int = 5) -> None:
+    def __init__(
+        self, layout: NeuronLayout, num_dimms: int, window: int = 5
+    ) -> None:
         if num_dimms < 1:
             raise ValueError("num_dimms must be >= 1")
         if window < 1:
@@ -111,22 +112,32 @@ class WindowScheduler:
         return np.bincount(dimm_of, weights=activity,
                            minlength=self.num_dimms)
 
-    def rebalance_layer(self, layer: int, dimm_of: np.ndarray, *,
-                        exclude: np.ndarray | None = None) -> RemapResult:
+    def rebalance_layer(
+        self,
+        layer: int,
+        dimm_of: np.ndarray,
+        *,
+        exclude: np.ndarray | None = None,
+    ) -> RemapResult:
         """Algorithm 1 for one layer; mutates ``dimm_of`` in place."""
         if self.num_dimms == 1:
             return RemapResult()
         activity = self._activity[layer].astype(np.float64)
         if exclude is not None:
             activity = np.where(exclude, 0.0, activity)
-        loads = np.bincount(dimm_of, weights=activity,
-                            minlength=self.num_dimms)
+        loads = np.bincount(
+            dimm_of, weights=activity, minlength=self.num_dimms
+        )
         return self._rebalance_pairs(layer, dimm_of, activity, loads)
 
-    def _rebalance_pairs(self, layer: int, dimm_of: np.ndarray,
-                         activity: np.ndarray,
-                         loads: np.ndarray,
-                         peak: np.ndarray | None = None) -> RemapResult:
+    def _rebalance_pairs(
+        self,
+        layer: int,
+        dimm_of: np.ndarray,
+        activity: np.ndarray,
+        loads: np.ndarray,
+        peak: np.ndarray | None = None,
+    ) -> RemapResult:
         """Pair heaviest/lightest DIMMs and drain each pair (lines 2-6).
 
         ``peak`` optionally carries each DIMM's hottest member activity
@@ -151,14 +162,21 @@ class WindowScheduler:
                 # first-probe exit, decided without gathering members
                 if amax <= 0 or loads[heavy] - amax < loads[light] + amax:
                     continue
-            moved = self._drain_pair(layer, dimm_of, activity, loads,
-                                     heavy, light)
+            moved = self._drain_pair(
+                layer, dimm_of, activity, loads, heavy, light
+            )
             result.merge(moved)
         return result
 
-    def _drain_pair(self, layer: int, dimm_of: np.ndarray,
-                    activity: np.ndarray, loads: np.ndarray,
-                    heavy: int, light: int) -> RemapResult:
+    def _drain_pair(
+        self,
+        layer: int,
+        dimm_of: np.ndarray,
+        activity: np.ndarray,
+        loads: np.ndarray,
+        heavy: int,
+        light: int,
+    ) -> RemapResult:
         """Move hottest groups heavy -> light while the pair max shrinks
         (Algorithm 1 lines 3-6).
 
@@ -232,8 +250,9 @@ class WindowScheduler:
                       else np.stack(list(exclude)))
                 activity = np.where(ex, 0.0, activity)
             if keys is None:
-                keys = dimm_of + (np.arange(num_layers)[:, None]
-                                  * self.num_dimms)
+                keys = dimm_of + (
+                    np.arange(num_layers)[:, None] * self.num_dimms
+                )
             flat_keys = keys.ravel()
             loads = np.bincount(
                 flat_keys, weights=activity.ravel(),

@@ -38,8 +38,9 @@ def lane_bandwidth(geometry: DIMMGeometry, timing: DDR4Timing) -> float:
     return peak * duty * (1.0 - _row_switch_overhead(geometry, timing))
 
 
-def internal_stream_bandwidth(geometry: DIMMGeometry,
-                              timing: DDR4Timing) -> float:
+def internal_stream_bandwidth(
+    geometry: DIMMGeometry, timing: DDR4Timing
+) -> float:
     """Sustained DIMM-internal bandwidth seen by the NDP center buffer.
 
     All rank x bank-group lanes stream in parallel.  For the Table II
@@ -50,8 +51,9 @@ def internal_stream_bandwidth(geometry: DIMMGeometry,
     return lane_bandwidth(geometry, timing) * geometry.internal_paths
 
 
-def channel_stream_bandwidth(geometry: DIMMGeometry,
-                             timing: DDR4Timing) -> float:
+def channel_stream_bandwidth(
+    geometry: DIMMGeometry, timing: DDR4Timing
+) -> float:
     """Sustained bandwidth of the conventional channel interface.
 
     The shared external bus can interleave bank groups, so consecutive
@@ -63,8 +65,9 @@ def channel_stream_bandwidth(geometry: DIMMGeometry,
     return peak * duty * (1.0 - _row_switch_overhead(geometry, timing))
 
 
-def scattered_access_efficiency(geometry: DIMMGeometry, timing: DDR4Timing,
-                                run_bytes: float) -> float:
+def scattered_access_efficiency(
+    geometry: DIMMGeometry, timing: DDR4Timing, run_bytes: float
+) -> float:
     """Throughput retained when contiguous runs are only ``run_bytes`` long.
 
     Neuron weights are multi-KB contiguous runs (a 70B-class MLP neuron is

@@ -48,8 +48,13 @@ class ReadRequest:
 class DRAMController:
     """In-order single-DIMM controller for streaming reads."""
 
-    def __init__(self, geometry: DIMMGeometry, timing: DDR4Timing, *,
-                 internal_paths: bool = False) -> None:
+    def __init__(
+        self,
+        geometry: DIMMGeometry,
+        timing: DDR4Timing,
+        *,
+        internal_paths: bool = False,
+    ) -> None:
         self.geometry = geometry
         self.timing = timing
         self.internal_paths = internal_paths
@@ -128,7 +133,8 @@ class DRAMController:
                               bank.last_act + t.tRC)
                     earliest = max(earliest, pre + t.tRP)
                 earliest = self._activate_constraints(
-                    req.rank, req.bank_group, earliest)
+                    req.rank, req.bank_group, earliest
+                )
                 bank.open_row = None
                 bank.next_act = earliest
                 act_cycle = bank.activate(req.row, earliest)

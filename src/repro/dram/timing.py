@@ -72,9 +72,15 @@ class DIMMGeometry:
     burst_length: int = 8  # BL8
 
     def __post_init__(self) -> None:
-        for key in ("capacity_bytes", "ranks", "bank_groups_per_rank",
-                    "banks_per_group", "row_bytes", "bus_bytes",
-                    "burst_length"):
+        for key in (
+            "capacity_bytes",
+            "ranks",
+            "bank_groups_per_rank",
+            "banks_per_group",
+            "row_bytes",
+            "bus_bytes",
+            "burst_length",
+        ):
             if getattr(self, key) <= 0:
                 raise ValueError(f"{key} must be positive")
 

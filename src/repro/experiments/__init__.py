@@ -7,6 +7,7 @@ Each module exposes ``run(quick=False) -> ExperimentResult``; the
 
 from . import (
     ablation_extras,
+    backend_shootout,
     cluster_eval,
     dimmlink_eval,
     energy_eval,
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = {
     "energy": energy_eval.run,
     "serving": serving_eval.run,
     "cluster": cluster_eval.run,
+    "backend_shootout": backend_shootout.run,
 }
 
 __all__ = [

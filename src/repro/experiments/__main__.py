@@ -1,37 +1,113 @@
 """Command-line entry point: ``python -m repro.experiments fig09 [...]``.
 
-``all`` runs every experiment; ``--quick`` shortens the decode window.
+``all`` runs every experiment; ``--quick`` shortens the decode window;
+``--list`` / ``--list-models`` print the experiment and model
+registries.  Unknown experiment ids exit non-zero with a
+closest-match suggestion.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import inspect
 import sys
 import time
 
+from ..models import get_model, list_models
 from . import ALL_EXPERIMENTS
 
 #: accepted alternate spellings for registry ids
 ALIASES = {"serving_eval": "serving"}
 
+GIB = 2**30
+
+
+def experiment_summaries() -> dict[str, str]:
+    """One-liner per experiment id, from its module docstring."""
+    summaries = {}
+    for name, entry in ALL_EXPERIMENTS.items():
+        module = inspect.getmodule(entry)
+        doc = (module.__doc__ or "").strip()
+        summaries[name] = doc.splitlines()[0].rstrip(".") if doc else ""
+    return summaries
+
+
+def print_experiments(file=sys.stdout) -> None:
+    summaries = experiment_summaries()
+    width = max(len(name) for name in summaries)
+    print("experiments:", file=file)
+    for name, summary in summaries.items():
+        print(f"  {name:<{width}}  {summary}", file=file)
+    if ALIASES:
+        aliases = ", ".join(
+            f"{alias} -> {target}" for alias, target in sorted(ALIASES.items())
+        )
+        print(f"aliases: {aliases}", file=file)
+
+
+def print_models(file=sys.stdout) -> None:
+    names = list_models()
+    width = max(len(name) for name in names)
+    print("models:", file=file)
+    for name in names:
+        spec = get_model(name)
+        print(f"  {name:<{width}}  {spec.num_layers} layers, "
+              f"hidden {spec.hidden_size}, "
+              f"{spec.total_weight_bytes / GIB:.1f} GiB weights, "
+              f"density {spec.activation_density:.2f}", file=file)
+
+
+def _unknown_id_message(names: list[str]) -> str:
+    known = list(ALL_EXPERIMENTS) + list(ALIASES)
+    parts = []
+    for name in names:
+        close = difflib.get_close_matches(name, known, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        parts.append(f"{name!r}{hint}")
+    return (f"unknown experiments: {', '.join(parts)} — run with --list "
+            "to see the registry")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the paper's figures and statistics.")
-    parser.add_argument("experiments", nargs="+",
-                        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)})"
-                             " or 'all'")
-    parser.add_argument("--quick", action="store_true",
-                        help="short decode window for a fast pass")
+        description="Reproduce the paper's figures and statistics.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", help="experiment ids (see --list) or 'all'"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print experiment ids with one-line " "summaries and exit",
+    )
+    parser.add_argument(
+        "--list-models",
+        action="store_true",
+        help="print the model registry and exit",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short decode window for a fast pass",
+    )
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for sweep experiments "
                              "(default: REPRO_JOBS env var, else 1)")
     parser.add_argument("--scenario", default=None, metavar="FILE",
                         help="declarative scenario spec (JSON/TOML) for "
-                             "the 'cluster' experiment")
+                             "the scenario-driven experiments")
     args = parser.parse_args(argv)
+    if args.list or args.list_models:
+        if args.list:
+            print_experiments()
+        if args.list_models:
+            print_models()
+        return 0
+    if not args.experiments:
+        parser.error("name at least one experiment id, 'all', or use "
+                     "--list / --list-models")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
@@ -39,14 +115,20 @@ def main(argv: list[str] | None = None) -> int:
         else [ALIASES.get(n, n) for n in args.experiments]
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiments: {', '.join(unknown)}")
+        print(f"error: {_unknown_id_message(unknown)}", file=sys.stderr)
+        return 2
     if args.scenario is not None:
         takers = [n for n in names
                   if "scenario" in
                   inspect.signature(ALL_EXPERIMENTS[n]).parameters]
         if not takers:
-            parser.error("--scenario only applies to the 'cluster' "
-                         "experiment")
+            scenario_aware = sorted(
+                n for n in ALL_EXPERIMENTS
+                if "scenario" in
+                inspect.signature(ALL_EXPERIMENTS[n]).parameters)
+            parser.error(
+                "--scenario only applies to: " + ", ".join(scenario_aware)
+            )
     for name in names:
         start = time.time()
         entry = ALL_EXPERIMENTS[name]

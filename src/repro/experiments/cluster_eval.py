@@ -78,9 +78,7 @@ def _scenario_rows(scenario: Scenario, router: str | None) -> list[list]:
             scenario,
             config=dataclasses.replace(scenario.config, router=router),
         )
-    trace = _trace(
-        scenario.model, scenario.granularity, scenario.trace_seed
-    )
+    trace = _trace(scenario.model, scenario.granularity, scenario.trace_seed)
     report = scenario.run(trace)
     rows = []
     for name in report.class_names:

@@ -50,11 +50,17 @@ TRACE_CACHE_SIZE = 4
 
 
 @functools.lru_cache(maxsize=TRACE_CACHE_SIZE)
-def _cached_trace(model_name: str, prompt_len: int, decode_len: int,
-                  granularity: int, seed: int) -> ActivationTrace:
+def _cached_trace(
+    model_name: str,
+    prompt_len: int,
+    decode_len: int,
+    granularity: int,
+    seed: int,
+) -> ActivationTrace:
     model = get_model(model_name)
-    config = TraceConfig(prompt_len=prompt_len, decode_len=decode_len,
-                         granularity=granularity)
+    config = TraceConfig(
+        prompt_len=prompt_len, decode_len=decode_len, granularity=granularity
+    )
     return generate_trace(model, config, seed=seed)
 
 
@@ -69,13 +75,15 @@ def clear_trace_cache() -> None:
     _cached_trace.cache_clear()
 
 
-def trace_for(model_name: str, *, quick: bool = False,
-              seed: int = DEFAULT_SEED) -> ActivationTrace:
+def trace_for(
+    model_name: str, *, quick: bool = False, seed: int = DEFAULT_SEED
+) -> ActivationTrace:
     """The standard experiment trace for one model (cached)."""
     model = get_model(model_name)
     decode = QUICK_DECODE_LEN if quick else DECODE_LEN
-    return _cached_trace(model.name, PROMPT_LEN, decode,
-                         granularity_for(model), seed)
+    return _cached_trace(
+        model.name, PROMPT_LEN, decode, granularity_for(model), seed
+    )
 
 
 def default_machine() -> Machine:
@@ -103,12 +111,14 @@ class ExperimentResult:
             return str(cell)
 
         table = [self.headers] + [[fmt(c) for c in row] for row in self.rows]
-        widths = [max(len(row[i]) for row in table)
-                  for i in range(len(self.headers))]
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(self.headers))
+        ]
         lines = [f"== {self.name}: {self.description} =="]
         for r, row in enumerate(table):
-            lines.append("  ".join(cell.rjust(w)
-                                   for cell, w in zip(row, widths)))
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
             if r == 0:
                 lines.append("  ".join("-" * w for w in widths))
         for note in self.notes:

@@ -18,8 +18,9 @@ PAPER_OVERHEAD_BEFORE = 0.053
 PAPER_OVERHEAD_AFTER = 0.002
 
 
-def host_routed_migration_time(machine, n_groups: int,
-                               total_bytes: int) -> float:
+def host_routed_migration_time(
+    machine, n_groups: int, total_bytes: int
+) -> float:
     """Time to move the same migration traffic through the host.
 
     Each group is read DIMM->host and written host->DIMM over the shared
@@ -43,8 +44,7 @@ def run(quick: bool = False) -> ExperimentResult:
     moved_bytes = result.metadata["remap_bytes"]
     moved_groups = result.metadata["remap_groups"]
     link_time = result.metadata["remap_link_time"]
-    host_time = host_routed_migration_time(machine, moved_groups,
-                                           moved_bytes)
+    host_time = host_routed_migration_time(machine, moved_groups, moved_bytes)
     speedup = host_time / link_time if link_time > 0 else float("inf")
     overhead_link = link_time / (result.total_time)
     overhead_host = host_time / (result.total_time - link_time + host_time)

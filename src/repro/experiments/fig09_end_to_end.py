@@ -28,8 +28,9 @@ PAPER = {
     "OPT-66B": {"Huggingface Accelerate": 0.04, "FlexGen": 0.16,
                 "Deja Vu": 0.34, "Hermes-host": 4.24, "Hermes": 20.37},
 }
-SYSTEMS = ("Huggingface Accelerate", "FlexGen", "Deja Vu", "Hermes-host",
-           "Hermes")
+SYSTEMS = (
+    "Huggingface Accelerate", "FlexGen", "Deja Vu", "Hermes-host", "Hermes"
+)
 
 
 def build_system(name: str, machine, model):
@@ -59,10 +60,8 @@ def run(quick: bool = False) -> ExperimentResult:
             rows.append([model_name, system_name, round(measured, 3),
                          PAPER[model_name][system_name]])
         hermes = results["Hermes"].tokens_per_second
-        speedups_flexgen.append(hermes
-                                / results["FlexGen"].tokens_per_second)
-        speedups_dejavu.append(hermes
-                               / results["Deja Vu"].tokens_per_second)
+        speedups_flexgen.append(hermes / results["FlexGen"].tokens_per_second)
+        speedups_dejavu.append(hermes / results["Deja Vu"].tokens_per_second)
     notes = [
         "measured Hermes speedup (geomean): "
         f"{geometric_mean(speedups_flexgen):.1f}x over FlexGen, "

@@ -31,8 +31,7 @@ def run(quick: bool = False) -> ExperimentResult:
             except ValueError:
                 row.append(None)  # N.P.: model does not fit
                 continue
-            row.append(round(system.run(trace, batch=1).tokens_per_second,
-                             2))
+            row.append(round(system.run(trace, batch=1).tokens_per_second, 2))
         rows.append(row)
     return ExperimentResult(
         name="fig14",

@@ -57,8 +57,7 @@ def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
         if measured["Tesla T4"]:
             ratio_t4.append(measured["RTX 4090"] / measured["Tesla T4"])
         if measured["RTX 3090"]:
-            ratio_3090.append(measured["RTX 4090"]
-                              / measured["RTX 3090"])
+            ratio_3090.append(measured["RTX 4090"] / measured["RTX 3090"])
     notes = ["paper: RTX 4090 averages 2.02x over T4, 1.34x over 3090"]
     if ratio_t4:
         notes.append(f"measured: {geometric_mean(ratio_t4):.2f}x over T4, "

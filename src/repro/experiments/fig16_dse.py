@@ -39,8 +39,9 @@ def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     rows = []
     for batch, latencies in zip(batches, results):
         base = latencies[MULTIPLIERS[0]]
-        rows.append([batch] + [round(base / latencies[m], 3)
-                               for m in MULTIPLIERS])
+        rows.append(
+            [batch] + [round(base / latencies[m], 3) for m in MULTIPLIERS]
+        )
     return ExperimentResult(
         name="fig16",
         description="GEMV-unit multipliers DSE (speedup vs 32 multipliers)",

@@ -39,10 +39,10 @@ def run(quick: bool = False) -> ExperimentResult:
     # decode-profiled oracle partition) on LLaMA2-70B, §III-B
     from ..models import get_model
     model = get_model("LLaMA2-70B")
-    fixed_cfg = HermesConfig(online_adjustment=False,
-                             window_scheduling=False)
-    oracle_cfg = HermesConfig(online_adjustment=False,
-                              window_scheduling=False, oracle=True)
+    fixed_cfg = HermesConfig(online_adjustment=False, window_scheduling=False)
+    oracle_cfg = HermesConfig(
+        online_adjustment=False, window_scheduling=False, oracle=True
+    )
     fixed = HermesSystem(machine, model, fixed_cfg).run(t70)
     oracle = HermesSystem(machine, model, oracle_cfg).run(t70)
     gap = fixed.decode_latency_per_token / oracle.decode_latency_per_token
@@ -61,8 +61,7 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     hot_masks = [np.zeros(layout.groups_per_layer, dtype=bool)
                  for _ in range(t13.num_layers)]
-    placement = assign_dimms(freqs, hot_masks, layout, costs,
-                             balanced=False)
+    placement = assign_dimms(freqs, hot_masks, layout, costs, balanced=False)
     imbalances = [
         dimm_load_imbalance(t13, placement[l], l, window=16)
         for l in range(0, t13.num_layers, 4)

@@ -58,8 +58,9 @@ def run(quick: bool = False) -> ExperimentResult:
     # contrast with Deja Vu's MLP predictors on LLaMA-7B-class geometry
     machine = default_machine()
     dejavu = DejaVu(machine, get_model("LLaMA-7B"))
-    mlp_gb = (dejavu.predictor_bytes_per_layer()
-              * dejavu.model.num_layers / 2**30)
+    mlp_gb = (
+        dejavu.predictor_bytes_per_layer() * dejavu.model.num_layers / 2**30
+    )
     return ExperimentResult(
         name="predictor",
         description="lightweight predictor accuracy and footprint",

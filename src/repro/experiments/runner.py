@@ -59,8 +59,9 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def run_grid(fn: Callable[[T], R], points: Iterable[T], *,
-             jobs: int | None = None) -> list[R]:
+def run_grid(
+    fn: Callable[[T], R], points: Iterable[T], *, jobs: int | None = None
+) -> list[R]:
     """Evaluate ``fn`` over every grid point, preserving input order.
 
     With ``jobs <= 1`` (the default) everything runs serially in-process.
@@ -76,8 +77,7 @@ def run_grid(fn: Callable[[T], R], points: Iterable[T], *,
         return [fn(p) for p in points]
     chunksize = -(-len(points) // jobs)  # ceil: one contiguous run each
     context = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=context) as pool:
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         return list(pool.map(fn, points, chunksize=chunksize))
 
 

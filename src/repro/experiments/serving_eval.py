@@ -70,8 +70,8 @@ def _point(task: tuple[float, str, bool]) -> list:
                        output_lens=setting["output_lens"]),
         seed=WORKLOAD_SEED)
     simulator = ServingSimulator(
-        setting["model"], policy, ServingConfig(max_batch=16),
-        trace=trace)
+        setting["model"], policy, ServingConfig(max_batch=16), trace=trace
+    )
     report = simulator.run(workload)
     return [
         rate, policy, len(report.completed),

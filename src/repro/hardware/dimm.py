@@ -60,19 +60,30 @@ class NDPDIMM:
         contiguous run, so the derating is mild; see
         :func:`repro.dram.scattered_access_efficiency`.
         """
-        eff = scattered_access_efficiency(self.geometry, self.timing,
-                                          run_bytes)
+        eff = scattered_access_efficiency(
+            self.geometry, self.timing, run_bytes
+        )
         return self.internal_bandwidth * eff
 
-    def gemv_time(self, weight_bytes: float, batch: int = 1, *,
-                  run_bytes: float | None = None) -> float:
+    def gemv_time(
+        self,
+        weight_bytes: float,
+        batch: int = 1,
+        *,
+        run_bytes: float | None = None,
+    ) -> float:
         """Sparse GEMV over ``weight_bytes`` of resident cold neurons."""
         bandwidth = (self.internal_bandwidth if run_bytes is None
                      else self.effective_stream_bandwidth(run_bytes))
         return self.core.gemv_time(weight_bytes, bandwidth, batch)
 
-    def gemv_time_batch(self, weight_bytes: np.ndarray, batch: int = 1, *,
-                        run_bytes: float | None = None) -> np.ndarray:
+    def gemv_time_batch(
+        self,
+        weight_bytes: np.ndarray,
+        batch: int = 1,
+        *,
+        run_bytes: float | None = None,
+    ) -> np.ndarray:
         """Vectorized :meth:`gemv_time` over an array of byte counts.
 
         The decode fast path calls this once per FC block with the per-DIMM
@@ -83,18 +94,21 @@ class NDPDIMM:
                      else self.effective_stream_bandwidth(run_bytes))
         return self.core.gemv_time_batch(weight_bytes, bandwidth, batch)
 
-    def attention_time(self, kv_bytes: float, context_len: int,
-                       num_heads: int, batch: int = 1) -> float:
+    def attention_time(
+        self, kv_bytes: float, context_len: int, num_heads: int, batch: int = 1
+    ) -> float:
         """Decode attention over this DIMM's KV shard."""
         return self.core.attention_time(
-            kv_bytes, self.internal_bandwidth, context_len, num_heads, batch)
+            kv_bytes, self.internal_bandwidth, context_len, num_heads, batch
+        )
 
-    def attention_time_span(self, kv_bytes, context_len, num_heads: int,
-                            batch: int = 1):
+    def attention_time_span(
+        self, kv_bytes, context_len, num_heads: int, batch: int = 1
+    ):
         """Vectorized :meth:`attention_time` over a span of decode steps."""
         return self.core.attention_time_span(
-            kv_bytes, self.internal_bandwidth, context_len, num_heads,
-            batch)
+            kv_bytes, self.internal_bandwidth, context_len, num_heads, batch
+        )
 
     def migration_time(self, num_bytes: float) -> float:
         """Cold-neuron remap to a neighbouring DIMM over the DIMM-link."""
@@ -103,7 +117,8 @@ class NDPDIMM:
     def with_multipliers(self, multipliers: int) -> "NDPDIMM":
         """DIMM variant for the Fig. 16 design-space exploration."""
         return dataclasses.replace(
-            self, core=self.core.with_multipliers(multipliers))
+            self, core=self.core.with_multipliers(multipliers)
+        )
 
 
 def default_dimm() -> NDPDIMM:

@@ -61,9 +61,13 @@ class EnergyModel:
         return flops * pj_per_flop * 1e-12
 
 
-def decode_energy_per_token(result: RunResult, model: ModelSpec,
-                            machine, *,
-                            energy: EnergyModel | None = None) -> float:
+def decode_energy_per_token(
+    result: RunResult,
+    model: ModelSpec,
+    machine,
+    *,
+    energy: EnergyModel | None = None,
+) -> float:
     """Estimated joules per generated token for a simulated run.
 
     Reconstructs byte/FLOP counts from the run's latency breakdown and the
@@ -83,42 +87,47 @@ def decode_energy_per_token(result: RunResult, model: ModelSpec,
         # FC traffic splits between GDDR (GPU share) and the DIMM arrays
         fc_bytes = rate_bytes("fc", machine.gpu.effective_bandwidth * 0.5)
         fc_bytes += rate_bytes("fc", machine.dimm_bandwidth_total * 0.5)
+        joules += energy.transfer_energy(fc_bytes / 2, energy.gddr_pj_per_bit)
         joules += energy.transfer_energy(
-            fc_bytes / 2, energy.gddr_pj_per_bit)
+            fc_bytes / 2, energy.dram_array_pj_per_bit
+        )
+        attn_bytes = rate_bytes("attention", machine.dimm_bandwidth_total)
         joules += energy.transfer_energy(
-            fc_bytes / 2, energy.dram_array_pj_per_bit)
-        attn_bytes = rate_bytes("attention",
-                                machine.dimm_bandwidth_total)
-        joules += energy.transfer_energy(attn_bytes,
-                                         energy.dram_array_pj_per_bit)
+            attn_bytes, energy.dram_array_pj_per_bit
+        )
     else:
         # offloading systems: FC reads GDDR, communication crosses PCIe
         fc_bytes = rate_bytes("fc", machine.gpu.effective_bandwidth)
         joules += energy.transfer_energy(fc_bytes, energy.gddr_pj_per_bit)
-        attn_bytes = rate_bytes("attention",
-                                machine.gpu.effective_bandwidth)
+        attn_bytes = rate_bytes("attention", machine.gpu.effective_bandwidth)
         joules += energy.transfer_energy(attn_bytes, energy.gddr_pj_per_bit)
-    comm_bytes = rate_bytes("communication",
-                            machine.pcie.effective_bandwidth)
+    comm_bytes = rate_bytes("communication", machine.pcie.effective_bandwidth)
     joules += energy.transfer_energy(
-        comm_bytes, energy.pcie_pj_per_bit + energy.dram_channel_pj_per_bit)
+        comm_bytes, energy.pcie_pj_per_bit + energy.dram_channel_pj_per_bit
+    )
 
     # compute energy: weights touched imply FLOPs (1 FLOP per weight byte
     # per batch element)
     active_bytes = model.total_weight_bytes * model.activation_density
     flops_per_token = active_bytes * result.batch
     joules += energy.compute_energy(
-        flops_per_token * n * 0.8, energy.gpu_pj_per_flop)
+        flops_per_token * n * 0.8, energy.gpu_pj_per_flop
+    )
     joules += energy.compute_energy(
-        flops_per_token * n * 0.2, energy.ndp_pj_per_flop)
+        flops_per_token * n * 0.2, energy.ndp_pj_per_flop
+    )
 
     joules += energy.static_watts * result.decode_time
     return joules / (n * result.batch)
 
 
-def tokens_per_joule(result: RunResult, model: ModelSpec, machine, *,
-                     energy: EnergyModel | None = None) -> float:
+def tokens_per_joule(
+    result: RunResult,
+    model: ModelSpec,
+    machine,
+    *,
+    energy: EnergyModel | None = None,
+) -> float:
     """Energy efficiency of a simulated run (decode stage)."""
-    per_token = decode_energy_per_token(result, model, machine,
-                                        energy=energy)
+    per_token = decode_energy_per_token(result, model, machine, energy=energy)
     return 1.0 / per_token

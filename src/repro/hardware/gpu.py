@@ -44,8 +44,9 @@ class GPUSpec:
             raise ValueError(f"{self.name}: memory spec must be positive")
         if self.fp16_tflops <= 0 or self.tensor_tops <= 0:
             raise ValueError(f"{self.name}: compute spec must be positive")
-        for field in ("bandwidth_efficiency", "gather_efficiency",
-                      "compute_efficiency"):
+        for field in (
+            "bandwidth_efficiency", "gather_efficiency", "compute_efficiency"
+        ):
             value = getattr(self, field)
             if not 0.0 < value <= 1.0:
                 raise ValueError(f"{self.name}: {field} must lie in (0, 1]")
@@ -83,9 +84,14 @@ class GPUSpec:
         t_compute = flops / self.effective_flops
         return max(t_memory, t_compute) + self.kernel_launch_overhead
 
-    def matmul_time_batch(self, weight_bytes: np.ndarray, batch: int = 1, *,
-                          scattered: bool = False,
-                          check: bool = True) -> np.ndarray:
+    def matmul_time_batch(
+        self,
+        weight_bytes: np.ndarray,
+        batch: int = 1,
+        *,
+        scattered: bool = False,
+        check: bool = True,
+    ) -> np.ndarray:
         """Vectorized :meth:`matmul_time` over an array of byte counts.
 
         Scalar-preserving: each element matches the scalar path bit-for-bit
@@ -116,11 +122,13 @@ class GPUSpec:
             raise ValueError("kv_bytes must be non-negative")
         if kv_bytes == 0:
             return 0.0
-        return (kv_bytes / self.effective_bandwidth
-                + self.kernel_launch_overhead)
+        return (
+            kv_bytes / self.effective_bandwidth + self.kernel_launch_overhead
+        )
 
-    def prefill_time(self, weight_bytes: float, prompt_len: int,
-                     batch: int = 1) -> float:
+    def prefill_time(
+        self, weight_bytes: float, prompt_len: int, batch: int = 1
+    ) -> float:
         """Prefill one full forward pass over ``prompt_len`` tokens.
 
         Prefill is compute-bound GEMM; weights are read once.
@@ -133,8 +141,9 @@ class GPUSpec:
         return max(t_compute, t_memory)
 
 
-def _gpu(name: str, mem_gib: float, bw_gbs: float, fp16: float,
-         tops: float) -> GPUSpec:
+def _gpu(
+    name: str, mem_gib: float, bw_gbs: float, fp16: float, tops: float
+) -> GPUSpec:
     return GPUSpec(
         name=name,
         memory_bytes=int(mem_gib * GIB),
@@ -153,8 +162,7 @@ TESLA_T4 = _gpu("Tesla T4", 16, 320, 65.0, 65)
 A100_40GB = _gpu("A100-40GB-SXM4", 40, 1555, 78.0, 312)
 
 GPU_REGISTRY: dict[str, GPUSpec] = {
-    gpu.name.lower(): gpu
-    for gpu in (RTX_4090, RTX_3090, TESLA_T4, A100_40GB)
+    gpu.name.lower(): gpu for gpu in (RTX_4090, RTX_3090, TESLA_T4, A100_40GB)
 }
 
 

@@ -82,14 +82,19 @@ def pcie4_x16(*, pinned: bool = True) -> Link:
 
 def dimm_link() -> Link:
     """Inter-DIMM point-to-point link (Table II: 25 GB/s per link)."""
-    return Link(name="DIMM-link", bandwidth=25e9, latency=1e-6,
-                efficiency=0.90)
+    return Link(
+        name="DIMM-link", bandwidth=25e9, latency=1e-6, efficiency=0.90
+    )
 
 
 def host_memory_bus(bandwidth: float = 89.6e9) -> Link:
     """CPU load/store path to commodity DIMMs (i9-13900K: 89.6 GB/s)."""
-    return Link(name="host memory bus", bandwidth=bandwidth, latency=0.2e-6,
-                efficiency=0.85)
+    return Link(
+        name="host memory bus",
+        bandwidth=bandwidth,
+        latency=0.2e-6,
+        efficiency=0.85,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -110,8 +115,9 @@ class HostCPU:
     #: PowerInfer-class CPU kernels measure ~1/3 of STREAM bandwidth.
     scatter_efficiency: float = 0.35
 
-    def gemv_time(self, weight_bytes: float, batch: int = 1, *,
-                  scattered: bool = True) -> float:
+    def gemv_time(
+        self, weight_bytes: float, batch: int = 1, *, scattered: bool = True
+    ) -> float:
         """Sparse GEMV over ``weight_bytes`` of cold neurons, on the CPU."""
         if weight_bytes < 0:
             raise ValueError("weight_bytes must be non-negative")

@@ -63,7 +63,8 @@ class Machine:
     def with_multipliers(self, multipliers: int) -> "Machine":
         """GEMV-unit variant (Fig. 16 design-space exploration)."""
         return dataclasses.replace(
-            self, dimm=self.dimm.with_multipliers(multipliers))
+            self, dimm=self.dimm.with_multipliers(multipliers)
+        )
 
 
 # ----------------------------------------------------------------------

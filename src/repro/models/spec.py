@@ -133,8 +133,9 @@ class ModelSpec:
     @property
     def sparse_bytes_per_layer(self) -> int:
         """Weights subject to the hot/cold partition in one layer."""
-        return (self.attn_sparse_bytes_per_layer
-                + self.mlp_sparse_bytes_per_layer)
+        return (
+            self.attn_sparse_bytes_per_layer + self.mlp_sparse_bytes_per_layer
+        )
 
     @property
     def dense_bytes_per_layer(self) -> int:

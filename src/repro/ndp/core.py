@@ -25,7 +25,8 @@ class NDPCore:
 
     gemv: GEMVUnit = dataclasses.field(default_factory=GEMVUnit)
     activation: ActivationUnit = dataclasses.field(
-        default_factory=ActivationUnit)
+        default_factory=ActivationUnit
+    )
     area_mm2: float = 1.23  # Table II, TSMC 7 nm synthesis
     frequency: float = 1e9
 
@@ -33,8 +34,9 @@ class NDPCore:
         if self.area_mm2 <= 0 or self.frequency <= 0:
             raise ValueError("NDP core spec must be positive")
 
-    def gemv_time(self, weight_bytes: float, stream_bandwidth: float,
-                  batch: int = 1) -> float:
+    def gemv_time(
+        self, weight_bytes: float, stream_bandwidth: float, batch: int = 1
+    ) -> float:
         """GEMV over ``weight_bytes``: max(stream time, MAC time).
 
         Weight streaming and bit-serial accumulation are pipelined, so the
@@ -50,10 +52,14 @@ class NDPCore:
         t_compute = self.gemv.compute_time(weight_bytes, batch)
         return max(t_stream, t_compute)
 
-    def gemv_time_batch(self, weight_bytes: np.ndarray,
-                        stream_bandwidth: float,
-                        batch: int = 1, *,
-                        check: bool = True) -> np.ndarray:
+    def gemv_time_batch(
+        self,
+        weight_bytes: np.ndarray,
+        stream_bandwidth: float,
+        batch: int = 1,
+        *,
+        check: bool = True,
+    ) -> np.ndarray:
         """Vectorized :meth:`gemv_time` over an array of byte counts.
 
         One elementwise max over the whole array replaces a Python-level
@@ -69,13 +75,19 @@ class NDPCore:
             if (weight_bytes < 0).any():
                 raise ValueError("weight_bytes must be non-negative")
         t_stream = weight_bytes / stream_bandwidth
-        t_compute = self.gemv.compute_time_batch(weight_bytes, batch,
-                                                 check=check)
+        t_compute = self.gemv.compute_time_batch(
+            weight_bytes, batch, check=check
+        )
         return np.maximum(t_stream, t_compute)
 
-    def attention_time(self, kv_bytes: float, stream_bandwidth: float,
-                       context_len: int, num_heads: int,
-                       batch: int = 1) -> float:
+    def attention_time(
+        self,
+        kv_bytes: float,
+        stream_bandwidth: float,
+        context_len: int,
+        num_heads: int,
+        batch: int = 1,
+    ) -> float:
         """Decode attention over the KV-cache shard held by this DIMM.
 
         Score and value GEMVs stream the KV cache once; softmax runs on the
@@ -88,12 +100,18 @@ class NDPCore:
             return 0.0
         t_stream = self.gemv_time(kv_bytes, stream_bandwidth, batch)
         t_softmax = self.activation.attention_softmax_time(
-            context_len, num_heads, batch)
+            context_len, num_heads, batch
+        )
         return t_stream + 0.1 * t_softmax
 
-    def attention_time_span(self, kv_bytes, stream_bandwidth: float,
-                            context_len, num_heads: int,
-                            batch: int = 1):
+    def attention_time_span(
+        self,
+        kv_bytes,
+        stream_bandwidth: float,
+        context_len,
+        num_heads: int,
+        batch: int = 1,
+    ):
         """Vectorized :meth:`attention_time` over per-step KV loads.
 
         The macro-stepped decode span knows every step's context up
@@ -107,7 +125,8 @@ class NDPCore:
             raise ValueError("kv_bytes must be non-negative")
         t_stream = self.gemv_time_batch(kv_bytes, stream_bandwidth, batch)
         t_softmax = self.activation.attention_softmax_time_span(
-            context_len, num_heads, batch)
+            context_len, num_heads, batch
+        )
         times = t_stream + 0.1 * t_softmax
         # exactly-zero KV loads cost exactly 0.0, as in the scalar path
         times *= kv_bytes != 0

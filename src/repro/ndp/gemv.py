@@ -57,9 +57,9 @@ class GEMVUnit:
         macs = weight_bytes / 2 * batch  # one MAC per FP16 weight per batch
         return macs / self.macs_per_second
 
-    def compute_time_batch(self, weight_bytes: np.ndarray,
-                           batch: int = 1, *,
-                           check: bool = True) -> np.ndarray:
+    def compute_time_batch(
+        self, weight_bytes: np.ndarray, batch: int = 1, *, check: bool = True
+    ) -> np.ndarray:
         """Vectorized :meth:`compute_time` over an array of byte counts.
 
         Element-for-element identical to the scalar path (same operation

@@ -84,8 +84,9 @@ class LinkSend:
 Command = typing.Union[RowRead, Mac, Softmax, Merge, LinkSend]
 
 
-def lower_gemv(weight_bytes: int, batch: int = 1, *,
-               chunk_bytes: int = 8192) -> list[Command]:
+def lower_gemv(
+    weight_bytes: int, batch: int = 1, *, chunk_bytes: int = 8192
+) -> list[Command]:
     """Lower a sparse GEMV into an interleaved RowRead/MAC stream.
 
     Weights stream row by row (8 KB DRAM rows by default); each read is
@@ -106,8 +107,9 @@ def lower_gemv(weight_bytes: int, batch: int = 1, *,
     return stream
 
 
-def lower_attention(kv_bytes: int, context_len: int, num_heads: int,
-                    batch: int = 1) -> list[Command]:
+def lower_attention(
+    kv_bytes: int, context_len: int, num_heads: int, batch: int = 1
+) -> list[Command]:
     """Lower one decode attention step over a KV shard."""
     if kv_bytes <= 0:
         raise ValueError("kv_bytes must be positive")
@@ -127,10 +129,14 @@ class NDPExecutor:
     nothing (they leave the DIMM).
     """
 
-    def __init__(self, *, stream_bandwidth: float,
-                 gemv: GEMVUnit | None = None,
-                 activation: ActivationUnit | None = None,
-                 link_bandwidth: float = 25e9) -> None:
+    def __init__(
+        self,
+        *,
+        stream_bandwidth: float,
+        gemv: GEMVUnit | None = None,
+        activation: ActivationUnit | None = None,
+        link_bandwidth: float = 25e9,
+    ) -> None:
         if stream_bandwidth <= 0 or link_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
         self.stream_bandwidth = stream_bandwidth
@@ -152,17 +158,18 @@ class NDPExecutor:
             elif isinstance(command, Mac):
                 start = max(read_done, unit_free)
                 unit_free = start + self.gemv.compute_time(
-                    command.weight_bytes, command.batch)
+                    command.weight_bytes, command.batch
+                )
                 finish = max(finish, unit_free)
             elif isinstance(command, Softmax):
                 start = max(act_free, unit_free)
                 act_free = start + self.activation.softmax_time(
-                    command.n_values)
+                    command.n_values
+                )
                 finish = max(finish, act_free)
             elif isinstance(command, Merge):
                 start = max(act_free, unit_free)
-                act_free = start + self.activation.relu_time(
-                    command.n_values)
+                act_free = start + self.activation.relu_time(command.n_values)
                 finish = max(finish, act_free)
             elif isinstance(command, LinkSend):
                 finish = max(finish, unit_free) \

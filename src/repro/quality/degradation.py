@@ -44,8 +44,9 @@ class QualityReport:
         return self.degradation_proxy < threshold
 
 
-def activation_coverage(trace: ActivationTrace,
-                        predictor: ActivationPredictor) -> QualityReport:
+def activation_coverage(
+    trace: ActivationTrace, predictor: ActivationPredictor
+) -> QualityReport:
     """Replay ``trace`` through ``predictor`` and measure quality impact.
 
     Misses are weighted by ``bytes x activation frequency``: a neuron's
@@ -57,8 +58,7 @@ def activation_coverage(trace: ActivationTrace,
     """
     layout = trace.layout
     byte_w = layout.group_bytes.astype(np.float64)
-    strength = [byte_w * trace.frequencies(l)
-                for l in range(trace.num_layers)]
+    strength = [byte_w * trace.frequencies(l) for l in range(trace.num_layers)]
     total_mass = 0.0
     missed_mass = 0.0
     per_layer_miss = np.zeros(trace.num_layers)
@@ -82,15 +82,19 @@ def activation_coverage(trace: ActivationTrace,
         raise ValueError("trace contains no activations to cover")
     coverage = 1.0 - missed_mass / total_mass
     with np.errstate(invalid="ignore", divide="ignore"):
-        layer_rates = np.where(per_layer_total > 0,
-                               per_layer_miss / per_layer_total, 0.0)
+        layer_rates = np.where(
+            per_layer_total > 0, per_layer_miss / per_layer_total, 0.0
+        )
     # residual damping: each layer's miss contributes with geometric
     # attenuation through the remaining depth
     depth = trace.num_layers
     damping = RESIDUAL_DAMPING ** np.arange(depth)[::-1].clip(0, 8)
     degradation = float((layer_rates * damping).sum() / damping.sum())
-    return QualityReport(coverage=coverage, per_layer_miss=layer_rates,
-                         degradation_proxy=degradation)
+    return QualityReport(
+        coverage=coverage,
+        per_layer_miss=layer_rates,
+        degradation_proxy=degradation,
+    )
 
 
 def oracle_report(trace: ActivationTrace) -> QualityReport:

@@ -31,9 +31,11 @@ from ..cluster.slo import DEFAULT_CLASS, PriorityClass, SLOPolicy
 from ..hardware import Machine, get_gpu
 from ..models import get_model
 from ..serving import (
+    BACKENDS,
     BatchingPolicy,
     HermesUnionPolicy,
     LengthDistribution,
+    MachineGroup,
     Request,
     WorkloadConfig,
     generate_workload,
@@ -43,9 +45,7 @@ from ..serving import (
 from ..sparsity import ActivationTrace, TraceConfig, generate_trace
 
 
-def scenario_trace(
-    model: str, granularity: int, seed: int
-) -> ActivationTrace:
+def scenario_trace(model: str, granularity: int, seed: int) -> ActivationTrace:
     """The shared activation trace a scenario's machines execute against.
 
     Mirrors :func:`repro.serving.default_serving_trace`'s shape so a
@@ -106,6 +106,9 @@ class Scenario:
     policy: BatchingPolicy
     slo: SLOPolicy
     tenants: tuple[TenantSpec, ...]
+    #: heterogeneous fleet description; ``None`` means the homogeneous
+    #: ``cluster.num_machines`` Hermes fleet
+    fleet: tuple[MachineGroup, ...] | None = None
 
     def build_workload(self) -> list[Request]:
         """Merge every tenant's stream into one routed workload."""
@@ -125,6 +128,9 @@ class Scenario:
             slo=self.slo,
             machine=self.machine,
             trace=trace if trace is not None else self.build_trace(),
+            granularity=self.granularity,
+            seed=self.trace_seed,
+            fleet=self.fleet,
         )
 
     def run(self, trace: ActivationTrace | None = None) -> ClusterReport:
@@ -141,6 +147,7 @@ _TOP_KEYS = (
     "seed",
     "trace",
     "machine",
+    "fleet",
     "cluster",
     "slo",
     "classes",
@@ -170,15 +177,19 @@ _WORKLOAD_KEYS = (
 )
 
 
-def _parse_machine(data: dict | None) -> Machine:
+def _parse_machine(
+    data: dict | None,
+    base: Machine | None = None,
+    context: str = "machine",
+) -> Machine:
+    machine = base if base is not None else Machine()
     if not data:
-        return Machine()
+        return machine
     _take(
         data,
         ("gpu", "num_dimms", "multipliers", "sync_latency"),
-        "machine",
+        context,
     )
-    machine = Machine()
     if "gpu" in data:
         machine = machine.with_gpu(get_gpu(data["gpu"]))
     if "num_dimms" in data:
@@ -190,6 +201,70 @@ def _parse_machine(data: dict | None) -> Machine:
             machine, sync_latency=float(data["sync_latency"])
         )
     return machine
+
+
+#: per-group fleet keys: machine-hardware overrides ride along with the
+#: group shape, backend choice, and model override
+_FLEET_KEYS = (
+    "count",
+    "backend",
+    "gpu",
+    "num_dimms",
+    "multipliers",
+    "sync_latency",
+    "model",
+    "nominal_batch",
+)
+_FLEET_MACHINE_KEYS = ("gpu", "num_dimms", "multipliers", "sync_latency")
+
+
+def _parse_fleet(
+    data: list | None, base_machine: Machine
+) -> tuple[MachineGroup, ...] | None:
+    """Machine groups from the ``fleet:`` section (``None`` if absent).
+
+    Each group inherits the scenario-level ``machine`` table and may
+    override individual hardware knobs, the backend, the model, and the
+    nominal batch; unknown keys are rejected per group.
+    """
+    if data is None:
+        return None
+    if not isinstance(data, list) or not data:
+        raise ValueError("fleet: must be a non-empty list of machine groups")
+    groups: list[MachineGroup] = []
+    for index, entry in enumerate(data):
+        context = f"fleet[{index}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{context}: each machine group is a mapping")
+        _take(entry, _FLEET_KEYS, context)
+        backend = str(entry.get("backend", "hermes"))
+        if backend.lower() not in BACKENDS:
+            known = ", ".join(sorted(BACKENDS))
+            raise ValueError(
+                f"{context}: unknown backend {backend!r}; known: {known}"
+            )
+        model = entry.get("model")
+        if model is not None:
+            get_model(model)  # fail at parse time with the known-model list
+        machine_overrides = {
+            key: entry[key] for key in _FLEET_MACHINE_KEYS if key in entry
+        }
+        machine = (
+            _parse_machine(machine_overrides, base_machine, context)
+            if machine_overrides
+            else None
+        )
+        nominal = entry.get("nominal_batch")
+        groups.append(
+            MachineGroup(
+                count=int(entry.get("count", 1)),
+                backend=backend,
+                machine=machine,
+                model=model,
+                nominal_batch=int(nominal) if nominal is not None else None,
+            )
+        )
+    return tuple(groups)
 
 
 def _parse_cluster(data: dict | None) -> tuple[ClusterConfig, str, dict]:
@@ -297,6 +372,18 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
     _take(trace, ("granularity", "seed"), f"{name_hint}.trace")
     config, policy_name, policy_kwargs = _parse_cluster(data.get("cluster"))
     slo = _parse_classes(data.get("classes"), data.get("slo"))
+    machine = _parse_machine(data.get("machine"))
+    fleet = _parse_fleet(data.get("fleet"), machine)
+    if fleet is not None:
+        if "num_machines" in (data.get("cluster") or {}):
+            raise ValueError(
+                f"{name_hint}: cluster.num_machines conflicts with a "
+                "fleet: section — the machine count is the sum of the "
+                "group counts"
+            )
+        config = dataclasses.replace(
+            config, num_machines=sum(g.count for g in fleet)
+        )
     tenants = []
     for index, tenant in enumerate(tenants_data):
         tenants.append(_parse_tenant(tenant, index, base_seed, slo))
@@ -306,11 +393,12 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
         model=data["model"],
         granularity=int(trace.get("granularity", 64)),
         trace_seed=int(trace.get("seed", 7)),
-        machine=_parse_machine(data.get("machine")),
+        machine=machine,
         config=config,
         policy=_parse_policy(policy_name, policy_kwargs),
         slo=slo,
         tenants=tuple(tenants),
+        fleet=fleet,
     )
 
 

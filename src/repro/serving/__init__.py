@@ -9,6 +9,16 @@ do users see?  It is a request-level discrete-event simulation built on the
 same :mod:`repro.sim` event calendar the engine uses for overlap modelling.
 """
 
+from .backends import (
+    BACKENDS,
+    DejaVuBackend,
+    DenseGPUBackend,
+    MachineGroup,
+    ServingBackend,
+    SteppableBackend,
+    make_backend,
+    sequential_span,
+)
 from .executor import MachineExecutor, default_serving_trace
 from .metrics import (
     RequestRecord,
@@ -52,6 +62,14 @@ __all__ = [
     "get_policy",
     "MachineExecutor",
     "default_serving_trace",
+    "BACKENDS",
+    "ServingBackend",
+    "SteppableBackend",
+    "DenseGPUBackend",
+    "DejaVuBackend",
+    "MachineGroup",
+    "make_backend",
+    "sequential_span",
     "percentile",
     "time_weighted_mean",
     "RequestRecord",

@@ -1,0 +1,527 @@
+"""Pluggable per-machine serving backends.
+
+The serving/cluster simulators drive every machine through one small
+steppable surface — :class:`ServingBackend` — so a fleet can mix Hermes
+boxes with the paper's baseline systems (§V-A2) and serve *identical*
+traffic through each:
+
+* ``hermes`` — :class:`~repro.serving.executor.MachineExecutor`, the
+  NDP-DIMM engine with its online control plane (the original and still
+  the default);
+* ``dense`` — :class:`DenseGPUBackend`, a TensorRT-like dense-GPU
+  machine: when the whole model fits in GPU memory every layer is read
+  at HBM bandwidth, otherwise the non-resident fraction streams over
+  PCIe per layer (the FlexGen zig-zag pipeline);
+* ``dejavu`` — :class:`DejaVuBackend`, Deja-Vu-style contextual
+  sparsity with per-step host-memory streaming of the predicted neuron
+  rows (PCIe stays the bottleneck, but sparsity shrinks the bytes).
+
+The baseline backends charge the *same per-token cost kernels* their
+offline ``run()`` passes are built from (:mod:`repro.baselines.base`),
+so online TTFT/TBT numbers and the offline figures cannot drift apart.
+
+Steppable contract (what the simulators actually consume):
+
+``prefill_cost(prompt_len, batch)`` -> (GPU compute, PCIe transfer)
+seconds for one joining request; ``decode_step(batch, context)`` -> one
+continuous-batching iteration's :class:`~repro.core.StepCost`;
+``decode_span(batch, contexts, start_time=, until=)`` -> a fused run of
+consecutive iterations as a :class:`~repro.core.SpanCost` —
+**bit-for-bit equal** to the same sequential ``decode_step`` calls
+(the macro-stepped serving loop relies on this; backends without a
+natively fused engine get it from :func:`sequential_span`);
+``mean_union``/``max_union_batch`` -> batch-union batching caps;
+``last_step_seconds`` -> a sizing hint for span horizons (never affects
+simulated outcomes); ``estimated_tokens_per_second()`` -> a pure,
+deterministic throughput estimate for load-normalizing routers.
+
+Capability flags (``supports_preemption``, ``supports_union_batching``)
+are documented per backend in the README's capability matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..baselines.base import (
+    gpu_kv_attention_time,
+    resident_dense_token_cost,
+    streamed_dense_token_cost,
+    weights_resident_fraction,
+    zigzag_prefill_time,
+)
+from ..baselines.dejavu import DejaVu
+from ..core import HermesConfig, SpanCost, StepCost
+from ..hardware import Machine
+from ..models import ModelSpec
+from ..sparsity import ActivationTrace
+from .executor import (
+    MachineExecutor,
+    default_serving_trace,
+    max_union_batch_under_cap,
+)
+
+#: context length used by the pure throughput probes — long enough to be
+#: decode-representative, short enough to stay attention-light
+REFERENCE_CONTEXT = 128
+
+
+@typing.runtime_checkable
+class ServingBackend(typing.Protocol):
+    """The steppable per-machine surface the serving simulators consume."""
+
+    machine: Machine
+    model: ModelSpec
+    nominal_batch: int
+
+    def prefill_cost(
+        self, prompt_len: int, batch: int = 1
+    ) -> tuple[float, float]:
+        """(GPU compute, PCIe transfer) seconds to prefill one request."""
+        ...  # pragma: no cover - protocol
+
+    def prefill_seconds(self, prompt_len: int, batch: int = 1) -> float:
+        """Total latency of prefilling one joining request."""
+        ...  # pragma: no cover - protocol
+
+    def decode_step(self, batch: int, context: int) -> StepCost:
+        """One continuous-batching decode iteration over ``batch`` seqs."""
+        ...  # pragma: no cover - protocol
+
+    def decode_span(
+        self,
+        batch: int,
+        contexts: typing.Sequence[int],
+        *,
+        start_time: float = 0.0,
+        until: float | None = None,
+    ) -> SpanCost:
+        """A fused run of consecutive iterations (== sequential steps)."""
+        ...  # pragma: no cover - protocol
+
+    def mean_union(self, batch: int) -> float:
+        """Mean per-layer batch-union inflation at ``batch`` sequences."""
+        ...  # pragma: no cover - protocol
+
+    def max_union_batch(self, union_cap: float, limit: int) -> int:
+        """Largest batch whose mean union stays under ``union_cap``."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def last_step_seconds(self) -> float:
+        """Most recent decode-iteration latency (sizing hint only)."""
+        ...  # pragma: no cover - protocol
+
+    def estimated_tokens_per_second(self) -> float:
+        """Pure, deterministic decode-throughput estimate."""
+        ...  # pragma: no cover - protocol
+
+
+def sequential_span(
+    backend: "ServingBackend",
+    batch: int,
+    contexts: typing.Sequence[int],
+    *,
+    start_time: float = 0.0,
+    until: float | None = None,
+) -> SpanCost:
+    """A :class:`SpanCost` built from sequential ``decode_step`` calls.
+
+    The generic ``decode_span`` for backends without a natively fused
+    engine — bit-for-bit equal to stepping one token at a time by
+    construction, with exactly :meth:`HermesSession.decode_steps`'s
+    ``until`` semantics: the first step always runs, and the span ends
+    after the first step whose completion time reaches ``until``.
+    """
+    if not contexts:
+        raise ValueError("a span needs at least one step")
+    seconds: list[float] = []
+    gpu_busy: list[float] = []
+    dimm_busy: list[float] = []
+    end_times: list[float] = []
+    running = start_time
+    for context in contexts:
+        cost = backend.decode_step(batch, context)
+        running += cost.seconds
+        seconds.append(cost.seconds)
+        gpu_busy.append(cost.gpu_busy)
+        dimm_busy.append(cost.dimm_busy)
+        end_times.append(running)
+        if until is not None and running >= until:
+            break
+    return SpanCost(
+        seconds=np.array(seconds),
+        gpu_busy=np.array(gpu_busy),
+        dimm_busy=np.array(dimm_busy),
+        end_times=np.array(end_times),
+    )
+
+
+class SteppableBackend:
+    """Shared scaffolding for backends built from pure cost kernels.
+
+    Subclasses implement ``_step_cost(batch, context)`` (may advance
+    internal cursors) and ``_pure_step_seconds(batch, context)`` (must
+    not); everything else — span fusion, prefill memoisation, union
+    batching caps, throughput probes — is provided here.
+    """
+
+    name = "steppable"
+    supports_preemption = True
+    supports_union_batching = False
+
+    def __init__(
+        self, machine: Machine, model: ModelSpec, *, nominal_batch: int = 8
+    ) -> None:
+        if nominal_batch < 1:
+            raise ValueError("nominal_batch must be >= 1")
+        self.machine = machine
+        self.model = model
+        self.nominal_batch = nominal_batch
+        self._last_step_seconds = 0.0
+        self._prefill_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        self._union_batch_cache: dict[tuple[float, int], int] = {}
+        self._estimated_step: float | None = None
+
+    # ---- steppable core ----------------------------------------------
+    def _step_cost(self, batch: int, context: int) -> StepCost:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _pure_step_seconds(self, batch: int, context: int) -> float:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _prefill_pair(
+        self, prompt_len: int, batch: int
+    ) -> tuple[float, float]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ---- ServingBackend surface --------------------------------------
+    def decode_step(self, batch: int, context: int) -> StepCost:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if context < 1:
+            raise ValueError("context must be >= 1")
+        cost = self._step_cost(batch, context)
+        self._last_step_seconds = cost.seconds
+        return cost
+
+    def decode_span(
+        self,
+        batch: int,
+        contexts: typing.Sequence[int],
+        *,
+        start_time: float = 0.0,
+        until: float | None = None,
+    ) -> SpanCost:
+        return sequential_span(
+            self, batch, contexts, start_time=start_time, until=until
+        )
+
+    def prefill_cost(
+        self, prompt_len: int, batch: int = 1
+    ) -> tuple[float, float]:
+        if prompt_len < 1:
+            raise ValueError("prompt_len must be >= 1")
+        key = (prompt_len, batch)
+        cost = self._prefill_cache.get(key)
+        if cost is None:
+            cost = self._prefill_pair(prompt_len, batch)
+            self._prefill_cache[key] = cost
+        return cost
+
+    def prefill_seconds(self, prompt_len: int, batch: int = 1) -> float:
+        compute, transfer = self.prefill_cost(prompt_len, batch)
+        return compute + transfer
+
+    @property
+    def last_step_seconds(self) -> float:
+        return self._last_step_seconds
+
+    def mean_union(self, batch: int) -> float:
+        """Dense weights: batching inflates no byte traffic."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return 1.0
+
+    def max_union_batch(self, union_cap: float, limit: int) -> int:
+        """Largest batch under the union cap (>= 1, monotone search)."""
+        return max_union_batch_under_cap(
+            self.mean_union, union_cap, limit, self._union_batch_cache
+        )
+
+    def estimated_step_seconds(self) -> float:
+        """One decode iteration at the nominal batch (pure, memoised)."""
+        if self._estimated_step is None:
+            self._estimated_step = self._pure_step_seconds(
+                self.nominal_batch, REFERENCE_CONTEXT
+            )
+        return self._estimated_step
+
+    def estimated_tokens_per_second(self) -> float:
+        return self.nominal_batch / self.estimated_step_seconds()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.model.name!r}, "
+            f"nominal_batch={self.nominal_batch})"
+        )
+
+
+class DenseGPUBackend(SteppableBackend):
+    """TensorRT-like dense serving on the machine's GPU.
+
+    Full weights resident when they fit (every layer read at HBM
+    bandwidth, zero decode PCIe traffic); otherwise the non-resident
+    fraction streams over PCIe per layer behind the zig-zag overlap.
+    The KV cache is always GPU-resident, so attention runs on the GPU
+    and preempted requests re-admit for free.
+    """
+
+    name = "dense"
+    supports_preemption = True
+    #: dense weights — the union factor is identically 1, so a union cap
+    #: never constrains the batch
+    supports_union_batching = False
+
+    def __init__(
+        self, machine: Machine, model: ModelSpec, *, nominal_batch: int = 8
+    ) -> None:
+        super().__init__(machine, model, nominal_batch=nominal_batch)
+        self.resident_fraction = weights_resident_fraction(machine, model)
+        #: the per-token FC cost depends only on the batch size
+        self._fc_cache: dict[int, tuple[float, float]] = {}
+
+    def _fc_cost(self, batch: int) -> tuple[float, float]:
+        """(seconds, gpu_busy) of one token's FC work at ``batch``."""
+        cost = self._fc_cache.get(batch)
+        if cost is None:
+            if self.resident_fraction >= 1.0:
+                fc = resident_dense_token_cost(self.machine, self.model, batch)
+                cost = (fc, fc)
+            else:
+                pipeline, transfer_only = streamed_dense_token_cost(
+                    self.machine,
+                    self.model,
+                    batch,
+                    resident_fraction=self.resident_fraction,
+                )
+                cost = (pipeline, max(0.0, pipeline - transfer_only))
+            self._fc_cache[batch] = cost
+        return cost
+
+    def _step_cost(self, batch: int, context: int) -> StepCost:
+        fc_seconds, fc_gpu = self._fc_cost(batch)
+        attn = gpu_kv_attention_time(self.machine, self.model, context, batch)
+        return StepCost(
+            seconds=fc_seconds + attn, gpu_busy=fc_gpu + attn, dimm_busy=0.0
+        )
+
+    def _pure_step_seconds(self, batch: int, context: int) -> float:
+        return self._step_cost(batch, context).seconds
+
+    def _prefill_pair(
+        self, prompt_len: int, batch: int
+    ) -> tuple[float, float]:
+        # the prompt KV lands directly in GPU memory: no PCIe push
+        return (zigzag_prefill_time(self.machine, self.model, prompt_len,
+                                    batch, self.resident_fraction), 0.0)
+
+
+class DejaVuBackend(SteppableBackend):
+    """Deja-Vu-style sparse host-offload serving.
+
+    Each decode iteration charges the offline baseline's per-token cost
+    kernel (:meth:`repro.baselines.dejavu.DejaVu.token_cost`) at the
+    trace's next ground-truth activation row, cycling over the decode
+    region exactly like the Hermes executor's wrapped session; the
+    batch-union inflation of the streamed neuron set makes union-capped
+    batching meaningful here, unlike the dense backend.
+    """
+
+    name = "dejavu"
+    supports_preemption = True
+    supports_union_batching = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        model: ModelSpec,
+        *,
+        trace: ActivationTrace | None = None,
+        nominal_batch: int = 8,
+        granularity: int = 64,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(machine, model, nominal_batch=nominal_batch)
+        if trace is None:
+            trace = default_serving_trace(
+                model, granularity=granularity, seed=seed
+            )
+        if trace.layout.model.name != model.name:
+            raise ValueError(
+                f"trace was generated for {trace.layout.model.name!r}, "
+                f"not {model.name!r}")
+        self.trace = trace
+        self.core = DejaVu(machine, model)
+        #: cursor over the trace's decode-token rows (wraps)
+        self._cursor = 0
+        self._decode_rows = list(trace.decode_tokens())
+        if not self._decode_rows:
+            raise ValueError("trace has no decode region")
+        self._union_cache: dict[int, np.ndarray] = {}
+        #: (token row, batch) -> (body seconds, body gpu_busy) — the
+        #: context-independent part of one token's cost
+        self._body_cache: dict[tuple[int, int], tuple[float, float]] = {}
+
+    def _union(self, batch: int) -> np.ndarray:
+        union = self._union_cache.get(batch)
+        if union is None:
+            union = self.core.union_factors(self.trace, batch)
+            self._union_cache[batch] = union
+        return union
+
+    def _token_body(self, t: int, batch: int) -> tuple[float, float]:
+        """Everything except attention, accumulated in kernel order."""
+        key = (t, batch)
+        body = self._body_cache.get(key)
+        if body is None:
+            cost = self.core.token_cost(
+                self.trace, t, 1, batch, self._union(batch)
+            )
+            seconds = 0.0
+            gpu = 0.0
+            for l in range(self.model.num_layers):
+                seconds += (cost.transfers[l] + cost.computes[l]
+                            + cost.predictors[l] + cost.projections[l])
+                gpu += (
+                    cost.computes[l] + cost.predictors[l] + cost.projections[l]
+                )
+            body = (seconds, gpu)
+            self._body_cache[key] = body
+        return body
+
+    def _step_cost(self, batch: int, context: int) -> StepCost:
+        t = self._decode_rows[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._decode_rows)
+        return self._cost_at(t, batch, context)
+
+    def _cost_at(self, t: int, batch: int, context: int) -> StepCost:
+        body_seconds, body_gpu = self._token_body(t, batch)
+        attn = gpu_kv_attention_time(self.machine, self.model, context, batch)
+        return StepCost(
+            seconds=body_seconds + attn,
+            gpu_busy=body_gpu + attn,
+            dimm_busy=0.0,
+        )
+
+    def _pure_step_seconds(self, batch: int, context: int) -> float:
+        return self._cost_at(self._decode_rows[0], batch, context).seconds
+
+    def _prefill_pair(
+        self, prompt_len: int, batch: int
+    ) -> tuple[float, float]:
+        # dense streamed prefill (per-token predictions do not exist for
+        # the whole prompt at once); the prompt KV stays on the GPU
+        return (zigzag_prefill_time(
+            self.machine, self.model, prompt_len, batch,
+            self.core.resident_fraction()), 0.0)
+
+    def mean_union(self, batch: int) -> float:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return float(self._union(batch).mean())
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+BACKENDS: dict[str, type] = {
+    "hermes": MachineExecutor,
+    "dense": DenseGPUBackend,
+    "dejavu": DejaVuBackend,
+}
+
+
+def make_backend(
+    name: str,
+    machine: Machine,
+    model: ModelSpec,
+    *,
+    hermes_config: HermesConfig | None = None,
+    trace: ActivationTrace | None = None,
+    nominal_batch: int = 8,
+    granularity: int = 64,
+    seed: int = 7,
+) -> "ServingBackend":
+    """Instantiate a registered backend on ``machine`` for ``model``.
+
+    ``hermes_config`` applies to the ``hermes`` backend only (rejected
+    elsewhere so a scenario cannot silently drop engine overrides);
+    ``trace`` feeds the backends that consume ground-truth activations
+    (hermes, dejavu) and is ignored by the dense backend.
+    """
+    try:
+        factory = BACKENDS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise KeyError(
+            f"unknown backend {name!r}; known backends: {known}") from None
+    if factory is MachineExecutor:
+        return MachineExecutor(
+            machine,
+            model,
+            hermes_config,
+            trace=trace,
+            nominal_batch=nominal_batch,
+            granularity=granularity,
+            seed=seed,
+        )
+    if hermes_config is not None:
+        raise ValueError(
+            f"backend {name!r} does not take a Hermes engine config"
+        )
+    if factory is DejaVuBackend:
+        return DejaVuBackend(
+            machine,
+            model,
+            trace=trace,
+            nominal_batch=nominal_batch,
+            granularity=granularity,
+            seed=seed,
+        )
+    return DenseGPUBackend(machine, model, nominal_batch=nominal_batch)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineGroup:
+    """``count`` identical machines running one backend.
+
+    The unit of fleet description: a heterogeneous fleet is a sequence
+    of groups, each pinning its backend and optionally overriding the
+    simulator-level machine spec, model, or nominal batch.  ``None``
+    overrides inherit the simulator's defaults, so
+    ``[MachineGroup(count=n)]`` is exactly the old homogeneous
+    ``num_machines=n`` fleet.
+    """
+
+    count: int = 1
+    backend: str = "hermes"
+    #: hardware override; ``None`` inherits the simulator's machine
+    machine: Machine | None = None
+    #: model-registry name override; ``None`` inherits the simulator's
+    model: str | None = None
+    #: offline-partition/probe batch; ``None`` derives from ``max_batch``
+    nominal_batch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a machine group needs count >= 1")
+        if self.backend.lower() not in BACKENDS:
+            known = ", ".join(sorted(BACKENDS))
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"known backends: {known}")
+        if self.nominal_batch is not None and self.nominal_batch < 1:
+            raise ValueError("nominal_batch must be >= 1")

@@ -36,16 +36,20 @@ DEFAULT_TRACE_DECODE = 64
 
 
 @functools.lru_cache(maxsize=8)
-def _default_trace_cached(model: ModelSpec, granularity: int,
-                          seed: int) -> ActivationTrace:
-    config = TraceConfig(prompt_len=DEFAULT_TRACE_PROMPT,
-                         decode_len=DEFAULT_TRACE_DECODE,
-                         granularity=granularity)
+def _default_trace_cached(
+    model: ModelSpec, granularity: int, seed: int
+) -> ActivationTrace:
+    config = TraceConfig(
+        prompt_len=DEFAULT_TRACE_PROMPT,
+        decode_len=DEFAULT_TRACE_DECODE,
+        granularity=granularity,
+    )
     return generate_trace(model, config, seed=seed)
 
 
-def default_serving_trace(model: ModelSpec, *, granularity: int = 64,
-                          seed: int = 7) -> ActivationTrace:
+def default_serving_trace(
+    model: ModelSpec, *, granularity: int = 64, seed: int = 7
+) -> ActivationTrace:
     """A compact activation trace sized for long serving runs.
 
     Memoised per (model, granularity, seed): trace generation is fully
@@ -54,6 +58,33 @@ def default_serving_trace(model: ModelSpec, *, granularity: int = 64,
     instance instead of re-sampling it every run.
     """
     return _default_trace_cached(model, granularity, seed)
+
+
+def max_union_batch_under_cap(
+    mean_union: typing.Callable[[int], float],
+    union_cap: float,
+    limit: int,
+    cache: dict[tuple[float, int], int],
+) -> int:
+    """Largest batch whose ``mean_union`` stays under ``union_cap``.
+
+    The one spelling of the batching-cap search every backend shares:
+    the union factor is monotone in the batch size and depends only on
+    immutable trace frequencies, so the answer is memoised per
+    (cap, limit) in the caller-owned ``cache``; at least batch 1 is
+    always admitted.
+    """
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    key = (union_cap, limit)
+    if key not in cache:
+        best = 1
+        for b in range(2, limit + 1):
+            if mean_union(b) > union_cap:
+                break
+            best = b
+        cache[key] = best
+    return cache[key]
 
 
 def _clone_partition(partition: OfflinePartition) -> OfflinePartition:
@@ -86,22 +117,45 @@ def _partition_cache(trace: ActivationTrace) -> dict:
 
 
 class MachineExecutor:
-    """One Hermes machine serving a stream of requests."""
+    """One Hermes machine serving a stream of requests.
 
-    def __init__(self, machine: Machine, model: ModelSpec,
-                 config: HermesConfig | None = None, *,
-                 trace: ActivationTrace | None = None,
-                 nominal_batch: int = 8,
-                 partition: OfflinePartition | None = None,
-                 granularity: int = 64, seed: int = 7) -> None:
+    The ``hermes`` entry of the serving-backend registry
+    (:mod:`repro.serving.backends`): the reference implementation of the
+    :class:`~repro.serving.backends.ServingBackend` surface, backed by a
+    long-lived :class:`~repro.core.HermesSession` whose control plane
+    (predictor table, hot/cold residency, window scheduler) evolves
+    across requests.
+    """
+
+    name = "hermes"
+    #: preempted requests keep their KV state resident — re-admission is
+    #: free, exactly what the deadline preemptor assumes
+    supports_preemption = True
+    #: batched sparse GEMV moves the *union* of the batch's activations,
+    #: so union-capped batching meaningfully bounds the step latency
+    supports_union_batching = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        model: ModelSpec,
+        config: HermesConfig | None = None,
+        *,
+        trace: ActivationTrace | None = None,
+        nominal_batch: int = 8,
+        partition: OfflinePartition | None = None,
+        granularity: int = 64,
+        seed: int = 7,
+    ) -> None:
         if nominal_batch < 1:
             raise ValueError("nominal_batch must be >= 1")
         self.machine = machine
         self.model = model
         self.system = HermesSystem(machine, model, config)
         if trace is None:
-            trace = default_serving_trace(model, granularity=granularity,
-                                          seed=seed)
+            trace = default_serving_trace(
+                model, granularity=granularity, seed=seed
+            )
         self.trace = trace
         #: the offline partition is solved for this expected batch size
         self.nominal_batch = nominal_batch
@@ -114,17 +168,18 @@ class MachineExecutor:
             pristine = cache.get(key)
             if pristine is not None:
                 partition = _clone_partition(pristine)
-            self.session = self.system.session(trace, nominal_batch,
-                                               wrap=True,
-                                               partition=partition)
+            self.session = self.system.session(
+                trace, nominal_batch, wrap=True, partition=partition
+            )
             if pristine is None:
                 cache[key] = _clone_partition(self.session.partition)
         else:
-            self.session = self.system.session(trace, nominal_batch,
-                                               wrap=True,
-                                               partition=partition)
+            self.session = self.system.session(
+                trace, nominal_batch, wrap=True, partition=partition
+            )
         self._union_batch_cache: dict[tuple[float, int], int] = {}
         self._prefill_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        self._estimated_step: float | None = None
 
     # ------------------------------------------------------------------
     def prefill_cost(self, prompt_len: int,
@@ -143,8 +198,9 @@ class MachineExecutor:
         key = (prompt_len, batch)
         cost = self._prefill_cache.get(key)
         if cost is None:
-            cost = self.session.prefill_cost(prompt_len, batch,
-                                             reload_hot=False)
+            cost = self.session.prefill_cost(
+                prompt_len, batch, reload_hot=False
+            )
             self._prefill_cache[key] = cost
         return cost
 
@@ -157,9 +213,14 @@ class MachineExecutor:
         """One continuous-batching decode iteration over ``batch`` seqs."""
         return self.session.decode_step(batch=batch, context=context)
 
-    def decode_span(self, batch: int, contexts: typing.Sequence[int], *,
-                    start_time: float = 0.0,
-                    until: float | None = None) -> SpanCost:
+    def decode_span(
+        self,
+        batch: int,
+        contexts: typing.Sequence[int],
+        *,
+        start_time: float = 0.0,
+        until: float | None = None,
+    ) -> SpanCost:
         """A fused run of consecutive decode iterations at fixed batch.
 
         Thin pass-through to
@@ -167,9 +228,39 @@ class MachineExecutor:
         the ``until`` truncation semantics the macro-stepped scheduling
         loop relies on.
         """
-        return self.session.decode_steps(batch, contexts,
-                                         start_time=start_time,
-                                         until=until)
+        return self.session.decode_steps(
+            batch, contexts, start_time=start_time, until=until
+        )
+
+    @property
+    def last_step_seconds(self) -> float:
+        """Most recent decode-iteration latency (a span-sizing hint)."""
+        return self.session.last_step_seconds
+
+    def estimated_step_seconds(self) -> float:
+        """One decode iteration at the nominal batch, without mutating
+        this executor's live engine state.
+
+        Probes a *throwaway* sibling session (same trace, machine and
+        config — its partition comes from the per-trace cache, so the
+        solver never reruns) and memoises the result.  Deterministic,
+        so throughput-normalizing routers stay replayable.
+        """
+        if self._estimated_step is None:
+            probe = MachineExecutor(
+                self.machine,
+                self.model,
+                self.system.config,
+                trace=self.trace,
+                nominal_batch=self.nominal_batch,
+            )
+            self._estimated_step = probe.session.decode_step(
+                self.nominal_batch).seconds
+        return self._estimated_step
+
+    def estimated_tokens_per_second(self) -> float:
+        """Pure, deterministic decode-throughput estimate."""
+        return self.nominal_batch / self.estimated_step_seconds()
 
     # ------------------------------------------------------------------
     def mean_union(self, batch: int) -> float:
@@ -182,20 +273,8 @@ class MachineExecutor:
         return float(self.session.union_factors(batch).mean())
 
     def max_union_batch(self, union_cap: float, limit: int) -> int:
-        """Largest batch whose mean union factor stays under ``union_cap``.
-
-        The union factor is monotone in the batch size and depends only on
-        the immutable trace frequencies, so the answer is memoised per
-        (cap, limit); at least batch 1 is always admitted.
-        """
-        if limit < 1:
-            raise ValueError("limit must be >= 1")
-        key = (union_cap, limit)
-        if key not in self._union_batch_cache:
-            best = 1
-            for b in range(2, limit + 1):
-                if self.mean_union(b) > union_cap:
-                    break
-                best = b
-            self._union_batch_cache[key] = best
-        return self._union_batch_cache[key]
+        """Largest batch whose mean union factor stays under the cap
+        (see :func:`max_union_batch_under_cap`)."""
+        return max_union_batch_under_cap(
+            self.mean_union, union_cap, limit, self._union_batch_cache
+        )

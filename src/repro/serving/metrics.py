@@ -40,8 +40,9 @@ def percentile(values: list[float], p: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-def time_weighted_mean(samples: list[tuple[float, float]],
-                       horizon: float) -> float:
+def time_weighted_mean(
+    samples: list[tuple[float, float]], horizon: float
+) -> float:
     """Mean of a piecewise-constant signal ``[(time, value), ...]``.
 
     Each value holds from its timestamp until the next sample (or
@@ -117,6 +118,9 @@ class ServingReport:
     #: tracked", in which case the aggregate properties report 0
     machine_gpu_busy: list[float] = dataclasses.field(default_factory=list)
     machine_dimm_busy: list[float] = dataclasses.field(default_factory=list)
+    #: machines whose batching policy returned a batch limit < 1 and had
+    #: it clamped up to 1 (a warned-about policy bug, not silent repair)
+    batch_limit_clamps: int = 0
 
     # ------------------------------------------------------------------
     @property

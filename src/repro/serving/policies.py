@@ -28,7 +28,7 @@ import typing
 from .workload import Request
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .executor import MachineExecutor
+    from .backends import ServingBackend
 
 
 class BatchingPolicy:
@@ -69,8 +69,7 @@ class BatchingPolicy:
         key = self.key
         return min(range(len(queue)), key=lambda i: key(queue[i]))
 
-    def batch_limit(self, executor: "MachineExecutor",
-                    max_batch: int) -> int:
+    def batch_limit(self, executor: "ServingBackend", max_batch: int) -> int:
         """Largest batch this policy lets the machine run (>= 1)."""
         return max_batch
 
@@ -89,8 +88,7 @@ class NoBatchPolicy(BatchingPolicy):
 
     name = "fcfs-nobatch"
 
-    def batch_limit(self, executor: "MachineExecutor",
-                    max_batch: int) -> int:
+    def batch_limit(self, executor: "ServingBackend", max_batch: int) -> int:
         return 1
 
 
@@ -122,8 +120,7 @@ class HermesUnionPolicy(BatchingPolicy):
             raise ValueError("union_cap must be >= 1")
         self.union_cap = union_cap
 
-    def batch_limit(self, executor: "MachineExecutor",
-                    max_batch: int) -> int:
+    def batch_limit(self, executor: "ServingBackend", max_batch: int) -> int:
         # a cap at (or numerically below) the single-request union factor
         # of exactly 1.0 still admits batch 1: max_union_batch's floor, so
         # the machine always makes progress

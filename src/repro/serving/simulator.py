@@ -54,12 +54,14 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+import warnings
 
 from ..core import HermesConfig
 from ..hardware import Machine
 from ..models import ModelSpec, get_model
 from ..sim import Acquire, Release, Resource, Simulator, Timeout, WaitUntil
 from ..sparsity import ActivationTrace
+from .backends import MachineGroup, ServingBackend, make_backend
 from .executor import MachineExecutor, default_serving_trace
 from .metrics import RequestRecord, ServingReport
 from .policies import BatchingPolicy, get_policy
@@ -111,15 +113,23 @@ class Preemptor(typing.Protocol):
     stepped loop.
     """
 
-    def victim(self, now: float, queue: list[Request],
-               active: list[ActiveEntry],
-               executor: MachineExecutor) -> ActiveEntry | None:
+    def victim(
+        self,
+        now: float,
+        queue: list[Request],
+        active: list[ActiveEntry],
+        executor: ServingBackend,
+    ) -> ActiveEntry | None:
         """The entry to evict so the queue head can admit, or ``None``."""
         ...  # pragma: no cover - protocol
 
-    def next_trigger(self, now: float, queue: list[Request],
-                     active: list[ActiveEntry],
-                     executor: MachineExecutor) -> float | None:
+    def next_trigger(
+        self,
+        now: float,
+        queue: list[Request],
+        active: list[ActiveEntry],
+        executor: ServingBackend,
+    ) -> float | None:
         """Earliest time ``victim`` could fire, given unchanged state."""
         ...  # pragma: no cover - protocol
 
@@ -133,16 +143,21 @@ class _RunState:
     (the cluster layer passes a router here).
     """
 
-    def __init__(self, workload: list[Request], num_machines: int = 1, *,
-                 num_queues: int = 1,
-                 assign: typing.Callable[[Request], int] | None = None
-                 ) -> None:
+    def __init__(
+        self,
+        workload: list[Request],
+        num_machines: int = 1,
+        *,
+        num_queues: int = 1,
+        assign: typing.Callable[[Request], int] | None = None,
+    ) -> None:
         self.workload = sorted(workload, key=lambda r: (r.arrival, r.req_id))
         ids = [r.req_id for r in self.workload]
         if len(set(ids)) != len(ids):
             raise ValueError("workload req_ids must be unique")
-        self.records = {r.req_id: RequestRecord(request=r)
-                        for r in self.workload}
+        self.records = {
+            r.req_id: RequestRecord(request=r) for r in self.workload
+        }
         self.next_arrival_idx = 0
         self.queues: list[list[Request]] = [[] for _ in range(num_queues)]
         self.assign = assign
@@ -152,6 +167,31 @@ class _RunState:
         self.batch_samples: list[tuple[float, float]] = []
         self.machine_gpu_busy = [0.0] * num_machines
         self.machine_dimm_busy = [0.0] * num_machines
+        #: machines whose policy returned a batch limit < 1 (clamped)
+        self.batch_limit_clamps = 0
+        self._clamp_noted = [False] * num_machines
+
+    def note_clamp(
+        self, m: int, policy: "BatchingPolicy", raw_limit: int
+    ) -> None:
+        """Record (once per machine) a batch limit clamped up to 1.
+
+        A limit below 1 is a policy bug — the simulator clamps so the
+        machine keeps making progress, but silently repairing it would
+        hide the bug, so it is surfaced as a warning and counted in the
+        report.  The limit is constant while the batch composition is
+        unchanged, so one note per machine is exact (and identical
+        between the macro-stepped and per-token loops).
+        """
+        if self._clamp_noted[m]:
+            return
+        self._clamp_noted[m] = True
+        self.batch_limit_clamps += 1
+        warnings.warn(
+            f"batching policy {policy.name!r} returned batch_limit "
+            f"{raw_limit} on machine {m}; clamped to 1 so the machine "
+            "keeps serving — fix the policy",
+            RuntimeWarning, stacklevel=2)
 
     # ------------------------------------------------------------------
     def queue_of(self, m: int) -> list[Request]:
@@ -205,35 +245,109 @@ class _RunState:
 
 
 class ServingSimulator:
-    """A cluster of Hermes machines behind one request queue."""
+    """A fleet of serving machines behind one request queue.
 
-    def __init__(self, model: ModelSpec | str,
-                 policy: BatchingPolicy | str = "fcfs",
-                 config: ServingConfig | None = None, *,
-                 machine: Machine | None = None,
-                 hermes_config: HermesConfig | None = None,
-                 trace: ActivationTrace | None = None,
-                 granularity: int = 64, seed: int = 7) -> None:
+    Homogeneous by default (``config.num_machines`` identical Hermes
+    machines); pass ``fleet=[MachineGroup(...), ...]`` for a
+    heterogeneous fleet mixing backends, machine specs, or models —
+    ``num_machines`` is then derived from the group counts, and a
+    single all-default hermes group reproduces the homogeneous fleet
+    exactly.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec | str,
+        policy: BatchingPolicy | str = "fcfs",
+        config: ServingConfig | None = None,
+        *,
+        machine: Machine | None = None,
+        hermes_config: HermesConfig | None = None,
+        trace: ActivationTrace | None = None,
+        granularity: int = 64,
+        seed: int = 7,
+        fleet: typing.Sequence[MachineGroup] | None = None,
+    ) -> None:
         self.model = get_model(model) if isinstance(model, str) else model
         self.policy = get_policy(policy)
         self.config = config or ServingConfig()
         machine = machine or Machine()
         if trace is None:
-            trace = default_serving_trace(self.model,
-                                          granularity=granularity, seed=seed)
-        # Each machine gets its own executor (own online engine state)
-        # over the shared activation trace.  The offline partition is
-        # solved once — it is deterministic in (trace, batch, config) —
-        # and every machine receives its *own clone* from the per-trace
-        # cache: window scheduling remaps ``dimm_of`` in place, and a
-        # machine's live DIMM mapping is its own hardware state, not
-        # something a sibling's migrations may mutate mid-flight.
+            trace = default_serving_trace(
+                self.model, granularity=granularity, seed=seed
+            )
+        # Each machine gets its own backend (own online engine state)
+        # over the shared activation trace.  For Hermes machines the
+        # offline partition is solved once — it is deterministic in
+        # (trace, batch, config) — and every machine receives its *own
+        # clone* from the per-trace cache: window scheduling remaps
+        # ``dimm_of`` in place, and a machine's live DIMM mapping is its
+        # own hardware state, not something a sibling's migrations may
+        # mutate mid-flight.
         nominal_batch = max(2, self.config.max_batch // 2)
-        self.executors: list[MachineExecutor] = [
-            MachineExecutor(machine, self.model, hermes_config,
-                            trace=trace, nominal_batch=nominal_batch)
-            for _ in range(self.config.num_machines)
-        ]
+        if fleet is None:
+            self.fleet: tuple[MachineGroup, ...] = (
+                MachineGroup(count=self.config.num_machines),
+            )
+            self.executors: list[ServingBackend] = [
+                MachineExecutor(
+                    machine,
+                    self.model,
+                    hermes_config,
+                    trace=trace,
+                    nominal_batch=nominal_batch,
+                )
+                for _ in range(self.config.num_machines)
+            ]
+        else:
+            if not fleet:
+                raise ValueError("fleet needs at least one machine group")
+            self.fleet = tuple(fleet)
+            self.executors = []
+            for group in self.fleet:
+                group_model = (
+                    get_model(group.model)
+                    if group.model is not None
+                    else self.model
+                )
+                # a group serving the simulator's model shares its
+                # trace; an overriding group gets the deterministic
+                # default trace for its own model
+                group_trace = trace if group_model is self.model else None
+                backend_name = group.backend.lower()
+                group_machine = (
+                    group.machine if group.machine is not None else machine
+                )
+                group_batch = (
+                    group.nominal_batch
+                    if group.nominal_batch is not None
+                    else nominal_batch
+                )
+                self.executors.extend(
+                    make_backend(
+                        backend_name,
+                        group_machine,
+                        group_model,
+                        hermes_config=(
+                            hermes_config
+                            if backend_name == "hermes"
+                            else None
+                        ),
+                        trace=group_trace,
+                        nominal_batch=group_batch,
+                        granularity=granularity,
+                        seed=seed,
+                    )
+                    for _ in range(group.count)
+                )
+            self.config = dataclasses.replace(
+                self.config, num_machines=len(self.executors)
+            )
+
+    @property
+    def machine_backends(self) -> list[str]:
+        """Per-machine backend names (index = machine id)."""
+        return [getattr(e, "name", "hermes") for e in self.executors]
 
     # ---- override points for the cluster layer -----------------------
     def _build_state(self, workload: list[Request]) -> _RunState:
@@ -248,8 +362,7 @@ class ServingSimulator:
         """Preemptive-admission hook; the base simulator has none."""
         return None
 
-    def _make_report(self, state: _RunState,
-                     makespan: float) -> ServingReport:
+    def _make_report(self, state: _RunState, makespan: float) -> ServingReport:
         return ServingReport(
             policy=self.policy.name,
             num_machines=self.config.num_machines,
@@ -259,6 +372,7 @@ class ServingSimulator:
             batch_samples=state.batch_samples,
             machine_gpu_busy=state.machine_gpu_busy,
             machine_dimm_busy=state.machine_dimm_busy,
+            batch_limit_clamps=state.batch_limit_clamps,
         )
 
     # ------------------------------------------------------------------
@@ -270,15 +384,16 @@ class ServingSimulator:
         state = self._build_state(workload)
         for m, executor in enumerate(self.executors):
             resource = Resource(f"machine-{m}")
-            sim.process(self._machine_proc(sim, state, m, executor,
-                                           resource),
-                        name=f"machine-{m}")
+            sim.process(
+                self._machine_proc(sim, state, m, executor, resource),
+                name=f"machine-{m}",
+            )
         makespan = sim.run()
         return self._make_report(state, makespan)
 
     # ------------------------------------------------------------------
     def _machine_proc(self, sim: Simulator, state: _RunState, m: int,
-                      executor: MachineExecutor, resource: Resource):
+                      executor: ServingBackend, resource: Resource):
         """Generator process for one machine's scheduling loop."""
         cfg = self.config
         policy = self._admission_policy()
@@ -293,9 +408,12 @@ class ServingSimulator:
 
             # ---- effective batch cap for this round ----
             # clamped to >= 1: a policy returning 0 would otherwise wedge
-            # the machine (no admission, no decode, queue stranded)
-            limit = max(1, min(cfg.max_batch,
-                               policy.batch_limit(executor, cfg.max_batch)))
+            # the machine (no admission, no decode, queue stranded) —
+            # the clamp is warned about and counted, not silent
+            raw_limit = policy.batch_limit(executor, cfg.max_batch)
+            if raw_limit < 1:
+                state.note_clamp(m, policy, raw_limit)
+            limit = max(1, min(cfg.max_batch, raw_limit))
 
             # ---- preemptive admission (cluster SLO scheduling) ----
             if preemptor is not None and queue and len(active) >= limit:
@@ -321,7 +439,8 @@ class ServingSimulator:
                     record.prefill_start = sim.now
                     yield Acquire(resource)
                     compute, transfer = executor.prefill_cost(
-                        request.prompt_len)
+                        request.prompt_len
+                    )
                     yield Timeout(compute + transfer)
                     yield Release(resource)
                     # only the compute part occupies the GPU; the KV push
@@ -343,8 +462,9 @@ class ServingSimulator:
             if active and not macro:
                 # reference path: one iteration per scheduling round
                 batch = len(active)
-                context = max(1, round(sum(a.next_context for a in active)
-                                       / batch))
+                context = max(
+                    1, round(sum(a.next_context for a in active) / batch)
+                )
                 yield Acquire(resource)
                 cost = executor.decode_step(batch, context)
                 yield Timeout(cost.seconds)
@@ -383,8 +503,7 @@ class ServingSimulator:
                         # opaque preemptor: check every boundary
                         k_max = 1
                     else:
-                        until = trigger_fn(sim.now, queue, active,
-                                           executor)
+                        until = trigger_fn(sim.now, queue, active, executor)
                 # Every span additionally ends at the machine's first
                 # boundary past the next arrival: an arrival can admit
                 # (room), shift a preemption verdict, and — with
@@ -395,23 +514,25 @@ class ServingSimulator:
                 # stepped loop's: an arrival is ingested at the first
                 # any-machine token boundary past it in both modes.
                 upcoming = state.next_arrival()
-                if upcoming is not None and (until is None
-                                             or upcoming < until):
+                if upcoming is not None and (
+                    until is None or upcoming < until
+                ):
                     until = upcoming
                 if until is not None:
-                    # size the context ramp from the engine's recent
+                    # size the context ramp from the backend's recent
                     # step time: an under-sized span just ends at a
                     # no-op boundary and a fresh span continues, so the
                     # estimate never affects scheduling outcomes
-                    est = executor.session.last_step_seconds
+                    est = executor.last_step_seconds
                     if est > 0.0:
-                        k_max = max(1, min(
-                            k_max,
-                            int((until - sim.now) / est) + 2))
+                        k_max = max(
+                            1, min(k_max, int((until - sim.now) / est) + 2)
+                        )
                 contexts = [max(1, round((ctx_sum + i * batch) / batch))
                             for i in range(k_max)]
-                span = executor.decode_span(batch, contexts,
-                                            start_time=sim.now, until=until)
+                span = executor.decode_span(
+                    batch, contexts, start_time=sim.now, until=until
+                )
                 times = span.end_times.tolist()
                 # Replay the stepped loop's exact per-step event pattern
                 # (Acquire -> sleep-to-boundary -> Release).  The span's
@@ -428,8 +549,9 @@ class ServingSimulator:
                     yield Release(resource)
                 gpu_busy = state.machine_gpu_busy
                 dimm_busy = state.machine_dimm_busy
-                for g, d in zip(span.gpu_busy.tolist(),
-                                span.dimm_busy.tolist()):
+                for g, d in zip(
+                    span.gpu_busy.tolist(), span.dimm_busy.tolist()
+                ):
                     gpu_busy[m] += g
                     dimm_busy[m] += d
                 for entry in active:

@@ -134,14 +134,16 @@ class WorkloadConfig:
                 raise ValueError("burst_period must be positive")
 
 
-def _poisson_arrivals(config: WorkloadConfig,
-                      rng: np.random.Generator) -> np.ndarray:
+def _poisson_arrivals(
+    config: WorkloadConfig, rng: np.random.Generator
+) -> np.ndarray:
     gaps = rng.exponential(1.0 / config.rate, size=config.num_requests)
     return np.cumsum(gaps)
 
 
-def _bursty_arrivals(config: WorkloadConfig,
-                     rng: np.random.Generator) -> np.ndarray:
+def _bursty_arrivals(
+    config: WorkloadConfig, rng: np.random.Generator
+) -> np.ndarray:
     """Two-state MMPP: exponential quiet/burst dwell times, Poisson within.
 
     The quiet rate is solved so the long-run mean equals ``config.rate``:
@@ -169,9 +171,13 @@ def _bursty_arrivals(config: WorkloadConfig,
     return np.asarray(arrivals[:config.num_requests])
 
 
-def generate_workload(config: WorkloadConfig, seed: int = 0, *,
-                      tenant: str = "default",
-                      class_name: str = "default") -> list[Request]:
+def generate_workload(
+    config: WorkloadConfig,
+    seed: int = 0,
+    *,
+    tenant: str = "default",
+    class_name: str = "default",
+) -> list[Request]:
     """Sample a full open-loop workload; deterministic in (config, seed).
 
     ``tenant``/``class_name`` tag every request of the stream (used by
@@ -208,9 +214,11 @@ def merge_workloads(*streams: list[Request]) -> list[Request]:
             for new_id, (_, s, i) in enumerate(tagged)]
 
 
-def workload_from_arrivals(arrivals: list[float],
-                           prompt_lens: list[int] | int,
-                           output_lens: list[int] | int) -> list[Request]:
+def workload_from_arrivals(
+    arrivals: list[float],
+    prompt_lens: list[int] | int,
+    output_lens: list[int] | int,
+) -> list[Request]:
     """Trace-driven workload from measured arrival timestamps.
 
     ``prompt_lens``/``output_lens`` may be scalars (applied to every

@@ -77,8 +77,9 @@ class Release:
 class Process:
     """Handle to a running generator process."""
 
-    def __init__(self, sim: "Simulator", generator: typing.Generator,
-                 name: str = "proc") -> None:
+    def __init__(
+        self, sim: "Simulator", generator: typing.Generator, name: str = "proc"
+    ) -> None:
         self.sim = sim
         self.generator = generator
         self.name = name
@@ -123,8 +124,7 @@ class Simulator:
         if isinstance(item, Timeout):
             self._push(self.now + item.delay, proc)
         elif isinstance(item, WaitUntil):
-            self._push(item.time if item.time > self.now else self.now,
-                       proc)
+            self._push(item.time if item.time > self.now else self.now, proc)
         elif isinstance(item, Acquire):
             resource = item.resource
             if resource._holder is None:
@@ -136,7 +136,8 @@ class Simulator:
             resource = item.resource
             if resource._holder is not proc:
                 raise RuntimeError(
-                    f"{proc.name} released {resource.name} it does not hold")
+                    f"{proc.name} released {resource.name} it does not hold"
+                )
             resource._holder = None
             if resource._waiters:
                 waiter = resource._waiters.pop(0)

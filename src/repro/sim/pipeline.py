@@ -14,8 +14,9 @@ import typing
 from .engine import Acquire, Release, Resource, Simulator, Timeout
 
 
-def pipeline_makespan(durations: typing.Sequence[typing.Sequence[float]]
-                      ) -> float:
+def pipeline_makespan(
+    durations: typing.Sequence[typing.Sequence[float]]
+) -> float:
     """Makespan of an in-order pipeline.
 
     ``durations[i][s]`` is the service time of item ``i`` on stage ``s``;
@@ -48,8 +49,9 @@ def pipeline_makespan(durations: typing.Sequence[typing.Sequence[float]]
     return sim.run()
 
 
-def overlap_two_stage(transfer: typing.Sequence[float],
-                      compute: typing.Sequence[float]) -> float:
+def overlap_two_stage(
+    transfer: typing.Sequence[float], compute: typing.Sequence[float]
+) -> float:
     """Closed-form makespan of a transfer->compute pipeline.
 
     Classic prefetch recurrence: compute of item ``i`` starts when both the

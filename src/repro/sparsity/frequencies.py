@@ -18,8 +18,9 @@ import math
 import numpy as np
 
 
-def power_law_exponent(hot_fraction: float = 0.2,
-                       hot_share: float = 0.8) -> float:
+def power_law_exponent(
+    hot_fraction: float = 0.2, hot_share: float = 0.8
+) -> float:
     """Exponent ``a`` such that the top ``hot_fraction`` of ranks holds
     ``hot_share`` of the total mass."""
     if not 0.0 < hot_fraction < 1.0:
@@ -32,8 +33,9 @@ def power_law_exponent(hot_fraction: float = 0.2,
     return 1.0 - math.log(hot_share) / math.log(hot_fraction)
 
 
-def _exponential_segment(length: int, start: float,
-                         target_mass: float) -> np.ndarray:
+def _exponential_segment(
+    length: int, start: float, target_mass: float
+) -> np.ndarray:
     """Monotone segment ``start * exp(-b * i)`` whose sum is
     ``target_mass``, with ``b`` solved by bisection.
 
@@ -69,13 +71,17 @@ def _exponential_segment(length: int, start: float,
     return start * np.exp(-0.5 * (lo + hi) * idx)
 
 
-def power_law_frequencies(n: int, density: float, *,
-                          hot_fraction: float = 0.2,
-                          hot_share: float = 0.8,
-                          p_max: float = 0.99,
-                          p_min: float = 1e-4,
-                          rng: np.random.Generator | None = None,
-                          shuffle: bool = True) -> np.ndarray:
+def power_law_frequencies(
+    n: int,
+    density: float,
+    *,
+    hot_fraction: float = 0.2,
+    hot_share: float = 0.8,
+    p_max: float = 0.99,
+    p_min: float = 1e-4,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> np.ndarray:
     """Per-neuron activation probabilities with mean ``density``.
 
     The rank distribution is built from two monotone exponential segments:
@@ -102,8 +108,9 @@ def power_law_frequencies(n: int, density: float, *,
     head_mass = min(hot_share * total_mass, k * p_max)
     head = _exponential_segment(k, p_max, head_mass)
     tail_start = min(p_max, float(head[-1])) if k else p_max
-    tail = _exponential_segment(n - k, tail_start,
-                                total_mass - float(head.sum()))
+    tail = _exponential_segment(
+        n - k, tail_start, total_mass - float(head.sum())
+    )
     probs = np.clip(np.concatenate([head, tail]), p_min, p_max)
     if shuffle:
         rng = np.random.default_rng() if rng is None else rng

@@ -78,8 +78,9 @@ class TraceConfig:
         return self.prompt_len + self.decode_len
 
 
-def _rank_matched_parents(p_prev: np.ndarray, p_cur: np.ndarray,
-                          rng: np.random.Generator) -> np.ndarray:
+def _rank_matched_parents(
+    p_prev: np.ndarray, p_cur: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
     """Top-2 parent groups in the previous layer for each current group.
 
     Parents are rank-matched (the i-th most active child maps to the i-th
@@ -98,8 +99,9 @@ def _rank_matched_parents(p_prev: np.ndarray, p_cur: np.ndarray,
     return parents
 
 
-def _swap_identities(position: np.ndarray, fraction: float,
-                     rng: np.random.Generator) -> None:
+def _swap_identities(
+    position: np.ndarray, fraction: float, rng: np.random.Generator
+) -> None:
     """Swap the *physical position* of a random ``fraction`` of logical
     neurons with disjoint random partners, in place.
 
@@ -118,12 +120,14 @@ def _swap_identities(position: np.ndarray, fraction: float,
     k = min(k, n // 2)
     chosen = rng.choice(n, size=2 * k, replace=False)
     movers, partners = chosen[:k], chosen[k:]
-    position[movers], position[partners] = (position[partners].copy(),
-                                            position[movers].copy())
+    position[movers], position[partners] = (
+        position[partners].copy(), position[movers].copy()
+    )
 
 
-def generate_trace(model: ModelSpec, config: TraceConfig | None = None, *,
-                   seed: int = 0) -> ActivationTrace:
+def generate_trace(
+    model: ModelSpec, config: TraceConfig | None = None, *, seed: int = 0
+) -> ActivationTrace:
     """Generate a full prefill+decode activation trace for ``model``."""
     config = config or TraceConfig()
     rng = np.random.default_rng(seed)
@@ -140,8 +144,9 @@ def generate_trace(model: ModelSpec, config: TraceConfig | None = None, *,
     ]
     logical_parents: list[np.ndarray | None] = [None]
     for l in range(1, model.num_layers):
-        logical_parents.append(_rank_matched_parents(base_freqs[l - 1],
-                                                     base_freqs[l], rng))
+        logical_parents.append(
+            _rank_matched_parents(base_freqs[l - 1], base_freqs[l], rng)
+        )
 
     layers = [np.zeros((n_tokens, n_groups), dtype=bool)
               for _ in range(model.num_layers)]
@@ -149,8 +154,9 @@ def generate_trace(model: ModelSpec, config: TraceConfig | None = None, *,
     # switches (phase_shift) and slow drift; logical dynamics stay
     # stationary
     positions = [np.arange(n_groups) for _ in range(model.num_layers)]
-    logical_rows = [np.zeros(n_groups, dtype=bool)
-                    for _ in range(model.num_layers)]
+    logical_rows = [
+        np.zeros(n_groups, dtype=bool) for _ in range(model.num_layers)
+    ]
 
     # record the *initial* physical parent table — what an offline
     # profiler would sample before inference starts
@@ -178,13 +184,19 @@ def generate_trace(model: ModelSpec, config: TraceConfig | None = None, *,
                 own = np.where(keep, logical_rows[l], fresh)
             if l > 0 and config.gamma > 0 and prev_logical is not None:
                 copy_mask = rng.random(n_groups) < config.gamma
-                row = np.where(copy_mask,
-                               prev_logical[logical_parents[l][:, 0]], own)
+                row = np.where(
+                    copy_mask, prev_logical[logical_parents[l][:, 0]], own
+                )
             else:
                 row = own
             logical_rows[l] = row
             layers[l][t][positions[l]] = row
             prev_logical = row
 
-    return ActivationTrace(layout=layout, layers=layers, parents=parents,
-                           prompt_len=config.prompt_len, seed=seed)
+    return ActivationTrace(
+        layout=layout,
+        layers=layers,
+        parents=parents,
+        prompt_len=config.prompt_len,
+        seed=seed,
+    )

@@ -44,8 +44,7 @@ def load_trace(path: str | pathlib.Path) -> ActivationTrace:
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"][0])
         if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {version}")
+            raise ValueError(f"unsupported trace format version {version}")
         model = get_model(str(data["model_name"][0]))
         granularity = int(data["granularity"][0])
         layout = NeuronLayout.build(model, granularity)
@@ -54,11 +53,13 @@ def load_trace(path: str | pathlib.Path) -> ActivationTrace:
         for l in range(model.num_layers):
             packed = data[f"layer_{l}"]
             cols = int(data[f"layer_{l}_cols"][0])
-            layers.append(
-                np.unpackbits(packed, axis=1)[:, :cols].astype(bool))
+            layers.append(np.unpackbits(packed, axis=1)[:, :cols].astype(bool))
             key = f"parents_{l}"
             parents.append(data[key] if key in data else None)
         return ActivationTrace(
-            layout=layout, layers=layers, parents=parents,
+            layout=layout,
+            layers=layers,
+            parents=parents,
             prompt_len=int(data["prompt_len"][0]),
-            seed=int(data["seed"][0]))
+            seed=int(data["seed"][0]),
+        )

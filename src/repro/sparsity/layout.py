@@ -84,7 +84,8 @@ class NeuronLayout:
         """Total weight bytes of the groups selected by a boolean mask."""
         if mask.shape != (self.groups_per_layer,):
             raise ValueError(
-                f"mask shape {mask.shape} != ({self.groups_per_layer},)")
+                f"mask shape {mask.shape} != ({self.groups_per_layer},)"
+            )
         return int(self.group_bytes[mask].sum())
 
     def sparse_bytes_per_layer(self) -> int:

@@ -30,8 +30,9 @@ def jaccard_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.logical_and(a, b).sum() / union)
 
 
-def token_similarity_curve(trace: ActivationTrace, max_distance: int = 50, *,
-                           layer_stride: int = 1) -> np.ndarray:
+def token_similarity_curve(
+    trace: ActivationTrace, max_distance: int = 50, *, layer_stride: int = 1
+) -> np.ndarray:
     """Mean activation-state similarity as a function of token distance.
 
     Similarity is the Jaccard overlap of the activated sets, averaged over
@@ -83,9 +84,12 @@ def layer_correlation(trace: ActivationTrace, layer: int) -> np.ndarray:
     return cond
 
 
-def hot_cold_computation_share(trace: ActivationTrace,
-                               hot_fraction: float = 0.2, *,
-                               tokens: slice | None = None) -> float:
+def hot_cold_computation_share(
+    trace: ActivationTrace,
+    hot_fraction: float = 0.2,
+    *,
+    tokens: slice | None = None,
+) -> float:
     """Share of total activations carried by the hottest ``hot_fraction``
     of groups (averaged over layers) — the 20 %/80 % statistic.
 
@@ -134,8 +138,13 @@ def hot_set_churn(trace: ActivationTrace, hot_fraction: float = 0.2) -> float:
     return float(np.mean(churned))
 
 
-def dimm_load_imbalance(trace: ActivationTrace, placement: np.ndarray,
-                        layer: int, *, window: int | None = None) -> float:
+def dimm_load_imbalance(
+    trace: ActivationTrace,
+    placement: np.ndarray,
+    layer: int,
+    *,
+    window: int | None = None,
+) -> float:
     """Max/mean activated-group load ratio across DIMMs for one layer.
 
     ``placement`` assigns each group of ``layer`` to a DIMM id (or -1 for

@@ -108,8 +108,9 @@ class ActivationTrace:
         cells = sum(m.size for m in self.layers)
         return float(total / cells)
 
-    def frequencies(self, layer: int, *, tokens: slice | None = None
-                    ) -> np.ndarray:
+    def frequencies(
+        self, layer: int, *, tokens: slice | None = None
+    ) -> np.ndarray:
         """Empirical activation frequency per group over a token range."""
         matrix = self.layers[layer] if tokens is None \
             else self.layers[layer][tokens]

@@ -26,13 +26,15 @@ def opt13(machine, small_opt_trace):
         "flexgen": FlexGen(machine, model),
         "accelerate": HuggingfaceAccelerate(machine, model),
     }
-    return {name: s.run(small_opt_trace, batch=1)
-            for name, s in systems.items()}
+    return {
+        name: s.run(small_opt_trace, batch=1) for name, s in systems.items()
+    }
 
 
 class TestEverySystemRuns:
-    @pytest.mark.parametrize("name", ["hermes", "base", "host", "dejavu",
-                                      "flexgen", "accelerate"])
+    @pytest.mark.parametrize(
+        "name", ["hermes", "base", "host", "dejavu", "flexgen", "accelerate"]
+    )
     def test_positive_throughput(self, opt13, name):
         assert opt13[name].tokens_per_second > 0
 
@@ -84,8 +86,9 @@ class TestDejaVu:
         # paper §III-B: ~2 GB of MLP predictors for LLaMA-7B
         assert 0.3 * 2**30 < total < 3 * 2**30
 
-    def test_batching_increases_per_token_traffic(self, machine,
-                                                  small_opt_trace):
+    def test_batching_increases_per_token_traffic(
+        self, machine, small_opt_trace
+    ):
         dejavu = DejaVu(machine, get_model("OPT-13B"))
         r1 = dejavu.run(small_opt_trace, batch=1)
         r16 = dejavu.run(small_opt_trace, batch=16)
@@ -106,7 +109,8 @@ class TestHermesBase:
         # only the prompt KV push is charged to communication
         kv = base.model.kv_bytes_total(small_opt_trace.prompt_len)
         assert result.breakdown["communication"] == pytest.approx(
-            machine.pcie.transfer_time(kv))
+            machine.pcie.transfer_time(kv)
+        )
 
 
 class TestTensorRT:
@@ -118,8 +122,10 @@ class TestTensorRT:
         from repro.sparsity import TraceConfig, generate_trace
         model = get_model("LLaMA2-70B")
         trace = generate_trace(
-            model, TraceConfig(prompt_len=16, decode_len=16,
-                               granularity=256), seed=1)
+            model,
+            TraceConfig(prompt_len=16, decode_len=16, granularity=256),
+            seed=1,
+        )
         result = TensorRTLLM(model).run(trace)
         assert result.tokens_per_second > 5
 
@@ -127,8 +133,10 @@ class TestTensorRT:
         from repro.sparsity import TraceConfig, generate_trace
         model = get_model("LLaMA2-70B")
         trace = generate_trace(
-            model, TraceConfig(prompt_len=16, decode_len=16,
-                               granularity=256), seed=1)
+            model,
+            TraceConfig(prompt_len=16, decode_len=16, granularity=256),
+            seed=1,
+        )
         system = TensorRTLLM(model)
         t1 = system.run(trace, batch=1).decode_tokens_per_second
         t16 = system.run(trace, batch=16).decode_tokens_per_second

@@ -30,8 +30,9 @@ from repro.serving import (
 # routers
 # ----------------------------------------------------------------------
 def _req(i, tenant="default"):
-    return Request(req_id=i, arrival=float(i), prompt_len=8, output_len=8,
-                   tenant=tenant)
+    return Request(
+        req_id=i, arrival=float(i), prompt_len=8, output_len=8, tenant=tenant
+    )
 
 
 class TestRouters:
@@ -50,8 +51,7 @@ class TestRouters:
         router = get_router("session-affinity")
         loads = [0.0] * 4
         for tenant in ("alpha", "bravo", "charlie"):
-            targets = {router.route(_req(i, tenant), loads)
-                       for i in range(5)}
+            targets = {router.route(_req(i, tenant), loads) for i in range(5)}
             assert len(targets) == 1  # every request of a tenant pins
         # the mapping must not depend on Python's randomised str hash
         assert get_router("session-affinity").route(
@@ -87,8 +87,9 @@ class TestRouters:
 # ----------------------------------------------------------------------
 class TestSLOPolicy:
     def test_class_resolution_and_errors(self):
-        slo = SLOPolicy(classes=(PriorityClass("a", priority=1),
-                                 PriorityClass("b")))
+        slo = SLOPolicy(
+            classes=(PriorityClass("a", priority=1), PriorityClass("b"))
+        )
         assert slo.class_of(
             Request(req_id=0, arrival=0.0, prompt_len=1, output_len=1,
                     class_name="a")).priority == 1
@@ -160,14 +161,19 @@ def _mixed_workload():
     return merge_workloads(hi, lo)
 
 
-def _cluster_run(tiny_trace, *, preemptive, router="least-loaded",
-                 machines=2):
-    slo = SLOPolicy(classes=TWO_CLASS_SLO.classes, preemptive=preemptive,
-                    headroom=TWO_CLASS_SLO.headroom)
+def _cluster_run(tiny_trace, *, preemptive, router="least-loaded", machines=2):
+    slo = SLOPolicy(
+        classes=TWO_CLASS_SLO.classes,
+        preemptive=preemptive,
+        headroom=TWO_CLASS_SLO.headroom,
+    )
     simulator = ClusterSimulator(
-        "tiny-test", "fcfs",
+        "tiny-test",
+        "fcfs",
         ClusterConfig(max_batch=8, num_machines=machines, router=router),
-        slo=slo, trace=tiny_trace)
+        slo=slo,
+        trace=tiny_trace,
+    )
     return simulator.run(_mixed_workload())
 
 
@@ -187,20 +193,21 @@ class TestClusterSimulator:
         for record in report.records:
             assert len(record.token_times) == record.request.output_len
 
-    def test_preemption_happens_and_is_recorded(self, preemptive_report,
-                                                plain_report):
+    def test_preemption_happens_and_is_recorded(
+        self, preemptive_report, plain_report
+    ):
         assert preemptive_report.preemptions > 0
         assert plain_report.preemptions == 0
-        preempted = [r for r in preemptive_report.records
-                     if r.preemptions > 0]
+        preempted = [r for r in preemptive_report.records if r.preemptions > 0]
         assert preempted
         # victims are only ever lower-priority (batch) requests
         assert all(r.request.class_name == "batch" for r in preempted)
         # a preempted request still finishes its full output
         assert all(r.finished for r in preempted)
 
-    def test_preemption_protects_interactive_ttft(self, preemptive_report,
-                                                  plain_report):
+    def test_preemption_protects_interactive_ttft(
+        self, preemptive_report, plain_report
+    ):
         cls = "interactive"
         assert preemptive_report.class_ttft_percentile(cls, 99) < \
             0.5 * plain_report.class_ttft_percentile(cls, 99)
@@ -210,10 +217,10 @@ class TestClusterSimulator:
     def test_per_machine_utilization_consistent(self, preemptive_report):
         report = preemptive_report
         assert len(report.machine_dimm_busy) == 2
-        assert report.gpu_busy == pytest.approx(
-            sum(report.machine_gpu_busy))
+        assert report.gpu_busy == pytest.approx(sum(report.machine_gpu_busy))
         assert report.dimm_utilization == pytest.approx(
-            sum(report.machine_dimm_utilization) / 2)
+            sum(report.machine_dimm_utilization) / 2
+        )
         assert all(u > 0 for u in report.machine_gpu_utilization)
 
     def test_deterministic(self, tiny_trace):
@@ -226,8 +233,7 @@ class TestClusterSimulator:
 
     def test_routers_all_serve_everything(self, tiny_trace):
         for router in ("round-robin", "session-affinity", "power-of-two"):
-            report = _cluster_run(tiny_trace, preemptive=False,
-                                  router=router)
+            report = _cluster_run(tiny_trace, preemptive=False, router=router)
             assert len(report.completed) == 128
             assert report.router == router
 
@@ -244,9 +250,12 @@ class TestClusterSimulator:
                            output_lens=LengthDistribution(mean=8)),
             seed=4)
         simulator = ClusterSimulator(
-            "tiny-test", "fcfs",
+            "tiny-test",
+            "fcfs",
             ClusterConfig(max_batch=8, num_machines=2),
-            slo=SLOPolicy(preemptive=True), trace=tiny_trace)
+            slo=SLOPolicy(preemptive=True),
+            trace=tiny_trace,
+        )
         report = simulator.run(workload)
         assert report.preemptions == 0
         assert len(report.completed) == 48
@@ -279,20 +288,29 @@ class TestClusterReport:
                 machine=0, prefill_start=0.0, token_times=[3.0]),
         ]
         return ClusterReport(
-            policy="fcfs", num_machines=2, records=records, makespan=4.0,
-            queue_samples=[], batch_samples=[],
-            machine_gpu_busy=[1.0, 0.5], machine_dimm_busy=[0.4, 0.2],
-            router="round-robin", slo=slo)
+            policy="fcfs",
+            num_machines=2,
+            records=records,
+            makespan=4.0,
+            queue_samples=[],
+            batch_samples=[],
+            machine_gpu_busy=[1.0, 0.5],
+            machine_dimm_busy=[0.4, 0.2],
+            router="round-robin",
+            slo=slo,
+        )
 
     def test_class_names_priority_ordered(self):
         assert self._report().class_names == ["a", "b"]
 
     def test_attainment_hand_computed(self):
         report = self._report()
-        assert report.slo_attainment("a") == {"ttft": 0.5, "tbt": 1.0,
-                                              "joint": 0.5}
-        assert report.slo_attainment("b") == {"ttft": 1.0, "tbt": 1.0,
-                                              "joint": 1.0}
+        assert report.slo_attainment("a") == {
+            "ttft": 0.5, "tbt": 1.0, "joint": 0.5
+        }
+        assert report.slo_attainment("b") == {
+            "ttft": 1.0, "tbt": 1.0, "joint": 1.0
+        }
         with pytest.raises(KeyError):
             report.class_of("zz")
 
@@ -313,8 +331,7 @@ class TestClusterReport:
     def test_busy_aggregates(self):
         report = self._report()
         assert report.gpu_busy == pytest.approx(1.5)
-        assert report.machine_gpu_utilization == pytest.approx(
-            [0.25, 0.125])
+        assert report.machine_gpu_utilization == pytest.approx([0.25, 0.125])
 
 
 # ----------------------------------------------------------------------

@@ -144,20 +144,23 @@ class TestController:
         n = 2 * 2**20
         cycles = DRAMController(g, t).stream_rows(n)
         measured = n / t.cycles_to_seconds(cycles)
-        assert measured == pytest.approx(channel_stream_bandwidth(g, t),
-                                         rel=0.05)
+        assert measured == pytest.approx(
+            channel_stream_bandwidth(g, t), rel=0.05
+        )
 
 
 class TestBandwidthModel:
     def test_lane_bandwidth_is_half_duty(self):
         g, t = DIMMGeometry(), DDR4Timing()
         assert lane_bandwidth(g, t) == pytest.approx(
-            g.peak_bandwidth(t) * t.tBL / t.tCCD_L, rel=0.01)
+            g.peak_bandwidth(t) * t.tBL / t.tCCD_L, rel=0.01
+        )
 
     def test_internal_is_lanes_times_paths(self):
         g, t = DIMMGeometry(), DDR4Timing()
         assert internal_stream_bandwidth(g, t) == pytest.approx(
-            lane_bandwidth(g, t) * g.internal_paths)
+            lane_bandwidth(g, t) * g.internal_paths
+        )
 
     def test_internal_near_100gbs(self):
         """The calibration anchor: ~102 GB/s per DIMM, ~0.8 TB/s for 8."""
@@ -186,4 +189,5 @@ class TestBandwidthModel:
         g4 = DIMMGeometry(ranks=4)
         g2 = DIMMGeometry(ranks=2)
         assert internal_stream_bandwidth(g4, t) == pytest.approx(
-            2 * internal_stream_bandwidth(g2, t))
+            2 * internal_stream_bandwidth(g2, t)
+        )

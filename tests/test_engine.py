@@ -42,8 +42,7 @@ class TestHermesRun:
         assert hermes_result.tokens_per_second > 0
 
     def test_breakdown_covers_major_categories(self, hermes_result):
-        for key in ("fc", "attention", "projection", "prefill",
-                    "predictor"):
+        for key in ("fc", "attention", "projection", "prefill", "predictor"):
             assert hermes_result.breakdown.get(key, 0) > 0
 
     def test_decode_time_close_to_breakdown_sum(self, hermes_result):
@@ -82,15 +81,15 @@ class TestHermesRun:
 
 
 class TestBatching:
-    def test_throughput_improves_with_batch(self, machine, tiny_model,
-                                            tiny_trace):
+    def test_throughput_improves_with_batch(
+        self, machine, tiny_model, tiny_trace
+    ):
         system = HermesSystem(machine, tiny_model)
         t1 = system.run(tiny_trace, batch=1).tokens_per_second
         t8 = system.run(tiny_trace, batch=8).tokens_per_second
         assert t8 > 1.5 * t1
 
-    def test_latency_grows_with_batch(self, machine, tiny_model,
-                                      tiny_trace):
+    def test_latency_grows_with_batch(self, machine, tiny_model, tiny_trace):
         system = HermesSystem(machine, tiny_model)
         l1 = system.run(tiny_trace, batch=1).decode_latency_per_token
         l16 = system.run(tiny_trace, batch=16).decode_latency_per_token
@@ -98,12 +97,13 @@ class TestBatching:
 
 
 class TestConfigurationSpace:
-    def test_oracle_not_slower_than_fixed_partition(self, machine,
-                                                    tiny_model, tiny_trace):
-        fixed = HermesConfig(online_adjustment=False,
-                             window_scheduling=False)
-        oracle = HermesConfig(online_adjustment=False,
-                              window_scheduling=False, oracle=True)
+    def test_oracle_not_slower_than_fixed_partition(
+        self, machine, tiny_model, tiny_trace
+    ):
+        fixed = HermesConfig(online_adjustment=False, window_scheduling=False)
+        oracle = HermesConfig(
+            online_adjustment=False, window_scheduling=False, oracle=True
+        )
         t_fixed = HermesSystem(machine, tiny_model, fixed).run(
             tiny_trace).decode_latency_per_token
         t_oracle = HermesSystem(machine, tiny_model, oracle).run(
@@ -113,8 +113,7 @@ class TestConfigurationSpace:
     def test_all_fig13_variants_run(self, machine, tiny_model, tiny_trace):
         from repro.experiments.fig13_ablation import VARIANTS
         for name, config in VARIANTS.items():
-            result = HermesSystem(machine, tiny_model, config).run(
-                tiny_trace)
+            result = HermesSystem(machine, tiny_model, config).run(tiny_trace)
             assert result.tokens_per_second > 0, name
 
     def test_more_dimms_never_hurt_much(self, tiny_model, tiny_trace):
@@ -131,8 +130,9 @@ class TestConfigurationSpace:
             tiny_trace).decode_latency_per_token
         assert fast <= slow * 1.05
 
-    def test_window_scheduling_tracks_migrations(self, machine, tiny_model,
-                                                 tiny_trace):
+    def test_window_scheduling_tracks_migrations(
+        self, machine, tiny_model, tiny_trace
+    ):
         result = HermesSystem(machine, tiny_model).run(tiny_trace)
         assert result.metadata["remap_groups"] >= 0
         assert result.metadata["remap_bytes"] >= 0

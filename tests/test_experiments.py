@@ -22,14 +22,19 @@ class TestCommon:
 
     def test_result_to_text_renders(self):
         result = ExperimentResult(
-            name="x", description="d", headers=["a", "b"],
-            rows=[[1, None], [2.5, "ok"]], notes=["note"])
+            name="x",
+            description="d",
+            headers=["a", "b"],
+            rows=[[1, None], [2.5, "ok"]],
+            notes=["note"],
+        )
         text = result.to_text()
         assert "N.P." in text and "note" in text
 
     def test_result_column(self):
-        result = ExperimentResult(name="x", description="d",
-                                  headers=["a", "b"], rows=[[1, 2]])
+        result = ExperimentResult(
+            name="x", description="d", headers=["a", "b"], rows=[[1, 2]]
+        )
         assert result.column("b") == [2]
         with pytest.raises(ValueError):
             result.column("c")

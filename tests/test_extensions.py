@@ -38,8 +38,7 @@ class TestLowering:
         assert kinds == [RowRead, Mac, RowRead, Mac]
 
     def test_attention_includes_per_head_softmax(self):
-        stream = lower_attention(8192, context_len=128, num_heads=4,
-                                 batch=2)
+        stream = lower_attention(8192, context_len=128, num_heads=4, batch=2)
         softmaxes = [c for c in stream if isinstance(c, Softmax)]
         assert len(softmaxes) == 8
 
@@ -76,14 +75,14 @@ class TestExecutor:
 
     def test_link_send_serialises_after_compute(self, executor):
         base = executor.execute(lower_gemv(2**20))
-        with_send = executor.execute(lower_gemv(2**20)
-                                     + [LinkSend(25_000_000)])
+        with_send = executor.execute(
+            lower_gemv(2**20) + [LinkSend(25_000_000)]
+        )
         assert with_send == pytest.approx(base + 1e-3, rel=0.05)
 
     def test_merge_after_macs(self, executor):
         stream = lower_gemv(2**20) + [Merge(8192)]
-        assert executor.execute(stream) > executor.execute(
-            lower_gemv(2**20))
+        assert executor.execute(stream) > executor.execute(lower_gemv(2**20))
 
     def test_unknown_command_rejected(self, executor):
         with pytest.raises(TypeError):
@@ -98,7 +97,9 @@ class TestTraceIO:
     def test_roundtrip(self, tmp_path, tiny_model):
         trace = generate_trace(
             tiny_model,
-            TraceConfig(prompt_len=8, decode_len=8, granularity=8), seed=5)
+            TraceConfig(prompt_len=8, decode_len=8, granularity=8),
+            seed=5,
+        )
         path = tmp_path / "trace.npz"
         save_trace(trace, path)
         loaded = load_trace(path)
@@ -117,7 +118,8 @@ class TestTraceIO:
         trace = generate_trace(
             tiny_model,
             TraceConfig(prompt_len=16, decode_len=48, granularity=4),
-            seed=5)
+            seed=5,
+        )
         path = tmp_path / "trace.npz"
         save_trace(trace, path)
         raw = sum(m.size for m in trace.layers)
@@ -126,7 +128,9 @@ class TestTraceIO:
     def test_rejects_future_format(self, tmp_path, tiny_model):
         trace = generate_trace(
             tiny_model,
-            TraceConfig(prompt_len=4, decode_len=4, granularity=16), seed=5)
+            TraceConfig(prompt_len=4, decode_len=4, granularity=16),
+            seed=5,
+        )
         path = tmp_path / "trace.npz"
         save_trace(trace, path)
         data = dict(np.load(path))
@@ -144,8 +148,7 @@ class TestQuality:
         assert report.within_paper_claim()
 
     def test_predictor_coverage_high(self, tiny_trace):
-        predictor = ActivationPredictor(tiny_trace.layout,
-                                        PredictorConfig())
+        predictor = ActivationPredictor(tiny_trace.layout, PredictorConfig())
         predictor.initialize(tiny_trace)
         report = activation_coverage(tiny_trace, predictor)
         assert 0.85 < report.coverage <= 1.0

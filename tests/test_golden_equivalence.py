@@ -32,8 +32,12 @@ from repro.serving import (
 )
 from repro.sparsity import TraceConfig, generate_trace
 
-GOLDEN_PATH = (pathlib.Path(__file__).parent / "data"
-               / "golden_engine_tiny.json")
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "data" / "golden_engine_tiny.json"
+)
+BASELINE_GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "data" / "golden_baselines_tiny.json"
+)
 
 CONFIGS = {
     "default": HermesConfig(),
@@ -58,25 +62,27 @@ def golden():
 def golden_trace(golden):
     spec = golden["trace"]
     model = get_model(spec["model"])
-    config = TraceConfig(prompt_len=spec["prompt_len"],
-                         decode_len=spec["decode_len"],
-                         granularity=spec["granularity"])
+    config = TraceConfig(
+        prompt_len=spec["prompt_len"],
+        decode_len=spec["decode_len"],
+        granularity=spec["granularity"],
+    )
     return generate_trace(model, config, seed=spec["seed"])
 
 
 @pytest.mark.parametrize("config_name", sorted(CONFIGS))
 @pytest.mark.parametrize("batch", (1, 4))
-def test_engine_matches_seed_goldens(golden, golden_trace, config_name,
-                                     batch):
+def test_engine_matches_seed_goldens(golden, golden_trace, config_name, batch):
     key = f"{config_name}/batch{batch}"
     want = golden["engine"][key]
     model = get_model(golden["trace"]["model"])
-    session = HermesSystem(Machine(), model,
-                           CONFIGS[config_name]).session(golden_trace,
-                                                         batch)
+    session = HermesSystem(Machine(), model, CONFIGS[config_name]).session(
+        golden_trace, batch
+    )
     session.prefill()
-    steps = [session.decode_step()
-             for _ in range(golden_trace.n_decode_tokens)]
+    steps = [
+        session.decode_step() for _ in range(golden_trace.n_decode_tokens)
+    ]
     result = session.finish()
 
     assert result.prefill_time == want["prefill_time"]
@@ -119,3 +125,39 @@ def test_serving_matches_seed_goldens(golden, rate, policy):
     assert report.mean_batch_size == want["mean_batch"]
     assert report.dimm_utilization == want["dimm_utilization"]
     assert report.makespan == want["makespan"]
+
+
+@pytest.fixture(scope="module")
+def baseline_golden():
+    return json.loads(BASELINE_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "name", ("flexgen", "dejavu", "accelerate", "tensorrt")
+)
+@pytest.mark.parametrize("batch", (1, 4))
+def test_baselines_match_goldens(baseline_golden, name, batch):
+    """The offline baselines' RunResults are pinned bit-for-bit.
+
+    Their per-token cost kernels back both the comparative figures
+    (fig09/fig17) and the steppable serving backends, so any refactor of
+    the byte accounting must reproduce these numbers exactly.
+    """
+    from tools.capture_goldens import _baseline_systems
+
+    spec = baseline_golden["trace"]
+    model = get_model(spec["model"])
+    trace = generate_trace(
+        model,
+        TraceConfig(prompt_len=spec["prompt_len"],
+                    decode_len=spec["decode_len"],
+                    granularity=spec["granularity"]),
+        seed=spec["seed"])
+    system = _baseline_systems(Machine(), model)[name]
+    result = system.run(trace, batch=batch)
+    want = baseline_golden["baselines"][f"{name}/batch{batch}"]
+    assert result.system == want["system"]
+    assert result.prefill_time == want["prefill_time"]
+    assert result.decode_time == want["decode_time"]
+    assert dict(result.breakdown) == want["breakdown"]
+    assert json.loads(json.dumps(result.metadata)) == want["metadata"]

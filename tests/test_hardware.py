@@ -26,8 +26,8 @@ class TestGPURoofline:
         b = 1 * 2**30
         t = RTX_4090.matmul_time(b, batch=1)
         assert t == pytest.approx(
-            b / RTX_4090.effective_bandwidth
-            + RTX_4090.kernel_launch_overhead)
+            b / RTX_4090.effective_bandwidth + RTX_4090.kernel_launch_overhead
+        )
 
     def test_large_batch_is_compute_bound(self):
         b = 1 * 2**30
@@ -54,8 +54,8 @@ class TestGPURoofline:
     def test_attention_time_bandwidth_bound(self):
         kv = 100 * 2**20
         assert RTX_4090.attention_time(kv) == pytest.approx(
-            kv / RTX_4090.effective_bandwidth
-            + RTX_4090.kernel_launch_overhead)
+            kv / RTX_4090.effective_bandwidth + RTX_4090.kernel_launch_overhead
+        )
 
     def test_prefill_compute_bound_for_long_prompt(self):
         b = 1 * 2**30
@@ -138,8 +138,9 @@ class TestHostCPU:
     def test_gemv_memory_bound(self):
         cpu = HostCPU()
         b = 1 * 2**30
-        expected = b / (cpu.memory_bus.effective_bandwidth
-                        * cpu.scatter_efficiency)
+        expected = b / (
+            cpu.memory_bus.effective_bandwidth * cpu.scatter_efficiency
+        )
         assert cpu.gemv_time(b) == pytest.approx(expected)
 
     def test_sequential_faster_than_scattered(self):
@@ -183,7 +184,8 @@ class TestNDPDIMM:
     def test_migration_uses_dimm_link(self):
         d = default_dimm()
         assert d.migration_time(25e9) == pytest.approx(
-            d.link.transfer_time(25e9))
+            d.link.transfer_time(25e9)
+        )
 
     def test_with_multipliers_changes_compute(self):
         d = default_dimm()
@@ -200,7 +202,8 @@ class TestMachine:
 
     def test_pool_bandwidth_aggregates(self, machine):
         assert machine.dimm_bandwidth_total == pytest.approx(
-            8 * machine.dimm.internal_bandwidth)
+            8 * machine.dimm.internal_bandwidth
+        )
 
     def test_fits_on_dimms(self, machine):
         assert machine.fits_on_dimms(100 * 2**30)

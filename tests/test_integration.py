@@ -16,8 +16,9 @@ from repro.sparsity import TraceConfig, load_trace, save_trace
 
 
 class TestTraceToResultPipeline:
-    def test_saved_trace_reproduces_the_run(self, tmp_path, machine,
-                                            tiny_model, tiny_trace):
+    def test_saved_trace_reproduces_the_run(
+        self, tmp_path, machine, tiny_model, tiny_trace
+    ):
         """Serialise -> reload -> identical simulation outcome."""
         path = tmp_path / "trace.npz"
         save_trace(tiny_trace, path)
@@ -27,14 +28,16 @@ class TestTraceToResultPipeline:
         assert a.decode_time == pytest.approx(b.decode_time)
         assert a.breakdown == pytest.approx(b.breakdown)
 
-    def test_different_seeds_give_different_latencies(self, machine,
-                                                      tiny_model):
+    def test_different_seeds_give_different_latencies(
+        self, machine, tiny_model
+    ):
         cfg = TraceConfig(prompt_len=16, decode_len=32, granularity=8)
         results = []
         for seed in (1, 2):
             trace = generate_trace(tiny_model, cfg, seed=seed)
             results.append(
-                HermesSystem(machine, tiny_model).run(trace).decode_time)
+                HermesSystem(machine, tiny_model).run(trace).decode_time
+            )
         assert results[0] != results[1]
 
     def test_seed_variance_is_small(self, machine, tiny_model):
@@ -66,27 +69,28 @@ class TestExperimentFactories:
 
 
 class TestWholeSystemInvariants:
-    def test_hot_bytes_never_exceed_budget(self, machine, tiny_model,
-                                           tiny_trace):
+    def test_hot_bytes_never_exceed_budget(
+        self, machine, tiny_model, tiny_trace
+    ):
         result = HermesSystem(machine, tiny_model).run(tiny_trace)
         assert result.metadata["hot_bytes"] \
             <= result.metadata["gpu_hot_budget"]
 
-    def test_decode_rate_excludes_prefill(self, machine, tiny_model,
-                                          tiny_trace):
+    def test_decode_rate_excludes_prefill(
+        self, machine, tiny_model, tiny_trace
+    ):
         result = HermesSystem(machine, tiny_model).run(tiny_trace)
-        assert (result.decode_tokens_per_second
-                >= result.tokens_per_second)
+        assert (result.decode_tokens_per_second >= result.tokens_per_second)
 
-    def test_oracle_beats_or_ties_every_variant(self, machine, tiny_model,
-                                                tiny_trace):
+    def test_oracle_beats_or_ties_every_variant(
+        self, machine, tiny_model, tiny_trace
+    ):
         oracle = HermesSystem(
             machine, tiny_model,
             HermesConfig(oracle=True, window_scheduling=False,
                          online_adjustment=False)).run(tiny_trace)
         for name, config in VARIANTS.items():
-            result = HermesSystem(machine, tiny_model, config).run(
-                tiny_trace)
+            result = HermesSystem(machine, tiny_model, config).run(tiny_trace)
             assert (oracle.decode_latency_per_token
                     <= result.decode_latency_per_token * 1.10), name
 
@@ -95,13 +99,15 @@ class TestWholeSystemInvariants:
         large = machine_cost_usd(Machine(num_dimms=16))
         assert large > small
 
-    def test_migration_traffic_bounded_by_cold_pool(self, machine,
-                                                    tiny_model, tiny_trace):
+    def test_migration_traffic_bounded_by_cold_pool(
+        self, machine, tiny_model, tiny_trace
+    ):
         """A run cannot migrate more unique bytes per rebalance than the
         cold pool holds; sanity-bound total traffic."""
         result = HermesSystem(machine, tiny_model).run(tiny_trace)
-        sparse_total = (tiny_model.sparse_bytes_per_layer
-                        * tiny_model.num_layers)
+        sparse_total = (
+            tiny_model.sparse_bytes_per_layer * tiny_model.num_layers
+        )
         n_windows = max(1, tiny_trace.n_decode_tokens // 5)
         assert result.metadata["remap_bytes"] \
             <= sparse_total * n_windows

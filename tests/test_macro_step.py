@@ -35,12 +35,15 @@ from repro.hardware import Machine
 from repro.models import get_model
 from repro.scenarios import load_scenario
 from repro.serving import (
+    BACKENDS,
     LengthDistribution,
     MachineExecutor,
+    MachineGroup,
     ServingConfig,
     ServingSimulator,
     WorkloadConfig,
     generate_workload,
+    make_backend,
 )
 from repro.sparsity import TraceConfig, generate_trace
 
@@ -54,7 +57,8 @@ def _trace():
         _TRACE = generate_trace(
             get_model("tiny-test"),
             TraceConfig(prompt_len=16, decode_len=24, granularity=8),
-            seed=11)
+            seed=11,
+        )
     return _TRACE
 
 
@@ -100,8 +104,11 @@ _CONFIGS = {
 
 
 class TestDecodeStepsEquivalence:
-    @settings(max_examples=12, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
     @given(
         config_name=st.sampled_from(sorted(_CONFIGS)),
         batch=st.integers(min_value=1, max_value=6),
@@ -109,8 +116,7 @@ class TestDecodeStepsEquivalence:
                           min_size=1, max_size=30),
         data=st.data(),
     )
-    def test_fused_equals_sequential(self, config_name, batch, contexts,
-                                     data):
+    def test_fused_equals_sequential(self, config_name, batch, contexts, data):
         """K fused steps == K sequential steps, over random chunkings."""
         config = _CONFIGS[config_name]
         ref = _session(config, batch)
@@ -120,19 +126,20 @@ class TestDecodeStepsEquivalence:
         fused_steps = []
         while pos < len(contexts):
             size = data.draw(
-                st.integers(min_value=1,
-                            max_value=len(contexts) - pos),
-                label="chunk")
+                st.integers(min_value=1, max_value=len(contexts) - pos),
+                label="chunk",
+            )
             span = fused.decode_steps(batch, contexts[pos:pos + size])
             assert len(span) == size
             fused_steps.extend(span.step(i) for i in range(size))
             pos += size
-        assert [s.seconds for s in steps] \
-            == [s.seconds for s in fused_steps]
-        assert [s.gpu_busy for s in steps] \
-            == [s.gpu_busy for s in fused_steps]
-        assert [s.dimm_busy for s in steps] \
-            == [s.dimm_busy for s in fused_steps]
+        assert [s.seconds for s in steps] == [s.seconds for s in fused_steps]
+        assert [s.gpu_busy for s in steps] == [
+            s.gpu_busy for s in fused_steps
+        ]
+        assert [s.dimm_busy for s in steps] == [
+            s.dimm_busy for s in fused_steps
+        ]
         _assert_state_equal(_session_state(ref), _session_state(fused))
 
     def test_until_truncates_at_crossing_step(self):
@@ -148,13 +155,15 @@ class TestDecodeStepsEquivalence:
         for s in steps:
             running += s.seconds
             boundaries.append(running)
-        span = fused.decode_steps(2, contexts, start_time=start,
-                                  until=boundaries[3])
+        span = fused.decode_steps(
+            2, contexts, start_time=start, until=boundaries[3]
+        )
         assert len(span) == 4
         assert span.end_times.tolist() == boundaries[:4]
         # remaining steps continue bit-identically in a fresh span
-        rest = fused.decode_steps(2, contexts[4:], start_time=span
-                                  .end_times[-1])
+        rest = fused.decode_steps(
+            2, contexts[4:], start_time=span.end_times[-1]
+        )
         assert rest.end_times.tolist() == boundaries[4:]
         _assert_state_equal(_session_state(ref), _session_state(fused))
 
@@ -183,11 +192,102 @@ class TestDecodeStepsEquivalence:
 
 
 # ----------------------------------------------------------------------
+# backends: decode_span == sequential decode_step for every registry entry
+# ----------------------------------------------------------------------
+def _backend(name, batch):
+    return make_backend(
+        name,
+        Machine(),
+        get_model("tiny-test"),
+        trace=_trace(),
+        nominal_batch=batch,
+    )
+
+
+class TestBackendSpanEquivalence:
+    """The macro-stepped loop fuses through ``decode_span`` on whatever
+    backend a machine runs, so the span contract must hold for every
+    registry entry — hermes natively (``decode_steps``), dense/dejavu via
+    the generic sequential fallback."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        name=st.sampled_from(sorted(BACKENDS)),
+        batch=st.integers(min_value=1, max_value=4),
+        contexts=st.lists(st.integers(min_value=1, max_value=200),
+                          min_size=1, max_size=20),
+        data=st.data(),
+    )
+    def test_fused_equals_sequential(self, name, batch, contexts, data):
+        ref = _backend(name, batch)
+        fused = _backend(name, batch)
+        steps = [ref.decode_step(batch, c) for c in contexts]
+        boundaries = []
+        running = 0.0
+        for s in steps:
+            running += s.seconds
+            boundaries.append(running)
+        pos = 0
+        fused_steps = []
+        while pos < len(contexts):
+            size = data.draw(
+                st.integers(min_value=1, max_value=len(contexts) - pos),
+                label="chunk",
+            )
+            start = boundaries[pos - 1] if pos else 0.0
+            span = fused.decode_span(
+                batch, contexts[pos:pos + size], start_time=start
+            )
+            assert len(span) == size
+            assert span.end_times.tolist() == boundaries[pos:pos + size]
+            fused_steps.extend(span.step(i) for i in range(size))
+            pos += size
+        assert [s.seconds for s in steps] == [s.seconds for s in fused_steps]
+        assert [s.gpu_busy for s in steps] == [
+            s.gpu_busy for s in fused_steps
+        ]
+        assert [s.dimm_busy for s in steps] == [
+            s.dimm_busy for s in fused_steps
+        ]
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_until_truncates_after_crossing_step(self, name):
+        ref = _backend(name, 2)
+        fused = _backend(name, 2)
+        contexts = list(range(20, 30))
+        steps = [ref.decode_step(2, c) for c in contexts]
+        start = 3.0
+        boundaries = []
+        running = start
+        for s in steps:
+            running += s.seconds
+            boundaries.append(running)
+        span = fused.decode_span(
+            2, contexts, start_time=start, until=boundaries[3]
+        )
+        assert len(span) == 4
+        assert span.end_times.tolist() == boundaries[:4]
+        rest = fused.decode_span(
+            2, contexts[4:], start_time=span.end_times[-1]
+        )
+        assert rest.end_times.tolist() == boundaries[4:]
+
+
+# ----------------------------------------------------------------------
 # serving / cluster: macro_step on == off
 # ----------------------------------------------------------------------
 def _record_view(record):
-    return (record.request.req_id, record.machine, record.prefill_start,
-            record.token_times, record.preemptions)
+    return (
+        record.request.req_id,
+        record.machine,
+        record.prefill_start,
+        record.token_times,
+        record.preemptions,
+    )
 
 
 def _assert_reports_equal(fused, stepped):
@@ -221,6 +321,44 @@ class TestServingMacroEquivalence:
             reports[macro] = simulator.run(list(workload))
         _assert_reports_equal(reports[True], reports[False])
 
+    def test_heterogeneous_shared_queue_fused_equals_stepped(self):
+        """Work-stealing over a mixed hermes/dense/dejavu fleet: the
+        fused loop must agree with the stepped one even when machines
+        disagree wildly on step latency (spans of different machines
+        interleave at very different granularities)."""
+        workload = generate_workload(
+            WorkloadConfig(rate=2000.0, num_requests=30,
+                           prompt_lens=LengthDistribution(mean=24),
+                           output_lens=LengthDistribution(
+                               kind="uniform", mean=12, low=4, high=20)),
+            seed=13)
+        fleet = [MachineGroup(count=1, backend=b)
+                 for b in ("hermes", "dense", "dejavu")]
+        reports = {}
+        for macro in (True, False):
+            simulator = ServingSimulator(
+                "tiny-test",
+                "fcfs",
+                ServingConfig(max_batch=6, macro_step=macro),
+                trace=_trace(),
+                fleet=fleet,
+            )
+            reports[macro] = simulator.run(list(workload))
+        _assert_reports_equal(reports[True], reports[False])
+
+    def test_mixed_fleet_routed_cluster_fused_equals_stepped(self):
+        """The acceptance pin: the backend-shootout scenario's mixed
+        fleet — three backends behind the throughput-weighted router
+        with priority classes — is bit-identical stepped."""
+        scenario = load_scenario("scenarios/backend_shootout_tiny.json")
+        trace = scenario.build_trace()
+        fused = scenario.run(trace)
+        stepped_scenario = dataclasses.replace(
+            scenario,
+            config=dataclasses.replace(scenario.config, macro_step=False),
+        )
+        _assert_reports_equal(fused, stepped_scenario.run(trace))
+
     def test_routed_nonpreemptive_cluster_fused_equals_stepped(self):
         """Regression: load-sensitive routing must see the same load
         snapshot at every arrival.  A full machine with no preemptor
@@ -234,8 +372,8 @@ class TestServingMacroEquivalence:
         fused = scenario.run(trace)
         stepped_scenario = dataclasses.replace(
             scenario,
-            config=dataclasses.replace(scenario.config,
-                                       macro_step=False))
+            config=dataclasses.replace(scenario.config, macro_step=False),
+        )
         _assert_reports_equal(fused, stepped_scenario.run(trace))
 
     def test_cluster_preemption_fused_equals_stepped(self):
@@ -246,8 +384,8 @@ class TestServingMacroEquivalence:
         fused = scenario.run(trace)
         stepped_scenario = dataclasses.replace(
             scenario,
-            config=dataclasses.replace(scenario.config,
-                                       macro_step=False))
+            config=dataclasses.replace(scenario.config, macro_step=False),
+        )
         stepped = stepped_scenario.run(trace)
         assert fused.preemptions == stepped.preemptions
         assert fused.preemptions > 0  # the scenario must exercise it
@@ -270,10 +408,12 @@ class TestPolicySelect:
             PriorityClass(name="default"),
             PriorityClass(name="hi", priority=3, ttft_slo=0.1),
         ))
-        base_policies = [get_policy(n)
-                         for n in ("fcfs", "sjf", "hermes-union")]
+        base_policies = [
+            get_policy(n) for n in ("fcfs", "sjf", "hermes-union")
+        ]
         policies = base_policies + [
-            PriorityOrderedPolicy(base, slo) for base in base_policies]
+            PriorityOrderedPolicy(base, slo) for base in base_policies
+        ]
         for trial in range(20):
             n = int(rng.integers(1, 12))
             queue = [
@@ -284,15 +424,17 @@ class TestPolicySelect:
                 )[0]
                 for i in range(n)
             ]
-            queue = [dataclasses.replace(r, req_id=i)
-                     for i, r in enumerate(queue)]
+            queue = [
+                dataclasses.replace(r, req_id=i) for i, r in enumerate(queue)
+            ]
             for policy in policies:
                 head = policy.order(queue)[0]
                 assert queue[policy.select(queue)] is head
 
     def test_mean_union_matches_per_layer_loop(self):
-        executor = MachineExecutor(Machine(), get_model("tiny-test"),
-                                   trace=_trace())
+        executor = MachineExecutor(
+            Machine(), get_model("tiny-test"), trace=_trace()
+        )
         session = executor.session
         layers = range(get_model("tiny-test").num_layers)
         for batch in (1, 2, 5, 8):
@@ -304,15 +446,15 @@ class TestPolicySelect:
         trace = generate_trace(
             get_model("tiny-test"),
             TraceConfig(prompt_len=16, decode_len=24, granularity=8),
-            seed=23)
-        a = MachineExecutor(Machine(), get_model("tiny-test"),
-                            trace=trace)
-        b = MachineExecutor(Machine(), get_model("tiny-test"),
-                            trace=trace)
+            seed=23,
+        )
+        a = MachineExecutor(Machine(), get_model("tiny-test"), trace=trace)
+        b = MachineExecutor(Machine(), get_model("tiny-test"), trace=trace)
         pa, pb = a.session.partition, b.session.partition
         # distinct objects (window scheduling mutates them per run) with
         # identical solved contents
         assert pa is not pb
-        assert all(np.array_equal(x, y)
-                   for x, y in zip(pa.hot_masks, pb.hot_masks))
+        assert all(
+            np.array_equal(x, y) for x, y in zip(pa.hot_masks, pb.hot_masks)
+        )
         assert np.array_equal(pa.dimm_of_matrix, pb.dimm_of_matrix)

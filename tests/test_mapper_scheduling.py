@@ -133,10 +133,10 @@ class TestMapper:
         mapper = make_mapper(layout, budget_groups=30)
         for _ in range(5):
             layer = int(rng.integers(0, layout.model.num_layers))
-            states = rng.integers(
-                0, 16, layout.groups_per_layer).astype(np.int8)
-            mapper.adjust(layer, states,
-                          max_bytes=int(rng.integers(0, 2**20)))
+            states = rng.integers(0, 16, layout.groups_per_layer).astype(
+                np.int8
+            )
+            mapper.adjust(layer, states, max_bytes=int(rng.integers(0, 2**20)))
             mapper.check_invariants()
 
 
@@ -238,8 +238,9 @@ class TestWindowScheduler:
         """Algorithm 1 never increases any layer's max DIMM load."""
         rng = np.random.default_rng(seed)
         scheduler = self.make(layout, num_dimms=num_dimms)
-        self.observe_tokens(scheduler, layout, rng,
-                            density=float(rng.uniform(0.05, 0.6)))
+        self.observe_tokens(
+            scheduler, layout, rng, density=float(rng.uniform(0.05, 0.6))
+        )
         dimm_of = rng.integers(0, num_dimms, layout.groups_per_layer)
         before = scheduler.dimm_loads(1, dimm_of).max()
         scheduler.rebalance_layer(1, dimm_of)

@@ -20,8 +20,15 @@ from repro.models import (
 
 
 def spec(**overrides) -> ModelSpec:
-    base = dict(name="t", num_layers=2, hidden_size=64, ffn_size=256,
-                num_heads=4, num_kv_heads=4, vocab_size=100)
+    base = dict(
+        name="t",
+        num_layers=2,
+        hidden_size=64,
+        ffn_size=256,
+        num_heads=4,
+        num_kv_heads=4,
+        vocab_size=100,
+    )
     base.update(overrides)
     return ModelSpec(**base)
 
@@ -103,7 +110,8 @@ class TestWeightFootprints:
     def test_total_includes_embeddings(self):
         s = spec()
         assert s.total_weight_bytes == (
-            s.layer_bytes * s.num_layers + s.embedding_bytes)
+            s.layer_bytes * s.num_layers + s.embedding_bytes
+        )
 
     def test_opt66b_weight_scale(self):
         """OPT-66B is ~66B parameters, ~123 GiB in FP16."""
@@ -126,7 +134,8 @@ class TestKVCache:
     def test_kv_total(self):
         s = spec()
         assert s.kv_bytes_total(10) == (
-            10 * s.num_layers * s.kv_bytes_per_token_per_layer())
+            10 * s.num_layers * s.kv_bytes_per_token_per_layer()
+        )
 
     def test_gqa_shrinks_kv(self):
         mha = spec()
@@ -176,8 +185,15 @@ class TestRegistry:
             register_model(spec(name="OPT-13B"))
 
     def test_paper_models_present(self):
-        for name in ("OPT-13B", "OPT-30B", "OPT-66B", "LLaMA2-13B",
-                     "LLaMA2-70B", "Falcon-40B", "LLaMA-7B"):
+        for name in (
+            "OPT-13B",
+            "OPT-30B",
+            "OPT-66B",
+            "LLaMA2-13B",
+            "LLaMA2-70B",
+            "Falcon-40B",
+            "LLaMA-7B",
+        ):
             assert get_model(name).name == name
 
     def test_densities_in_paper_sparsity_range(self):

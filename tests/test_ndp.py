@@ -17,7 +17,8 @@ class TestGEMVUnit:
         unit = GEMVUnit()
         b = 2**20
         assert unit.compute_time(b, batch=4) == pytest.approx(
-            4 * unit.compute_time(b, batch=1))
+            4 * unit.compute_time(b, batch=1)
+        )
 
     def test_scaled_multipliers(self):
         unit = GEMVUnit().scaled(512)
@@ -54,7 +55,8 @@ class TestActivationUnit:
     def test_attention_softmax_scales_with_heads(self):
         unit = ActivationUnit()
         assert unit.attention_softmax_time(128, 8) == pytest.approx(
-            2 * unit.attention_softmax_time(128, 4))
+            2 * unit.attention_softmax_time(128, 4)
+        )
 
     def test_validation(self):
         with pytest.raises(ValueError):

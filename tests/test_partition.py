@@ -87,16 +87,17 @@ class TestGreedy:
 class TestRandom:
     def test_random_respects_budget(self, layout, frequencies):
         costs = costs_for(layout)
-        partition = solve_partition(frequencies, layout, costs,
-                                    strategy="random")
+        partition = solve_partition(
+            frequencies, layout, costs, strategy="random"
+        )
         assert partition.gpu_bytes(layout) <= costs.gpu_budget_bytes
 
-    def test_random_hot_set_is_colder_than_greedy(self, layout,
-                                                  frequencies):
+    def test_random_hot_set_is_colder_than_greedy(self, layout, frequencies):
         costs = costs_for(layout, gpu_fraction=0.2)
         greedy = solve_partition(frequencies, layout, costs)
-        random_p = solve_partition(frequencies, layout, costs,
-                                   strategy="random")
+        random_p = solve_partition(
+            frequencies, layout, costs, strategy="random"
+        )
 
         def hot_mass(partition):
             return sum(float(frequencies[l][m].sum())
@@ -106,10 +107,12 @@ class TestRandom:
 
     def test_seed_determinism(self, layout, frequencies):
         costs = costs_for(layout)
-        a = solve_partition(frequencies, layout, costs, strategy="random",
-                            seed=9)
-        b = solve_partition(frequencies, layout, costs, strategy="random",
-                            seed=9)
+        a = solve_partition(
+            frequencies, layout, costs, strategy="random", seed=9
+        )
+        b = solve_partition(
+            frequencies, layout, costs, strategy="random", seed=9
+        )
         for ma, mb in zip(a.hot_masks, b.hot_masks):
             assert np.array_equal(ma, mb)
 
@@ -117,8 +120,7 @@ class TestRandom:
 class TestLP:
     def test_lp_respects_budget(self, layout, frequencies):
         costs = costs_for(layout)
-        partition = solve_partition(frequencies, layout, costs,
-                                    strategy="ilp")
+        partition = solve_partition(frequencies, layout, costs, strategy="ilp")
         assert partition.gpu_bytes(layout) <= costs.gpu_budget_bytes
 
     def test_lp_objective_no_worse_than_greedy(self, layout, frequencies):
@@ -133,8 +135,11 @@ class TestLP:
                     * costs.gpu_seconds_per_byte + 2 * costs.sync_seconds
                 dimm_loads = np.zeros(costs.num_dimms)
                 cold = ~partition.hot_masks[l]
-                np.add.at(dimm_loads, partition.dimm_of[l][cold],
-                          load[cold] * costs.dimm_seconds_per_byte)
+                np.add.at(
+                    dimm_loads,
+                    partition.dimm_of[l][cold],
+                    load[cold] * costs.dimm_seconds_per_byte,
+                )
                 total += max(gpu, dimm_loads.max())
             return total
 
@@ -144,20 +149,21 @@ class TestLP:
 
     def test_unknown_strategy(self, layout, frequencies):
         with pytest.raises(ValueError):
-            solve_partition(frequencies, layout, costs_for(layout),
-                            strategy="magic")
+            solve_partition(
+                frequencies, layout, costs_for(layout), strategy="magic"
+            )
 
 
 class TestAssignDimms:
-    def test_balanced_beats_round_robin_on_expected_load(self, layout,
-                                                         frequencies):
+    def test_balanced_beats_round_robin_on_expected_load(
+        self, layout, frequencies
+    ):
         costs = costs_for(layout)
-        hot = [np.zeros(layout.groups_per_layer, dtype=bool)
-               for _ in frequencies]
-        balanced = assign_dimms(frequencies, hot, layout, costs,
-                                balanced=True)
-        naive = assign_dimms(frequencies, hot, layout, costs,
-                             balanced=False)
+        hot = [
+            np.zeros(layout.groups_per_layer, dtype=bool) for _ in frequencies
+        ]
+        balanced = assign_dimms(frequencies, hot, layout, costs, balanced=True)
+        naive = assign_dimms(frequencies, hot, layout, costs, balanced=False)
 
         def imbalance(assignment):
             worst = 0.0
@@ -176,8 +182,9 @@ class TestAssignDimms:
             gpu_seconds_per_byte=1e-12, dimm_seconds_per_byte=1e-11,
             sync_seconds=0.0, num_dimms=2, gpu_budget_bytes=0,
             dimm_capacity_bytes=total // 8)  # far too small
-        hot = [np.zeros(layout.groups_per_layer, dtype=bool)
-               for _ in frequencies]
+        hot = [
+            np.zeros(layout.groups_per_layer, dtype=bool) for _ in frequencies
+        ]
         with pytest.raises(ValueError, match="too small"):
             assign_dimms(frequencies, hot, layout, costs)
 

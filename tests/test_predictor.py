@@ -41,13 +41,15 @@ class TestConfig:
         with pytest.raises(ValueError):
             PredictorConfig(hot_threshold=16)
         with pytest.raises(ValueError):
-            PredictorConfig(use_token_prediction=False,
-                            use_layer_prediction=False)
+            PredictorConfig(
+                use_token_prediction=False, use_layer_prediction=False
+            )
 
 
 class TestStateMachine:
-    def test_initial_states_follow_prefill_frequency(self, predictor,
-                                                     tiny_trace):
+    def test_initial_states_follow_prefill_frequency(
+        self, predictor, tiny_trace
+    ):
         freq = tiny_trace.prefill_frequencies(0)
         states = predictor.states[0]
         # always-on neurons start saturated, never-on start at zero
@@ -114,16 +116,18 @@ class TestPrediction:
         assert predictor.predict(0, None).all()
 
     def test_token_only_mode(self, layout, tiny_trace):
-        p = ActivationPredictor(layout, PredictorConfig(
-            use_layer_prediction=False))
+        p = ActivationPredictor(
+            layout, PredictorConfig(use_layer_prediction=False)
+        )
         p.initialize(tiny_trace)
         assert p.correlation is None
         p.states[1][:] = STATE_MAX
         assert p.predict(1, np.ones(layout.groups_per_layer, bool)).all()
 
     def test_layer_only_mode_requires_both_parents(self, layout, tiny_trace):
-        p = ActivationPredictor(layout, PredictorConfig(
-            use_token_prediction=False))
+        p = ActivationPredictor(
+            layout, PredictorConfig(use_token_prediction=False)
+        )
         p.initialize(tiny_trace)
         prev = np.ones(layout.groups_per_layer, dtype=bool)
         assert p.predict(1, prev).all()
@@ -146,8 +150,10 @@ class TestAccuracy:
 
     def test_stats_counters(self):
         stats = PredictionStats()
-        stats.update(np.array([True, True, False, False]),
-                     np.array([True, False, True, False]))
+        stats.update(
+            np.array([True, True, False, False]),
+            np.array([True, False, True, False]),
+        )
         assert stats.true_positive == 1
         assert stats.false_positive == 1
         assert stats.false_negative == 1
@@ -171,8 +177,9 @@ class TestCorrelationTable:
         clearly beat the same predictor with shuffled parents."""
 
         def layer_only_accuracy(table: CorrelationTable) -> float:
-            p = ActivationPredictor(tiny_trace.layout, PredictorConfig(
-                use_token_prediction=False))
+            p = ActivationPredictor(
+                tiny_trace.layout, PredictorConfig(use_token_prediction=False)
+            )
             p.initialize(tiny_trace)
             p.correlation = table
             for t in tiny_trace.decode_tokens():

@@ -40,7 +40,8 @@ def _trace():
         _TRACE = generate_trace(
             get_model("tiny-test"),
             TraceConfig(prompt_len=32, decode_len=64, granularity=4),
-            seed=11)
+            seed=11,
+        )
     return _TRACE
 
 
@@ -62,14 +63,18 @@ def workload_cases(draw):
             high=draw(st.integers(min_value=8, max_value=24))),
         **kwargs)
     seed = draw(st.integers(min_value=0, max_value=2**16))
-    policy = draw(st.sampled_from(
-        ["fcfs", "fcfs-nobatch", "sjf", "hermes-union"]))
+    policy = draw(
+        st.sampled_from(["fcfs", "fcfs-nobatch", "sjf", "hermes-union"])
+    )
     max_batch = draw(st.sampled_from([1, 4, 8]))
     return config, seed, policy, max_batch
 
 
-@settings(max_examples=12, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 @given(workload_cases())
 def test_one_machine_cluster_is_exactly_the_serving_simulator(case):
     config, seed, policy, max_batch = case

@@ -6,9 +6,14 @@ from repro.core import BREAKDOWN_KEYS, RunResult
 
 
 def make(system="Hermes", batch=1, prefill=1.0, decode=2.0, n=10):
-    return RunResult(system=system, model="tiny-test", batch=batch,
-                     prefill_time=prefill, decode_time=decode,
-                     n_decode_tokens=n)
+    return RunResult(
+        system=system,
+        model="tiny-test",
+        batch=batch,
+        prefill_time=prefill,
+        decode_time=decode,
+        n_decode_tokens=n,
+    )
 
 
 class TestRunResult:
@@ -68,11 +73,23 @@ class TestRunResult:
         with pytest.raises(ValueError):
             make(decode=0.0)
         with pytest.raises(ValueError):
-            RunResult(system="s", model="m", batch=1, prefill_time=0.1,
-                      decode_time=1.0, n_decode_tokens=1,
-                      breakdown={"bogus": 1.0})
+            RunResult(
+                system="s",
+                model="m",
+                batch=1,
+                prefill_time=0.1,
+                decode_time=1.0,
+                n_decode_tokens=1,
+                breakdown={"bogus": 1.0},
+            )
 
     def test_breakdown_keys_cover_fig12(self):
-        for key in ("fc", "attention", "predictor", "prefill",
-                    "communication", "others"):
+        for key in (
+            "fc",
+            "attention",
+            "predictor",
+            "prefill",
+            "communication",
+            "others",
+        ):
             assert key in BREAKDOWN_KEYS

@@ -94,8 +94,9 @@ class TestParsing:
 
     def test_machine_overrides(self):
         data = copy.deepcopy(MINIMAL)
-        data["machine"] = {"gpu": "RTX 3090", "num_dimms": 4,
-                           "sync_latency": 1e-6}
+        data["machine"] = {
+            "gpu": "RTX 3090", "num_dimms": 4, "sync_latency": 1e-6
+        }
         machine = parse_scenario(data).machine
         assert machine.gpu.name == "RTX 3090"
         assert machine.num_dimms == 4
@@ -134,7 +135,8 @@ class TestLoading:
 
     def test_load_toml(self, tmp_path):
         pytest.importorskip(
-            "tomllib", reason="TOML scenarios need Python >= 3.11")
+            "tomllib", reason="TOML scenarios need Python >= 3.11"
+        )
         path = tmp_path / "spec.toml"
         path.write_text(
             'model = "tiny-test"\n'

@@ -47,15 +47,20 @@ class TestWorkload:
     def test_arrivals_sorted_and_ids_unique(self):
         workload = generate_workload(
             WorkloadConfig(arrival="bursty", rate=10.0, num_requests=64),
-            seed=2)
+            seed=2,
+        )
         arrivals = [r.arrival for r in workload]
         assert arrivals == sorted(arrivals)
         assert len({r.req_id for r in workload}) == len(workload)
 
     def test_bursty_preserves_mean_rate(self):
-        config = WorkloadConfig(arrival="bursty", rate=8.0,
-                                num_requests=4000, burst_factor=4.0,
-                                burst_fraction=0.2)
+        config = WorkloadConfig(
+            arrival="bursty",
+            rate=8.0,
+            num_requests=4000,
+            burst_factor=4.0,
+            burst_fraction=0.2,
+        )
         workload = generate_workload(config, seed=3)
         realised = len(workload) / workload[-1].arrival
         assert realised == pytest.approx(8.0, rel=0.25)
@@ -63,9 +68,13 @@ class TestWorkload:
     def test_bursty_is_burstier_than_poisson(self):
         """Squared coefficient of variation of inter-arrival gaps > 1."""
         import numpy as np
-        config = WorkloadConfig(arrival="bursty", rate=10.0,
-                                num_requests=4000, burst_factor=4.0,
-                                burst_fraction=0.2)
+        config = WorkloadConfig(
+            arrival="bursty",
+            rate=10.0,
+            num_requests=4000,
+            burst_factor=4.0,
+            burst_fraction=0.2,
+        )
         gaps = np.diff([r.arrival for r in generate_workload(config, seed=4)])
         cv2 = gaps.var() / gaps.mean() ** 2
         assert cv2 > 1.2
@@ -78,8 +87,9 @@ class TestWorkload:
         uniform = LengthDistribution(kind="uniform", low=10, high=20)
         draws = [uniform.sample(rng) for _ in range(200)]
         assert min(draws) >= 10 and max(draws) <= 20
-        heavy = LengthDistribution(kind="lognormal", mean=100, sigma=0.5,
-                                   low=1, high=4096)
+        heavy = LengthDistribution(
+            kind="lognormal", mean=100, sigma=0.5, low=1, high=4096
+        )
         draws = [heavy.sample(rng) for _ in range(4000)]
         assert sum(draws) / len(draws) == pytest.approx(100, rel=0.1)
 
@@ -137,14 +147,16 @@ class TestPercentile:
         # 0 until t=1, then 2 until t=3, then 4 until horizon 4
         samples = [(1.0, 2.0), (3.0, 4.0)]
         assert time_weighted_mean(samples, 4.0) == pytest.approx(
-            (0 * 1 + 2 * 2 + 4 * 1) / 4.0)
+            (0 * 1 + 2 * 2 + 4 * 1) / 4.0
+        )
 
 
 class TestRequestRecord:
     def test_latency_accessors(self):
         request = Request(req_id=0, arrival=1.0, prompt_len=8, output_len=3)
-        record = RequestRecord(request=request, prefill_start=1.5,
-                               token_times=[2.0, 2.25, 2.75])
+        record = RequestRecord(
+            request=request, prefill_start=1.5, token_times=[2.0, 2.25, 2.75]
+        )
         assert record.finished
         assert record.queue_wait == pytest.approx(0.5)
         assert record.ttft == pytest.approx(1.0)
@@ -237,7 +249,9 @@ class TestUnionCapEdgeCases:
 
     def test_zero_batch_limit_policy_is_clamped(self, tiny_trace):
         """Regression: a (buggy) policy returning batch_limit 0 used to
-        strand the queue forever; the simulator clamps it to 1."""
+        strand the queue forever; the simulator clamps it to 1 — and
+        surfaces the repair as a warning plus a report counter instead
+        of silently fixing the policy."""
         from repro.serving import BatchingPolicy
 
         class ZeroLimit(BatchingPolicy):
@@ -251,10 +265,47 @@ class TestUnionCapEdgeCases:
                            prompt_lens=LengthDistribution(mean=16),
                            output_lens=LengthDistribution(mean=4)),
             seed=6)
-        report = ServingSimulator("tiny-test", ZeroLimit(),
+        with pytest.warns(RuntimeWarning, match="clamped to 1"):
+            report = ServingSimulator("tiny-test", ZeroLimit(),
+                                      ServingConfig(max_batch=8),
+                                      trace=tiny_trace).run(workload)
+        assert len(report.completed) == 6
+        assert report.batch_limit_clamps == 1
+
+    def test_clamp_counted_once_per_machine(self, tiny_trace):
+        """The limit is constant per machine, so the count is exact —
+        one note per affected machine, not one per scheduling round."""
+        from repro.serving import BatchingPolicy
+
+        class NegativeLimit(BatchingPolicy):
+            name = "negative-limit"
+
+            def batch_limit(self, executor, max_batch):
+                return -3
+
+        workload = generate_workload(
+            WorkloadConfig(rate=500.0, num_requests=8,
+                           prompt_lens=LengthDistribution(mean=16),
+                           output_lens=LengthDistribution(mean=4)),
+            seed=6)
+        with pytest.warns(RuntimeWarning, match="negative-limit"):
+            report = ServingSimulator(
+                "tiny-test", NegativeLimit(),
+                ServingConfig(max_batch=8, num_machines=2),
+                trace=tiny_trace).run(workload)
+        assert len(report.completed) == 8
+        assert report.batch_limit_clamps == 2
+
+    def test_healthy_policies_never_clamp(self, tiny_trace):
+        workload = generate_workload(
+            WorkloadConfig(rate=500.0, num_requests=6,
+                           prompt_lens=LengthDistribution(mean=16),
+                           output_lens=LengthDistribution(mean=4)),
+            seed=6)
+        report = ServingSimulator("tiny-test", "fcfs",
                                   ServingConfig(max_batch=8),
                                   trace=tiny_trace).run(workload)
-        assert len(report.completed) == 6
+        assert report.batch_limit_clamps == 0
 
 
 class TestExecutor:
@@ -272,8 +323,9 @@ class TestExecutor:
         assert cost.gpu_busy > 0 and cost.dimm_busy >= 0
         assert executor.session.steps_done == before + 1
 
-    def test_session_wraps_past_trace_end(self, machine, tiny_model,
-                                          tiny_trace):
+    def test_session_wraps_past_trace_end(
+        self, machine, tiny_model, tiny_trace
+    ):
         executor = MachineExecutor(machine, tiny_model, trace=tiny_trace)
         for _ in range(tiny_trace.n_decode_tokens + 5):
             executor.decode_step(batch=1, context=33)
@@ -298,9 +350,11 @@ SATURATED = WorkloadConfig(
 
 def _simulate(tiny_trace, policy, **kwargs):
     simulator = ServingSimulator(
-        "tiny-test", policy,
+        "tiny-test",
+        policy,
         ServingConfig(**{"max_batch": 8, **kwargs}),
-        trace=tiny_trace)
+        trace=tiny_trace,
+    )
     return simulator.run(generate_workload(SATURATED, seed=3))
 
 
@@ -321,7 +375,8 @@ class TestServingSimulator:
             assert record.token_times == sorted(record.token_times)
 
     def test_continuous_batching_beats_no_batching_at_saturation(
-            self, tiny_trace):
+        self, tiny_trace
+    ):
         batched = _simulate(tiny_trace, "fcfs")
         serial = _simulate(tiny_trace, "fcfs-nobatch")
         assert batched.tokens_per_second > 2.0 * serial.tokens_per_second
@@ -360,9 +415,12 @@ class TestServingSimulator:
         in admission over the same shared queue; a stale policy-order
         snapshot held across a prefill yield used to double-admit.
         """
-        burst = WorkloadConfig(rate=1e5, num_requests=48,
-                               prompt_lens=LengthDistribution(mean=16),
-                               output_lens=LengthDistribution(mean=8))
+        burst = WorkloadConfig(
+            rate=1e5,
+            num_requests=48,
+            prompt_lens=LengthDistribution(mean=16),
+            output_lens=LengthDistribution(mean=8),
+        )
         workload = generate_workload(burst, seed=4)
         report = ServingSimulator(
             "tiny-test", "fcfs",
@@ -371,22 +429,27 @@ class TestServingSimulator:
         assert len(report.completed) == 48
         assert {r.machine for r in report.completed} == {0, 1, 2}
 
-    def test_tbt_tracks_engine_step_latency(self, tiny_trace, machine,
-                                            tiny_model):
+    def test_tbt_tracks_engine_step_latency(
+        self, tiny_trace, machine, tiny_model
+    ):
         """Median TBT should match the engine's per-step decode latency."""
         report = _simulate(tiny_trace, "fcfs")
         single = HermesSystem(machine, tiny_model).run(tiny_trace, batch=4)
         engine_step = single.decode_latency_per_token
-        assert report.tbt_percentile(50) == pytest.approx(engine_step,
-                                                          rel=0.75)
+        assert report.tbt_percentile(50) == pytest.approx(
+            engine_step, rel=0.75
+        )
 
     def test_underload_leaves_queue_empty(self, tiny_trace):
-        calm = WorkloadConfig(rate=5.0, num_requests=10,
-                              prompt_lens=LengthDistribution(mean=16),
-                              output_lens=LengthDistribution(mean=8))
-        simulator = ServingSimulator("tiny-test", "fcfs",
-                                     ServingConfig(max_batch=8),
-                                     trace=tiny_trace)
+        calm = WorkloadConfig(
+            rate=5.0,
+            num_requests=10,
+            prompt_lens=LengthDistribution(mean=16),
+            output_lens=LengthDistribution(mean=8),
+        )
+        simulator = ServingSimulator(
+            "tiny-test", "fcfs", ServingConfig(max_batch=8), trace=tiny_trace
+        )
         report = simulator.run(generate_workload(calm, seed=1))
         assert len(report.completed) == 10
         assert report.mean_queue_depth < 0.5

@@ -199,7 +199,8 @@ class TestPipeline:
         compute = [c for _, c in pairs]
         des = pipeline_makespan([[t, c] for t, c in pairs])
         assert overlap_two_stage(transfer, compute) == pytest.approx(
-            des, abs=1e-9)
+            des, abs=1e-9
+        )
 
     @given(st.lists(st.tuples(st.floats(0, 5), st.floats(0, 5)),
                     min_size=1, max_size=10))

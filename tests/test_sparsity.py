@@ -64,15 +64,18 @@ class TestPowerLawFrequencies:
         p = power_law_frequencies(100, 0.3)
         assert (p >= 1e-4).all() and (p <= 0.99).all()
 
-    @given(n=st.integers(10, 2000),
-           density=st.floats(0.05, 0.5),
-           share=st.floats(0.55, 0.95))
+    @given(
+        n=st.integers(10, 2000),
+        density=st.floats(0.05, 0.5),
+        share=st.floats(0.55, 0.95),
+    )
     @settings(max_examples=40, deadline=None)
     def test_property_mean_and_share(self, n, density, share):
         """For any feasible configuration: mean ~= density, share within
         the feasible envelope, probabilities in bounds."""
-        p = power_law_frequencies(n, density, hot_fraction=0.2,
-                                  hot_share=share, shuffle=False)
+        p = power_law_frequencies(
+            n, density, hot_fraction=0.2, hot_share=share, shuffle=False
+        )
         assert (p > 0).all() and (p <= 0.99).all()
         assert p.mean() == pytest.approx(density, rel=0.15)
         achieved = compute_share(p, 0.2)
@@ -164,14 +167,15 @@ class TestGenerateTrace:
         a = generate_trace(tiny_model, cfg, seed=3)
         b = generate_trace(tiny_model, cfg, seed=3)
         c = generate_trace(tiny_model, cfg, seed=4)
-        assert all(np.array_equal(x, y)
-                   for x, y in zip(a.layers, b.layers))
-        assert any(not np.array_equal(x, y)
-                   for x, y in zip(a.layers, c.layers))
+        assert all(np.array_equal(x, y) for x, y in zip(a.layers, b.layers))
+        assert any(
+            not np.array_equal(x, y) for x, y in zip(a.layers, c.layers)
+        )
 
     def test_density_close_to_target(self, tiny_trace, tiny_model):
         assert tiny_trace.density() == pytest.approx(
-            tiny_model.activation_density, rel=0.25)
+            tiny_model.activation_density, rel=0.25
+        )
 
     def test_parents_recorded_for_inner_layers(self, tiny_trace):
         assert tiny_trace.parents[0] is None
@@ -182,23 +186,40 @@ class TestGenerateTrace:
 
     def test_higher_kappa_means_higher_adjacent_similarity(self, tiny_model):
         def adjacent(kappa):
-            cfg = TraceConfig(prompt_len=8, decode_len=48, granularity=8,
-                              kappa=kappa, drift_rate=0.0, phase_shift=0.0)
+            cfg = TraceConfig(
+                prompt_len=8,
+                decode_len=48,
+                granularity=8,
+                kappa=kappa,
+                drift_rate=0.0,
+                phase_shift=0.0,
+            )
             trace = generate_trace(tiny_model, cfg, seed=5)
             return token_similarity_curve(trace, 1)[1]
         assert adjacent(0.98) > adjacent(0.5)
 
     def test_phase_shift_increases_churn(self, tiny_model):
         def churn(shift):
-            cfg = TraceConfig(prompt_len=24, decode_len=48, granularity=8,
-                              phase_shift=shift, drift_rate=0.0)
+            cfg = TraceConfig(
+                prompt_len=24,
+                decode_len=48,
+                granularity=8,
+                phase_shift=shift,
+                drift_rate=0.0,
+            )
             return hot_set_churn(generate_trace(tiny_model, cfg, seed=5))
         assert churn(0.5) > churn(0.0)
 
     def test_gamma_creates_layer_correlation(self, tiny_model):
         def corr(gamma):
-            cfg = TraceConfig(prompt_len=16, decode_len=48, granularity=8,
-                              gamma=gamma, drift_rate=0.0, phase_shift=0.0)
+            cfg = TraceConfig(
+                prompt_len=16,
+                decode_len=48,
+                granularity=8,
+                gamma=gamma,
+                drift_rate=0.0,
+                phase_shift=0.0,
+            )
             trace = generate_trace(tiny_model, cfg, seed=5)
             cond = layer_correlation(trace, 2)
             return float(np.nanmean(cond))
@@ -206,10 +227,20 @@ class TestGenerateTrace:
 
     def test_swaps_preserve_density(self, tiny_model):
         """Identity swaps must not change the activation mass."""
-        calm = TraceConfig(prompt_len=16, decode_len=64, granularity=8,
-                           drift_rate=0.0, phase_shift=0.0)
-        wild = TraceConfig(prompt_len=16, decode_len=64, granularity=8,
-                           drift_rate=0.02, phase_shift=0.8)
+        calm = TraceConfig(
+            prompt_len=16,
+            decode_len=64,
+            granularity=8,
+            drift_rate=0.0,
+            phase_shift=0.0,
+        )
+        wild = TraceConfig(
+            prompt_len=16,
+            decode_len=64,
+            granularity=8,
+            drift_rate=0.02,
+            phase_shift=0.8,
+        )
         d_calm = generate_trace(tiny_model, calm, seed=5).density()
         d_wild = generate_trace(tiny_model, wild, seed=5).density()
         assert d_wild == pytest.approx(d_calm, rel=0.1)
@@ -236,15 +267,21 @@ class TestTraceAccessors:
 
     def test_trace_validation(self, tiny_trace):
         with pytest.raises(ValueError):
-            ActivationTrace(layout=tiny_trace.layout,
-                            layers=tiny_trace.layers[:-1],
-                            parents=tiny_trace.parents,
-                            prompt_len=32, seed=0)
+            ActivationTrace(
+                layout=tiny_trace.layout,
+                layers=tiny_trace.layers[:-1],
+                parents=tiny_trace.parents,
+                prompt_len=32,
+                seed=0,
+            )
         with pytest.raises(ValueError):
-            ActivationTrace(layout=tiny_trace.layout,
-                            layers=tiny_trace.layers,
-                            parents=tiny_trace.parents,
-                            prompt_len=1000, seed=0)
+            ActivationTrace(
+                layout=tiny_trace.layout,
+                layers=tiny_trace.layers,
+                parents=tiny_trace.parents,
+                prompt_len=1000,
+                seed=0,
+            )
 
 
 class TestStats:

@@ -72,19 +72,31 @@ def load_baseline() -> dict | None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="short measurement windows (CI smoke)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short measurement windows (CI smoke)",
+    )
     parser.add_argument("--check", action="store_true",
                         help="fail if decode steps/sec regressed past "
                              "--tolerance vs the baseline")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite BENCH_decode.json with this run")
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional drop for --check "
-                             "(default 0.30)")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="also write this run's record to PATH "
-                             "(for CI artifacts)")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_decode.json with this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop for --check " "(default 0.30)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write this run's record to PATH " "(for CI artifacts)",
+    )
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
@@ -130,7 +142,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json_out:
         pathlib.Path(args.json_out).write_text(
-            json.dumps(current, indent=1) + "\n")
+            json.dumps(current, indent=1) + "\n"
+        )
         print(f"wrote {args.json_out}")
     if args.update and status == 0:
         if baseline is not None:

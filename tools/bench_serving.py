@@ -2,8 +2,9 @@
 
 Companion to ``tools/bench.py`` (decode fast path) for the serving
 layer: measures end-to-end runs/sec of the CI smoke scenario
-(``scenarios/mixed_slo_tiny.json``) and maintains ``BENCH_serving.json``
-at the repo root.  Modes:
+(``scenarios/mixed_slo_tiny.json``) *and* the mixed-fleet backend
+scenario (``scenarios/backend_shootout_tiny.json``), maintaining
+``BENCH_serving.json`` at the repo root.  Modes:
 
 * default — measure and print, compare informationally.
 * ``--check`` — exit non-zero when the *simulated* metrics (tokens/s,
@@ -39,7 +40,10 @@ sys.path.insert(0, str(ROOT))
 sys.path.insert(0, str(ROOT / "src"))
 
 from benchmarks.bench_decode import bench_calibration  # noqa: E402
-from benchmarks.bench_serving import bench_scenario  # noqa: E402
+from benchmarks.bench_serving import (  # noqa: E402
+    BENCH_MIXED_FLEET_SCENARIO,
+    bench_scenario,
+)
 
 BENCH_FILE = ROOT / "BENCH_serving.json"
 
@@ -57,6 +61,10 @@ def measure(quick: bool) -> dict:
         "quick": quick,
         "calibration_iters_per_sec": bench_calibration(),
         "scenario": bench_scenario(min_seconds=min_seconds),
+        # the heterogeneous hermes/dense/dejavu fleet behind the
+        # throughput-weighted router: pins the backend dispatch path
+        "mixed_fleet": bench_scenario(BENCH_MIXED_FLEET_SCENARIO,
+                                      min_seconds=min_seconds / 2),
     }
 
 
@@ -77,40 +85,55 @@ def _drifted(current: dict, baseline: dict, prefix: str = "") -> list[str]:
         else:
             ok = got == want
         if not ok:
-            problems.append(f"{label}: baseline {want!r} -> "
-                            f"current {got!r}")
+            problems.append(
+                f"{label}: baseline {want!r} -> " f"current {got!r}"
+            )
     return problems
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="short measurement window (CI smoke)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short measurement window (CI smoke)",
+    )
     parser.add_argument("--check", action="store_true",
                         help="fail if simulated serving metrics drift "
                              "from the committed baseline")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite BENCH_serving.json with this run")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="also write this run's record to PATH")
-    parser.add_argument("--tolerance", type=float, default=0.40,
-                        help="allowed fractional runs/sec drop for "
-                             "--check (default 0.40)")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_serving.json with this run",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write this run's record to PATH",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.40,
+        help="allowed fractional runs/sec drop for " "--check (default 0.40)",
+    )
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
-    scen = current["scenario"]
-    sim = scen["simulated"]
-    print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
-          f"runs/sec ({scen['runs']} runs in {scen['seconds']:.2f}s)")
-    fused = scen.get("fused_loop")
-    if fused:
-        print(f"fused loop: {fused['speedup']:.2f}x over the stepped "
-              f"reference ({fused['stepped_runs_per_sec']:.2f} runs/sec "
-              "with macro_step off)")
-    print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
-          f"{sim['preemptions']} preemptions, "
-          f"slo_joint {sim['slo_joint']}")
+    for key in ("scenario", "mixed_fleet"):
+        scen = current[key]
+        sim = scen["simulated"]
+        print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
+              f"runs/sec ({scen['runs']} runs in {scen['seconds']:.2f}s)")
+        fused = scen.get("fused_loop")
+        if fused:
+            print(f"fused loop: {fused['speedup']:.2f}x over the stepped "
+                  f"reference ({fused['stepped_runs_per_sec']:.2f} "
+                  "runs/sec with macro_step off)")
+        print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
+              f"{sim['preemptions']} preemptions, "
+              f"slo_joint {sim['slo_joint']}")
 
     baseline = None
     if BENCH_FILE.exists():
@@ -118,32 +141,43 @@ def main(argv: list[str] | None = None) -> int:
 
     status = 0
     if baseline is not None:
-        base_scen = baseline["scenario"]
-        ref = base_scen["runs_per_sec"]
         calib = baseline.get("calibration_iters_per_sec")
-        src = "BENCH_serving.json"
+        scale = 1.0
+        suffix = ""
         if calib:
             scale = current["calibration_iters_per_sec"] / calib
-            ref *= scale
-            src += f", calibrated x{scale:.2f}"
-        ratio = scen["runs_per_sec"] / ref
-        print(f"wall time vs baseline ({src}): {ratio:.2f}x")
-        if args.check and ratio < 1.0 - args.tolerance:
-            print("FAIL: fused-loop scenario runs/sec dropped "
-                  f"{(1.0 - ratio) * 100:.0f}% (> "
-                  f"{args.tolerance * 100:.0f}% allowed)",
-                  file=sys.stderr)
-            status = 1
-        problems = _drifted(sim, base_scen["simulated"])
-        if problems:
-            print("simulated-metric drift vs baseline:", file=sys.stderr)
-            for p in problems:
-                print(f"  {p}", file=sys.stderr)
-            if args.check:
-                print("FAIL: cluster serving behaviour drifted; if "
-                      "intentional, rerun with --update",
+            suffix = f", calibrated x{scale:.2f}"
+        for key in ("scenario", "mixed_fleet"):
+            base_scen = baseline.get(key)
+            if base_scen is None:
+                # pre-mixed-fleet baseline: nothing to gate yet — an
+                # --update run will start recording it
+                print(f"{key}: no committed baseline, skipping")
+                continue
+            scen = current[key]
+            ref = base_scen["runs_per_sec"] * scale
+            src = f"BENCH_serving.json {key}{suffix}"
+            ratio = scen["runs_per_sec"] / ref
+            print(f"wall time vs baseline ({src}): {ratio:.2f}x")
+            if args.check and ratio < 1.0 - args.tolerance:
+                print(f"FAIL: {key} fused-loop runs/sec dropped "
+                      f"{(1.0 - ratio) * 100:.0f}% (> "
+                      f"{args.tolerance * 100:.0f}% allowed)",
                       file=sys.stderr)
                 status = 1
+            problems = _drifted(scen["simulated"], base_scen["simulated"])
+            if problems:
+                print(
+                    f"simulated-metric drift vs baseline ({key}):",
+                    file=sys.stderr,
+                )
+                for p in problems:
+                    print(f"  {p}", file=sys.stderr)
+                if args.check:
+                    print("FAIL: cluster serving behaviour drifted; if "
+                          "intentional, rerun with --update",
+                          file=sys.stderr)
+                    status = 1
     elif args.check:
         print("FAIL: no baseline to check against "
               "(commit BENCH_serving.json)", file=sys.stderr)
@@ -151,7 +185,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json_out:
         pathlib.Path(args.json_out).write_text(
-            json.dumps(current, indent=1) + "\n")
+            json.dumps(current, indent=1) + "\n"
+        )
         print(f"wrote {args.json_out}")
     if args.update and status == 0:
         if baseline is not None:

@@ -1,21 +1,28 @@
 """Capture golden outputs of the Hermes engine on ``tiny-test``.
 
 Run once against a known-good engine to (re)generate
-``tests/data/golden_engine_tiny.json``; ``tests/test_golden_equivalence.py``
-then asserts that the current engine reproduces every recorded number
-exactly.  JSON float serialisation round-trips (repr-based), so equality
-checks are bit-for-bit.
+``tests/data/golden_engine_tiny.json`` and
+``tests/data/golden_baselines_tiny.json``;
+``tests/test_golden_equivalence.py`` then asserts that the current code
+reproduces every recorded number exactly.  JSON float serialisation
+round-trips (repr-based), so equality checks are bit-for-bit.
+
+The second file pins the *offline baseline systems* (FlexGen, Deja Vu,
+Accelerate, TensorRT-LLM): their ``run()`` byte accounting backs the
+paper's comparative figures (fig09/fig17) and the steppable serving
+backends, so refactors of their cost kernels are guarded the same way
+the Hermes engine is.
 
 ``--verify`` instead *recomputes* every golden and diffs it against the
-committed file without writing anything — the CI golden-drift gate.  It
+committed files without writing anything — the CI golden-drift gate.  It
 covers the same ground as the equivalence test but from a clean process
 with zero pytest machinery, so a drift report names exactly which
 recorded quantity moved.
 
 Usage::
 
-    PYTHONPATH=src python tools/capture_goldens.py [output.json]
-    PYTHONPATH=src python tools/capture_goldens.py --verify [golden.json]
+    PYTHONPATH=src python tools/capture_goldens.py [engine_output.json]
+    PYTHONPATH=src python tools/capture_goldens.py --verify
 """
 
 from __future__ import annotations
@@ -25,6 +32,12 @@ import json
 import pathlib
 import sys
 
+from repro.baselines import (
+    DejaVu,
+    FlexGen,
+    HuggingfaceAccelerate,
+    TensorRTLLM,
+)
 from repro.core import HermesConfig, HermesSystem
 from repro.hardware import Machine
 from repro.models import get_model
@@ -66,16 +79,17 @@ SERVING_SEED = 3
 def engine_goldens() -> dict:
     machine = Machine()
     model = get_model("tiny-test")
-    trace = generate_trace(model, TraceConfig(**TRACE_CONFIG),
-                           seed=TRACE_SEED)
+    trace = generate_trace(model, TraceConfig(**TRACE_CONFIG), seed=TRACE_SEED)
     runs = {}
     for name, config in CONFIGS.items():
         for batch in BATCHES:
             session = HermesSystem(machine, model, config).session(
-                trace, batch)
+                trace, batch
+            )
             session.prefill()
-            steps = [session.decode_step() for _ in
-                     range(trace.n_decode_tokens)]
+            steps = [
+                session.decode_step() for _ in range(trace.n_decode_tokens)
+            ]
             result = session.finish()
             runs[f"{name}/batch{batch}"] = {
                 "prefill_time": result.prefill_time,
@@ -108,8 +122,8 @@ def serving_goldens() -> dict:
             seed=SERVING_SEED)
         for policy in SERVING_POLICIES:
             simulator = ServingSimulator(
-                "tiny-test", policy, ServingConfig(max_batch=16),
-                trace=trace)
+                "tiny-test", policy, ServingConfig(max_batch=16), trace=trace
+            )
             report = simulator.run(workload)
             runs[f"rate{rate:g}/{policy}"] = {
                 "completed": len(report.completed),
@@ -121,6 +135,38 @@ def serving_goldens() -> dict:
                 "mean_batch": report.mean_batch_size,
                 "dimm_utilization": report.dimm_utilization,
                 "makespan": report.makespan,
+            }
+    return runs
+
+
+#: offline baseline systems pinned by the second golden file; TensorRT
+#: models its own 5x A100 cluster, the rest run on the default machine
+BASELINE_BATCHES = (1, 4)
+
+
+def _baseline_systems(machine: Machine, model) -> dict:
+    return {
+        "flexgen": FlexGen(machine, model),
+        "dejavu": DejaVu(machine, model),
+        "accelerate": HuggingfaceAccelerate(machine, model),
+        "tensorrt": TensorRTLLM(model),
+    }
+
+
+def baseline_goldens() -> dict:
+    machine = Machine()
+    model = get_model("tiny-test")
+    trace = generate_trace(model, TraceConfig(**TRACE_CONFIG), seed=TRACE_SEED)
+    runs = {}
+    for name, system in _baseline_systems(machine, model).items():
+        for batch in BASELINE_BATCHES:
+            result = system.run(trace, batch=batch)
+            runs[f"{name}/batch{batch}"] = {
+                "system": result.system,
+                "prefill_time": result.prefill_time,
+                "decode_time": result.decode_time,
+                "breakdown": dict(result.breakdown),
+                "metadata": dict(result.metadata),
             }
     return runs
 
@@ -151,8 +197,10 @@ def verify(path: pathlib.Path, goldens: dict) -> int:
         key for key in set(current) | set(recorded)
         if current.get(key) != recorded.get(key))
     if drifted:
-        print(f"FAIL: {len(drifted)} golden value(s) drifted from {path}:",
-              file=sys.stderr)
+        print(
+            f"FAIL: {len(drifted)} golden value(s) drifted from {path}:",
+            file=sys.stderr,
+        )
         for key in drifted[:20]:
             print(f"  {key}: recorded {recorded.get(key)!r} -> "
                   f"current {current.get(key)!r}", file=sys.stderr)
@@ -168,25 +216,41 @@ def verify(path: pathlib.Path, goldens: dict) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("path", nargs="?", default=None,
-                        help="golden file (default: "
-                             "tests/data/golden_engine_tiny.json)")
-    parser.add_argument("--verify", action="store_true",
-                        help="recompute goldens and fail on any drift "
-                             "instead of writing")
+                        help="engine golden file (default: "
+                             "tests/data/golden_engine_tiny.json); the "
+                             "baseline goldens land next to it")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute goldens and fail on any drift " "instead of writing",
+    )
     args = parser.parse_args(argv)
-    out = pathlib.Path(args.path) if args.path else (
-        pathlib.Path(__file__).resolve().parent.parent
-        / "tests" / "data" / "golden_engine_tiny.json")
-    goldens = {
-        "trace": {**TRACE_CONFIG, "seed": TRACE_SEED, "model": "tiny-test"},
-        "engine": engine_goldens(),
-        "serving": serving_goldens(),
+    data_dir = (
+        pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
+    )
+    out = (
+        pathlib.Path(args.path)
+        if args.path
+        else data_dir / "golden_engine_tiny.json"
+    )
+    trace_spec = {**TRACE_CONFIG, "seed": TRACE_SEED, "model": "tiny-test"}
+    files = {
+        out: {
+            "trace": trace_spec,
+            "engine": engine_goldens(),
+            "serving": serving_goldens(),
+        },
+        out.parent / "golden_baselines_tiny.json": {
+            "trace": trace_spec,
+            "baselines": baseline_goldens(),
+        },
     }
     if args.verify:
-        return verify(out, goldens)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
-    print(f"wrote {out}")
+        return max(verify(path, goldens) for path, goldens in files.items())
+    for path, goldens in files.items():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
