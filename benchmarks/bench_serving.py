@@ -110,3 +110,48 @@ def bench_scenario(
             "slo_joint": attainment,
         },
     }
+
+
+def bench_telemetry_overhead(
+    spec: str = BENCH_SCENARIO, *, min_seconds: float = 0.5
+) -> dict:
+    """Measure what *enabled* telemetry costs the serving loop.
+
+    Runs the scenario back-to-back untraced (the default
+    ``NullTracer`` path, which the runs/sec gate covers) and with a
+    :class:`~repro.telemetry.RecordingTracer` attached, reporting both
+    rates and the fractional slowdown.  Recorded informationally in
+    ``BENCH_serving.json`` under the top-level ``telemetry`` key — the
+    disabled path stays inside the existing gates; this records what
+    opting in costs.
+    """
+    from repro.telemetry import RecordingTracer
+
+    path = resolve_scenario(spec)
+    scenario = load_scenario(path)
+    trace = scenario.build_trace()
+    scenario.run(trace)  # warmup, untimed
+
+    def rate(tracer_factory):
+        runs = 0
+        events = 0
+        start = time.perf_counter()
+        while True:
+            tracer = tracer_factory()
+            scenario.run(trace, tracer=tracer)
+            runs += 1
+            if tracer is not None:
+                events = len(tracer.events)
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_seconds:
+                return runs / elapsed, events
+
+    untraced_rps, _ = rate(lambda: None)
+    recording_rps, events = rate(RecordingTracer)
+    return {
+        "scenario": scenario.name,
+        "events_per_run": events,
+        "untraced_runs_per_sec": untraced_rps,
+        "recording_runs_per_sec": recording_rps,
+        "recording_overhead_frac": 1.0 - recording_rps / untraced_rps,
+    }

@@ -5,7 +5,17 @@ under two policies, and prints the SLO metrics a production operator would
 watch.  Runs on the tiny test model so it finishes in seconds:
 
     PYTHONPATH=src python examples/serve_traffic.py
+
+Pass ``--trace-out FILE`` to record the ``hermes-union`` run's
+telemetry: ``.json`` writes a Chrome/Perfetto trace (open in
+chrome://tracing or ui.perfetto.dev), anything else a watchable metric
+stream —
+
+    PYTHONPATH=src python examples/serve_traffic.py --trace-out /tmp/run.jsonl
+    PYTHONPATH=src python -m repro.experiments watch /tmp/run.jsonl --once
 """
+
+import argparse
 
 from repro.serving import (
     LengthDistribution,
@@ -14,6 +24,13 @@ from repro.serving import (
     WorkloadConfig,
     generate_workload,
 )
+from repro.telemetry import TelemetrySpec, scenario_sinks
+
+parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+parser.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="write the hermes-union run's telemetry "
+                         "(.json = Chrome trace, else metric stream)")
+args = parser.parse_args()
 
 # bursty traffic hot enough to saturate the machine: 2000 req/s
 # mean with 4x spikes (tiny-test serves ~1000 req/s fully batched)
@@ -40,7 +57,17 @@ for policy in ("fcfs-nobatch", "fcfs", "hermes-union"):
         ServingConfig(max_batch=8),
         granularity=4,
     )
-    report = simulator.run(workload)
+    # trace the last (hermes-union) run when asked: the sink set turns
+    # the --trace-out path into a Chrome-trace or metric-stream tracer
+    sinks = None
+    if args.trace_out and policy == "hermes-union":
+        sinks = scenario_sinks(TelemetrySpec(), trace_out=args.trace_out,
+                               source="examples/serve_traffic.py")
+    report = simulator.run(workload, tracer=sinks.tracer if sinks else None)
+    if sinks:
+        for path in sinks.close():
+            print(f"\ntelemetry written: {path} (watch it with "
+                  f"`python -m repro.experiments watch {path} --once`)")
     print(f"\n--- policy: {policy} ---")
     print(f"  completed        {len(report.completed)}/{len(report.records)}")
     print(f"  throughput       {report.tokens_per_second:8.1f} tok/s "

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..serving import RequestRecord, ServingReport, percentile
+import math
+
+from ..serving import RequestRecord, ServingReport, percentile_or_nan
 from .slo import PriorityClass, SLOPolicy
 
 
@@ -48,23 +50,25 @@ class ClusterReport(ServingReport):
     def _class_completed(self, name: str) -> list[RequestRecord]:
         return [r for r in self.class_records(name) if r.finished]
 
+    # Per-class percentiles follow the base report's "no data is nan"
+    # convention: a class with no completed requests (or no recorded
+    # gaps) reports ``nan``, rendered as "—" in the experiment tables.
     def class_ttft_percentile(self, name: str, p: float) -> float:
         done = self._class_completed(name)
-        if not done:
-            raise ValueError(f"no completed requests in class {name!r}")
-        return percentile([r.ttft for r in done], p)
+        return percentile_or_nan([r.ttft for r in done], p)
 
     def class_tbt_percentile(self, name: str, p: float) -> float:
         gaps = [g for r in self._class_completed(name) for g in r.tbts]
-        if not gaps:
-            raise ValueError(f"no inter-token gaps in class {name!r}")
-        return percentile(gaps, p)
+        return percentile_or_nan(gaps, p)
 
     def class_e2e_percentile(self, name: str, p: float) -> float:
         done = self._class_completed(name)
-        if not done:
-            raise ValueError(f"no completed requests in class {name!r}")
-        return percentile([r.e2e_latency for r in done], p)
+        return percentile_or_nan([r.e2e_latency for r in done], p)
+
+    def class_queue_wait_percentile(self, name: str, p: float) -> float:
+        """Arrival -> prefill-start scheduling delay within one class."""
+        done = self._class_completed(name)
+        return percentile_or_nan([r.queue_wait for r in done], p)
 
     # ---- SLO attainment ----------------------------------------------
     def request_attains(self, record: RequestRecord) -> tuple[bool, bool]:
@@ -80,12 +84,12 @@ class ClusterReport(ServingReport):
     def slo_attainment(self, name: str) -> dict[str, float]:
         """Fractions of class ``name``'s completed requests meeting SLOs.
 
-        Keys: ``ttft``, ``tbt``, ``joint``.  Raises if the class has no
-        completed requests (nothing to attain over).
+        Keys: ``ttft``, ``tbt``, ``joint``.  A class with no completed
+        requests has nothing to attain over: every fraction is ``nan``.
         """
         done = self._class_completed(name)
         if not done:
-            raise ValueError(f"no completed requests in class {name!r}")
+            return {"ttft": math.nan, "tbt": math.nan, "joint": math.nan}
         flags = [self.request_attains(r) for r in done]
         n = len(flags)
         return {

@@ -30,6 +30,7 @@ from ..serving import (
     ServingSimulator,
 )
 from ..serving.simulator import Preemptor, _RunState
+from ..telemetry.events import ClassInfo, RunStarted
 from .report import ClusterReport
 from .routers import Router, get_router
 from .slo import DeadlinePreemptor, PriorityOrderedPolicy, SLOPolicy
@@ -103,6 +104,25 @@ class ClusterSimulator(ServingSimulator):
 
     def _admission_policy(self) -> BatchingPolicy:
         return PriorityOrderedPolicy(self.policy, self.slo)
+
+    def _run_started_event(self) -> RunStarted:
+        event = super()._run_started_event()
+        return dataclasses.replace(
+            event,
+            router=self._last_router_name,
+            classes=tuple(
+                ClassInfo(
+                    name=c.name,
+                    priority=c.priority,
+                    ttft_slo=c.ttft_slo,
+                    tbt_slo=c.tbt_slo,
+                )
+                for c in sorted(
+                    self.slo.classes, key=lambda c: (-c.priority, c.name)
+                )
+            ),
+            preemptive=self.slo.preemptive,
+        )
 
     def _preemptor(self) -> Preemptor | None:
         if not self.slo.preemptive:

@@ -90,11 +90,19 @@ class StepCost:
     ``dimm_busy`` are the per-device busy times inside it (they overlap, so
     they do not sum to ``seconds``).  The serving layer integrates these
     into utilization metrics.
+
+    ``swap_bytes`` and ``resident_bytes`` expose the online residency
+    control plane to telemetry: the hot/cold bytes pulled onto the GPU
+    during this step and the GPU-resident sparse-weight bytes at its
+    end.  Backends without an online residency control plane (dense,
+    dejavu) leave both at 0.
     """
 
     seconds: float
     gpu_busy: float
     dimm_busy: float
+    swap_bytes: int = 0
+    resident_bytes: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,6 +122,11 @@ class SpanCost:
     gpu_busy: np.ndarray
     dimm_busy: np.ndarray
     end_times: np.ndarray
+    #: per-step telemetry counters mirroring :class:`StepCost`'s
+    #: ``swap_bytes`` / ``resident_bytes``; ``None`` when the producing
+    #: backend has no online residency control plane
+    swap_bytes: np.ndarray | None = None
+    resident_bytes: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.seconds)
@@ -124,6 +137,14 @@ class SpanCost:
             seconds=float(self.seconds[i]),
             gpu_busy=float(self.gpu_busy[i]),
             dimm_busy=float(self.dimm_busy[i]),
+            swap_bytes=(
+                int(self.swap_bytes[i]) if self.swap_bytes is not None else 0
+            ),
+            resident_bytes=(
+                int(self.resident_bytes[i])
+                if self.resident_bytes is not None
+                else 0
+            ),
         )
 
 
@@ -613,9 +634,14 @@ class HermesSession:
                                "(open the session with wrap=True)")
         if context is None:
             context = self.trace.prompt_len + self.steps_done + 1
+        swap_before = self._swap_bytes_total
         seconds, gpu_busy, dimm_busy = self._single_step(batch, context)
         return StepCost(
-            seconds=seconds, gpu_busy=gpu_busy, dimm_busy=dimm_busy
+            seconds=seconds,
+            gpu_busy=gpu_busy,
+            dimm_busy=dimm_busy,
+            swap_bytes=self._swap_bytes_total - swap_before,
+            resident_bytes=self.mapper.resident_bytes,
         )
 
     def _single_step(
@@ -849,12 +875,19 @@ class HermesSession:
                 context = contexts[0]
             else:
                 context = trace.prompt_len + self.steps_done + 1
+            swap_before = self._swap_bytes_total
             seconds, gpu_busy, dimm_busy = self._single_step(batch, context)
             return SpanCost(
                 seconds=np.array([seconds]),
                 gpu_busy=np.array([gpu_busy]),
                 dimm_busy=np.array([dimm_busy]),
                 end_times=np.array([start_time + seconds]),
+                swap_bytes=np.array(
+                    [self._swap_bytes_total - swap_before], dtype=np.int64
+                ),
+                resident_bytes=np.array(
+                    [self.mapper.resident_bytes], dtype=np.int64
+                ),
             )
         system = self.system
         cfg = system.config
@@ -911,6 +944,8 @@ class HermesSession:
         gpu_busy_out: list[float] = []
         dimm_busy_out: list[float] = []
         end_times: list[float] = []
+        swap_out: list[int] = []
+        resident_out: list[int] = []
         running = start_time
         prompt_len = trace.prompt_len
         inline_times = until is not None
@@ -948,9 +983,12 @@ class HermesSession:
                 breakdown["projection"] = bd_proj
                 breakdown["others"] = bd_others
                 breakdown["predictor"] = bd_pred
+                swap_before = self._swap_bytes_total
                 token_time, gpu_busy, dimm_busy = self._single_step(
                     batch, context
                 )
+                swap_out.append(self._swap_bytes_total - swap_before)
+                resident_out.append(mapper.resident_bytes)
                 bd_fc = breakdown["fc"]
                 bd_attn = breakdown["attention"]
                 bd_proj = breakdown["projection"]
@@ -1019,6 +1057,7 @@ class HermesSession:
                 # loads fold into a few matrix ops with bit-identical
                 # results.  Shapes: (num_layers, groups) and
                 # (num_layers, dimms).
+                swap_before = self._swap_bytes_total
                 actuals = actuals_span[i]
                 predicted_all = pred_span[i]
                 resident_all = mapper.resident_matrix
@@ -1179,6 +1218,8 @@ class HermesSession:
 
                 self.steps_done += 1
                 n_done = i + 1
+                swap_out.append(self._swap_bytes_total - swap_before)
+                resident_out.append(mapper.resident_bytes)
                 if inline_times:
                     token_time += overflow
                     self.decode_time += token_time
@@ -1268,6 +1309,8 @@ class HermesSession:
             gpu_busy=np.asarray(gpu_busy_out),
             dimm_busy=np.asarray(dimm_busy_out),
             end_times=np.asarray(end_times),
+            swap_bytes=np.asarray(swap_out, dtype=np.int64),
+            resident_bytes=np.asarray(resident_out, dtype=np.int64),
         )
 
     # ------------------------------------------------------------------

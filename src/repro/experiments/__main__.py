@@ -4,6 +4,11 @@
 ``--list`` / ``--list-models`` print the experiment and model
 registries.  Unknown experiment ids exit non-zero with a
 closest-match suggestion.
+
+Telemetry: ``--trace-out FILE`` (with ``--scenario``) writes a live
+telemetry artifact — a ``.jsonl`` metric stream or a ``.json`` Chrome
+trace, by extension — and ``python -m repro.experiments watch FILE``
+tails a metric stream as a live dashboard (``--once`` for a snapshot).
 """
 
 from __future__ import annotations
@@ -70,6 +75,13 @@ def _unknown_id_message(names: list[str]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "watch":
+        # `watch` tails a telemetry stream file, not an experiment —
+        # it has its own argument surface (see repro.telemetry.watch)
+        from ..telemetry.watch import main as watch_main
+
+        return watch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures and statistics.",
@@ -98,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scenario", default=None, metavar="FILE",
                         help="declarative scenario spec (JSON/TOML) for "
                              "the scenario-driven experiments")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write run telemetry (with --scenario): "
+                             ".jsonl = watchable metric stream, "
+                             ".json = Chrome/Perfetto trace")
     args = parser.parse_args(argv)
     if args.list or args.list_models:
         if args.list:
@@ -129,6 +145,20 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 "--scenario only applies to: " + ", ".join(scenario_aware)
             )
+    if args.trace_out is not None:
+        if args.scenario is None:
+            parser.error("--trace-out needs --scenario (one traced run)")
+        takers = [n for n in names
+                  if "trace_out" in
+                  inspect.signature(ALL_EXPERIMENTS[n]).parameters]
+        if not takers:
+            trace_aware = sorted(
+                n for n in ALL_EXPERIMENTS
+                if "trace_out" in
+                inspect.signature(ALL_EXPERIMENTS[n]).parameters)
+            parser.error(
+                "--trace-out only applies to: " + ", ".join(trace_aware)
+            )
     for name in names:
         start = time.time()
         entry = ALL_EXPERIMENTS[name]
@@ -140,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["jobs"] = args.jobs
         if "scenario" in params and args.scenario is not None:
             kwargs["scenario"] = args.scenario
+        if "trace_out" in params and args.trace_out is not None:
+            kwargs["trace_out"] = args.trace_out
         result = entry(**kwargs)
         print(result.to_text())
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")

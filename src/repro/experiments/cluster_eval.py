@@ -29,6 +29,7 @@ import functools
 import pathlib
 
 from ..scenarios import Scenario, load_scenario, scenario_trace
+from ..telemetry import scenario_sinks
 from .common import ExperimentResult
 from .runner import run_grid
 
@@ -71,15 +72,28 @@ def _trace(model: str, granularity: int, seed: int):
     return scenario_trace(model, granularity, seed)
 
 
-def _scenario_rows(scenario: Scenario, router: str | None) -> list[list]:
-    """Run one (scenario, router) cell; one output row per class."""
+def _scenario_rows(
+    scenario: Scenario,
+    router: str | None,
+    trace_out: str | None = None,
+) -> tuple[list[list], list[str]]:
+    """Run one (scenario, router) cell; one output row per class.
+
+    Returns ``(rows, written)`` where ``written`` lists any telemetry
+    output paths produced (scenario ``telemetry:`` section and/or the
+    CLI ``--trace-out`` override).
+    """
     if router is not None:
         scenario = dataclasses.replace(
             scenario,
             config=dataclasses.replace(scenario.config, router=router),
         )
     trace = _trace(scenario.model, scenario.granularity, scenario.trace_seed)
-    report = scenario.run(trace)
+    sinks = scenario_sinks(
+        scenario.telemetry, trace_out=trace_out, source=scenario.name
+    )
+    report = scenario.run(trace, tracer=sinks.tracer)
+    written = sinks.close()
     rows = []
     for name in report.class_names:
         done = [r for r in report.class_records(name) if r.finished]
@@ -96,6 +110,8 @@ def _scenario_rows(scenario: Scenario, router: str | None) -> list[list]:
             report.class_ttft_percentile(name, 99) * 1e3,
             report.class_tbt_percentile(name, 50) * 1e3,
             report.class_tbt_percentile(name, 99) * 1e3,
+            report.class_queue_wait_percentile(name, 50) * 1e3,
+            report.class_queue_wait_percentile(name, 99) * 1e3,
             attainment["ttft"],
             attainment["tbt"],
             attainment["joint"],
@@ -104,13 +120,14 @@ def _scenario_rows(scenario: Scenario, router: str | None) -> list[list]:
             sum(report.machine_dimm_utilization)
             / max(1, report.num_machines),
         ])
-    return rows
+    return rows, written
 
 
 def _point(task: tuple[str, str | None]) -> list[list]:
     """One (scenario path, router override) cell of the sweep."""
     path, router = task
-    return _scenario_rows(load_scenario(path), router)
+    rows, _ = _scenario_rows(load_scenario(path), router)
+    return rows
 
 
 HEADERS = [
@@ -123,6 +140,8 @@ HEADERS = [
     "TTFT p99 (ms)",
     "TBT p50 (ms)",
     "TBT p99 (ms)",
+    "QW p50 (ms)",
+    "QW p99 (ms)",
     "SLO ttft",
     "SLO tbt",
     "SLO joint",
@@ -133,7 +152,8 @@ HEADERS = [
 
 NOTES = [
     "SLO columns are the fraction of the class's completed requests "
-    "meeting the deadline (joint = both TTFT and TBT)",
+    "meeting the deadline (joint = both TTFT and TBT); QW is the "
+    "arrival -> prefill-start queue wait",
     "fairness is Jain's index over per-tenant decode service rates; "
     "preempt counts low-priority evictions for deadline-threatened "
     "prefills",
@@ -144,12 +164,26 @@ def run(
     quick: bool = False,
     jobs: int | None = None,
     scenario: str | None = None,
+    trace_out: str | None = None,
 ) -> ExperimentResult:
+    notes = list(NOTES)
     if scenario is not None:
         path = resolve_scenario(scenario)
-        rows = _point((str(path), None))
+        rows, written = _scenario_rows(
+            load_scenario(path), None, trace_out=trace_out
+        )
+        if written:
+            notes.append(
+                "telemetry written: " + ", ".join(written)
+                + " (tail streams with `python -m repro.experiments "
+                "watch <file>`)"
+            )
         description = f"scenario {path.name} as specified"
     else:
+        if trace_out is not None:
+            raise ValueError(
+                "--trace-out needs a single run: pass --scenario too"
+            )
         names = TINY_SCENARIOS
         if not quick:
             names = names + FULL_EXTRA_SCENARIOS
@@ -167,5 +201,5 @@ def run(
         description=description,
         headers=HEADERS,
         rows=rows,
-        notes=NOTES,
+        notes=notes,
     )

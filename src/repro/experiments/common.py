@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 
 from ..hardware import Machine
 from ..models import ModelSpec, get_model
@@ -106,6 +107,8 @@ class ExperimentResult:
         def fmt(cell) -> str:
             if cell is None:
                 return "N.P."
+            if isinstance(cell, float) and math.isnan(cell):
+                return "—"  # no data (e.g. a class with no completions)
             if isinstance(cell, float):
                 return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.0f}"
             return str(cell)

@@ -43,6 +43,7 @@ from ..serving import (
     merge_workloads,
 )
 from ..sparsity import ActivationTrace, TraceConfig, generate_trace
+from ..telemetry import TelemetrySpec, Tracer
 
 
 def scenario_trace(model: str, granularity: int, seed: int) -> ActivationTrace:
@@ -109,6 +110,10 @@ class Scenario:
     #: heterogeneous fleet description; ``None`` means the homogeneous
     #: ``cluster.num_machines`` Hermes fleet
     fleet: tuple[MachineGroup, ...] | None = None
+    #: declarative telemetry request (the ``telemetry:`` table); the
+    #: default spec names no outputs, so runs stay untraced unless the
+    #: CLI adds ``--trace-out``
+    telemetry: TelemetrySpec = TelemetrySpec()
 
     def build_workload(self) -> list[Request]:
         """Merge every tenant's stream into one routed workload."""
@@ -133,8 +138,15 @@ class Scenario:
             fleet=self.fleet,
         )
 
-    def run(self, trace: ActivationTrace | None = None) -> ClusterReport:
-        return self.build_simulator(trace).run(self.build_workload())
+    def run(
+        self,
+        trace: ActivationTrace | None = None,
+        *,
+        tracer: Tracer | None = None,
+    ) -> ClusterReport:
+        return self.build_simulator(trace).run(
+            self.build_workload(), tracer=tracer
+        )
 
 
 # ----------------------------------------------------------------------
@@ -152,6 +164,7 @@ _TOP_KEYS = (
     "slo",
     "classes",
     "tenants",
+    "telemetry",
 )
 _TENANT_KEYS = (
     "name",
@@ -325,6 +338,20 @@ def _parse_classes(classes: dict | None, slo_table: dict | None) -> SLOPolicy:
     return SLOPolicy(classes=tuple(parsed), **slo_table)
 
 
+def _parse_telemetry(data: dict | None) -> TelemetrySpec:
+    data = dict(data or {})
+    _take(
+        data, ("sample_interval", "stream", "chrome_trace"), "telemetry"
+    )
+    kwargs: dict = {}
+    if "sample_interval" in data:
+        kwargs["sample_interval"] = float(data["sample_interval"])
+    for key in ("stream", "chrome_trace"):
+        if data.get(key) is not None:
+            kwargs[key] = str(data[key])
+    return TelemetrySpec(**kwargs)
+
+
 def _parse_tenant(
     data: dict, index: int, base_seed: int, slo: SLOPolicy
 ) -> TenantSpec:
@@ -399,6 +426,7 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
         slo=slo,
         tenants=tuple(tenants),
         fleet=fleet,
+        telemetry=_parse_telemetry(data.get("telemetry")),
     )
 
 

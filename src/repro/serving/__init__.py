@@ -24,6 +24,7 @@ from .metrics import (
     RequestRecord,
     ServingReport,
     percentile,
+    percentile_or_nan,
     time_weighted_mean,
 )
 from .policies import (
@@ -71,6 +72,7 @@ __all__ = [
     "make_backend",
     "sequential_span",
     "percentile",
+    "percentile_or_nan",
     "time_weighted_mean",
     "RequestRecord",
     "ServingReport",

@@ -142,6 +142,8 @@ def sequential_span(
     gpu_busy: list[float] = []
     dimm_busy: list[float] = []
     end_times: list[float] = []
+    swap_bytes: list[int] = []
+    resident_bytes: list[int] = []
     running = start_time
     for context in contexts:
         cost = backend.decode_step(batch, context)
@@ -150,6 +152,8 @@ def sequential_span(
         gpu_busy.append(cost.gpu_busy)
         dimm_busy.append(cost.dimm_busy)
         end_times.append(running)
+        swap_bytes.append(cost.swap_bytes)
+        resident_bytes.append(cost.resident_bytes)
         if until is not None and running >= until:
             break
     return SpanCost(
@@ -157,6 +161,8 @@ def sequential_span(
         gpu_busy=np.array(gpu_busy),
         dimm_busy=np.array(dimm_busy),
         end_times=np.array(end_times),
+        swap_bytes=np.array(swap_bytes, dtype=np.int64),
+        resident_bytes=np.array(resident_bytes, dtype=np.int64),
     )
 
 

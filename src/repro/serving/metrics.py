@@ -17,6 +17,7 @@ a tiny local function so the arithmetic is hand-checkable in tests.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from .workload import Request
 
@@ -38,6 +39,21 @@ def percentile(values: list[float], p: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def percentile_or_nan(values: list[float], p: float) -> float:
+    """:func:`percentile`, but an empty sample set yields ``nan``.
+
+    Report aggregates use this so that a run (or a class) with no
+    completed requests reads as "no data" (``nan``, rendered as "—")
+    instead of crashing the report path.  ``p`` is still validated —
+    asking for p150 is a caller bug even over no data.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must lie in [0, 100]")
+    if not values:
+        return math.nan
+    return percentile(values, p)
 
 
 def time_weighted_mean(
@@ -75,11 +91,13 @@ class RequestRecord:
 
     @property
     def first_token_time(self) -> float:
-        return self.token_times[0]
+        """Time of the first decode token (``nan`` if none produced)."""
+        return self.token_times[0] if self.token_times else math.nan
 
     @property
     def finish_time(self) -> float:
-        return self.token_times[-1]
+        """Time of the last decode token (``nan`` if none produced)."""
+        return self.token_times[-1] if self.token_times else math.nan
 
     @property
     def queue_wait(self) -> float:
@@ -152,26 +170,25 @@ class ServingReport:
         return len(self.completed) / self.makespan
 
     # ------------------------------------------------------------------
+    # Latency percentiles aggregate over *completed* requests; with none
+    # completed (e.g. an aborted or empty run) they report ``nan`` —
+    # "no data", not an exception — so report/rendering paths never
+    # crash on a degenerate run.
     def _values(self, attr: str) -> list[float]:
-        done = self.completed
-        if not done:
-            raise ValueError("no completed requests to aggregate")
-        return [getattr(r, attr) for r in done]
+        return [getattr(r, attr) for r in self.completed]
 
     def ttft_percentile(self, p: float) -> float:
-        return percentile(self._values("ttft"), p)
+        return percentile_or_nan(self._values("ttft"), p)
 
     def e2e_percentile(self, p: float) -> float:
-        return percentile(self._values("e2e_latency"), p)
+        return percentile_or_nan(self._values("e2e_latency"), p)
 
     def queue_wait_percentile(self, p: float) -> float:
-        return percentile(self._values("queue_wait"), p)
+        return percentile_or_nan(self._values("queue_wait"), p)
 
     def tbt_percentile(self, p: float) -> float:
         gaps = [g for r in self.completed for g in r.tbts]
-        if not gaps:
-            raise ValueError("no inter-token gaps recorded")
-        return percentile(gaps, p)
+        return percentile_or_nan(gaps, p)
 
     # ------------------------------------------------------------------
     @property

@@ -61,6 +61,20 @@ from ..hardware import Machine
 from ..models import ModelSpec, get_model
 from ..sim import Acquire, Release, Resource, Simulator, Timeout, WaitUntil
 from ..sparsity import ActivationTrace
+from ..telemetry.events import (
+    DecodeStep,
+    PrefillEnded,
+    PrefillStarted,
+    QueueDepth,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestPreempted,
+    RequestResumed,
+    RequestRouted,
+    RunEnded,
+    RunStarted,
+)
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from .backends import MachineGroup, ServingBackend, make_backend
 from .executor import MachineExecutor, default_serving_trace
 from .metrics import RequestRecord, ServingReport
@@ -161,6 +175,8 @@ class _RunState:
         self.next_arrival_idx = 0
         self.queues: list[list[Request]] = [[] for _ in range(num_queues)]
         self.assign = assign
+        #: telemetry sink; every emission site guards on ``.enabled``
+        self.tracer: Tracer = NULL_TRACER
         self.total_active = 0
         self.active_counts = [0] * num_machines
         self.queue_samples: list[tuple[float, float]] = []
@@ -216,6 +232,7 @@ class _RunState:
         Returns whether anything arrived (admission order may change).
         """
         moved = False
+        tracer = self.tracer
         while (self.next_arrival_idx < len(self.workload)
                and self.workload[self.next_arrival_idx].arrival <= now):
             request = self.workload[self.next_arrival_idx]
@@ -223,8 +240,22 @@ class _RunState:
             self.queues[target].append(request)
             self.next_arrival_idx += 1
             moved = True
+            if tracer.enabled:
+                tracer.emit(RequestAdmitted(
+                    time=now,
+                    req_id=request.req_id,
+                    tenant=request.tenant,
+                    class_name=request.class_name,
+                    arrival=request.arrival,
+                    prompt_len=request.prompt_len,
+                    output_len=request.output_len,
+                ))
+                if self.assign is not None:
+                    tracer.emit(RequestRouted(
+                        time=now, req_id=request.req_id, machine=target
+                    ))
         if moved:
-            self.queue_samples.append((now, float(self.queued_total())))
+            self.note_queue(now)
         return moved
 
     def requeue(self, m: int, request: Request, now: float) -> None:
@@ -238,7 +269,10 @@ class _RunState:
         return self.workload[self.next_arrival_idx].arrival
 
     def note_queue(self, now: float) -> None:
-        self.queue_samples.append((now, float(self.queued_total())))
+        depth = self.queued_total()
+        self.queue_samples.append((now, float(depth)))
+        if self.tracer.enabled:
+            self.tracer.emit(QueueDepth(time=now, depth=depth))
 
     def note_batch(self, now: float) -> None:
         self.batch_samples.append((now, float(self.total_active)))
@@ -362,6 +396,16 @@ class ServingSimulator:
         """Preemptive-admission hook; the base simulator has none."""
         return None
 
+    def _run_started_event(self) -> RunStarted:
+        """The run-configuration event an enabled tracer sees first."""
+        return RunStarted(
+            time=0.0,
+            model=self.model.name,
+            policy=self.policy.name,
+            num_machines=self.config.num_machines,
+            backends=tuple(self.machine_backends),
+        )
+
     def _make_report(self, state: _RunState, makespan: float) -> ServingReport:
         return ServingReport(
             policy=self.policy.name,
@@ -376,12 +420,28 @@ class ServingSimulator:
         )
 
     # ------------------------------------------------------------------
-    def run(self, workload: list[Request]) -> ServingReport:
-        """Serve ``workload`` to completion; returns the metrics report."""
+    def run(
+        self,
+        workload: list[Request],
+        *,
+        tracer: Tracer | None = None,
+    ) -> ServingReport:
+        """Serve ``workload`` to completion; returns the metrics report.
+
+        ``tracer`` receives the run's lifecycle event stream (see
+        :mod:`repro.telemetry`); the default :data:`NULL_TRACER` makes
+        every emission site a single attribute check.  Tracing never
+        perturbs the simulation: the report (and the stream itself) is
+        identical for any tracer, and identical between the macro-step
+        and per-token loops.
+        """
         if not workload:
             raise ValueError("workload must be non-empty")
         sim = Simulator()
         state = self._build_state(workload)
+        state.tracer = tracer if tracer is not None else NULL_TRACER
+        if state.tracer.enabled:
+            state.tracer.emit(self._run_started_event())
         for m, executor in enumerate(self.executors):
             resource = Resource(f"machine-{m}")
             sim.process(
@@ -389,6 +449,8 @@ class ServingSimulator:
                 name=f"machine-{m}",
             )
         makespan = sim.run()
+        if state.tracer.enabled:
+            state.tracer.emit(RunEnded(time=makespan, makespan=makespan))
         return self._make_report(state, makespan)
 
     # ------------------------------------------------------------------
@@ -401,6 +463,8 @@ class ServingSimulator:
         macro = cfg.macro_step
         trigger_fn = (getattr(preemptor, "next_trigger", None)
                       if preemptor is not None else None)
+        tracer = state.tracer
+        tracing = tracer.enabled
         active: list[ActiveEntry] = []
         while True:
             state.ingest(sim.now)
@@ -424,6 +488,12 @@ class ServingSimulator:
                     state.total_active -= 1
                     state.active_counts[m] -= 1
                     state.note_batch(sim.now)
+                    if tracing:
+                        tracer.emit(RequestPreempted(
+                            time=sim.now,
+                            req_id=victim.request.req_id,
+                            machine=m,
+                        ))
                     state.requeue(m, victim.request, sim.now)
 
             # ---- admission: fill the batch in policy order ----
@@ -437,6 +507,10 @@ class ServingSimulator:
                 record.machine = m
                 if record.prefill_start is None:
                     record.prefill_start = sim.now
+                    if tracing:
+                        tracer.emit(PrefillStarted(
+                            time=sim.now, req_id=request.req_id, machine=m
+                        ))
                     yield Acquire(resource)
                     compute, transfer = executor.prefill_cost(
                         request.prompt_len
@@ -447,8 +521,21 @@ class ServingSimulator:
                     # is PCIe time (kept out of utilization, like decode's
                     # syncs)
                     state.machine_gpu_busy[m] += compute
-                # else: a preempted request re-joins — its KV state is
-                # already resident, so re-admission is free
+                    if tracing:
+                        tracer.emit(PrefillEnded(
+                            time=sim.now,
+                            req_id=request.req_id,
+                            machine=m,
+                            compute=compute,
+                            transfer=transfer,
+                        ))
+                else:
+                    # a preempted request re-joins — its KV state is
+                    # already resident, so re-admission is free
+                    if tracing:
+                        tracer.emit(RequestResumed(
+                            time=sim.now, req_id=request.req_id, machine=m
+                        ))
                 active.append(ActiveEntry(request, record,
                                           admitted_at=sim.now))
                 state.total_active += 1
@@ -472,6 +559,20 @@ class ServingSimulator:
                 state.machine_gpu_busy[m] += cost.gpu_busy
                 state.machine_dimm_busy[m] += cost.dimm_busy
                 now = sim.now
+                if tracing:
+                    tracer.emit(DecodeStep(
+                        time=now,
+                        machine=m,
+                        batch=batch,
+                        seconds=cost.seconds,
+                        gpu_busy=cost.gpu_busy,
+                        dimm_busy=cost.dimm_busy,
+                        swap_bytes=cost.swap_bytes,
+                        resident_bytes=cost.resident_bytes,
+                        req_ids=tuple(
+                            a.request.req_id for a in active
+                        ),
+                    ))
                 for entry in active:
                     entry.record.token_times.append(now)
                 finished = [a for a in active if a.record.finished]
@@ -480,6 +581,14 @@ class ServingSimulator:
                     state.total_active -= len(finished)
                     state.active_counts[m] -= len(finished)
                     state.note_batch(now)
+                    if tracing:
+                        for entry in finished:
+                            tracer.emit(RequestCompleted(
+                                time=now,
+                                req_id=entry.request.req_id,
+                                machine=m,
+                                tokens=len(entry.record.token_times),
+                            ))
                 continue
 
             if active:
@@ -543,10 +652,32 @@ class ServingSimulator:
                 # machine's wake-up earlier than the stepped loop would
                 # have, flipping tie-breaks.  WaitUntil (not Timeout)
                 # lands each wake-up on the bit-exact boundary.
-                for boundary in times:
+                # Telemetry replays one DecodeStep per boundary from the
+                # span's per-step cost arrays — bit-equal to the stepped
+                # loop's emissions by the span contract, and emitted at
+                # the same point of the wake-up (between this boundary's
+                # Release and the next Acquire).  Intermediate span
+                # boundaries provably admit/ingest/preempt nothing, so
+                # the full event stream matches the stepped loop's.
+                req_ids = (tuple(a.request.req_id for a in active)
+                           if tracing else ())
+                for i, boundary in enumerate(times):
                     yield Acquire(resource)
                     yield WaitUntil(boundary)
                     yield Release(resource)
+                    if tracing:
+                        cost = span.step(i)
+                        tracer.emit(DecodeStep(
+                            time=boundary,
+                            machine=m,
+                            batch=batch,
+                            seconds=cost.seconds,
+                            gpu_busy=cost.gpu_busy,
+                            dimm_busy=cost.dimm_busy,
+                            swap_bytes=cost.swap_bytes,
+                            resident_bytes=cost.resident_bytes,
+                            req_ids=req_ids,
+                        ))
                 gpu_busy = state.machine_gpu_busy
                 dimm_busy = state.machine_dimm_busy
                 for g, d in zip(
@@ -563,6 +694,14 @@ class ServingSimulator:
                     state.total_active -= len(finished)
                     state.active_counts[m] -= len(finished)
                     state.note_batch(now)
+                    if tracing:
+                        for entry in finished:
+                            tracer.emit(RequestCompleted(
+                                time=now,
+                                req_id=entry.request.req_id,
+                                machine=m,
+                                tokens=len(entry.record.token_times),
+                            ))
                 continue
 
             # ---- idle: sleep until the next arrival, or exit ----

@@ -1,0 +1,38 @@
+"""Declarative telemetry configuration (the scenario ``telemetry:`` key).
+
+Example scenario fragment::
+
+    "telemetry": {
+        "sample_interval": 0.005,
+        "stream": "out/run.jsonl",
+        "chrome_trace": "out/run.trace.json"
+    }
+
+``stream`` and ``chrome_trace`` are output paths (created on demand);
+either may be omitted.  A CLI ``--trace-out`` argument overrides/extends
+these at run time — see :func:`repro.telemetry.sinks.scenario_sinks`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySpec:
+    """Scenario-level telemetry request."""
+
+    #: simulated seconds between metric-stream samples
+    sample_interval: float = 0.01
+    #: JSONL metric-stream output path (``None`` = no stream sink)
+    stream: str | None = None
+    #: Chrome/Perfetto trace-event JSON output path
+    chrome_trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError("telemetry sample_interval must be positive")
+
+    @property
+    def wants_output(self) -> bool:
+        return self.stream is not None or self.chrome_trace is not None

@@ -1,0 +1,185 @@
+"""Typed lifecycle events of one serving-simulation run.
+
+The event stream is the single source every telemetry sink consumes:
+request lifecycle transitions (admitted -> routed -> prefill -> decode
+boundaries -> completion, with preemption round trips), machine busy
+intervals (carried on the prefill/decode events), queue-depth change
+points, and the engine's per-step swap/residency counters.
+
+Every event is a frozen dataclass with value equality, which is what the
+fused-vs-stepped equivalence tests compare: the macro-stepped serving
+loop must emit *exactly* this stream — same events, same order,
+timestamps bit-equal — as the per-token reference loop.
+
+Events carry simulation timestamps in seconds.  ``DecodeStep.time`` is
+the *end* boundary of the iteration (the instant every resident request
+gains its token); the slice it occupies on a trace viewer therefore
+starts at ``time - seconds``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassInfo:
+    """A declared priority class, as carried by :class:`RunStarted`.
+
+    Mirrors :class:`repro.cluster.slo.PriorityClass` without importing
+    the cluster layer — sinks reading a stream must not need the
+    scenario that produced it.
+    """
+
+    name: str
+    priority: int = 0
+    ttft_slo: float | None = None
+    tbt_slo: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStarted:
+    """First event of every traced run: the run's static configuration."""
+
+    time: float
+    model: str
+    policy: str
+    num_machines: int
+    #: per-machine backend names (index = machine id)
+    backends: tuple[str, ...]
+    #: router name for routed (cluster) runs; ``None`` = shared queue
+    router: str | None = None
+    #: declared priority classes, highest priority first
+    classes: tuple[ClassInfo, ...] = ()
+    preemptive: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestAdmitted:
+    """A request entered the serving system (moved arrival -> queue)."""
+
+    time: float
+    req_id: int
+    tenant: str
+    class_name: str
+    arrival: float
+    prompt_len: int
+    output_len: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestRouted:
+    """The front door assigned an admitted request to a machine queue."""
+
+    time: float
+    req_id: int
+    machine: int
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueDepth:
+    """Total queued requests changed (a change-point sample)."""
+
+    time: float
+    depth: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefillStarted:
+    """A machine started charging a request's prefill."""
+
+    time: float
+    req_id: int
+    machine: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefillEnded:
+    """Prefill finished; the request joins the running batch.
+
+    ``compute`` is the GPU-busy part, ``transfer`` the PCIe KV push —
+    together they are the machine's busy interval ``[time - compute -
+    transfer, time]``.
+    """
+
+    time: float
+    req_id: int
+    machine: int
+    compute: float
+    transfer: float
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestResumed:
+    """A preempted request re-joined a batch (free re-admission)."""
+
+    time: float
+    req_id: int
+    machine: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodeStep:
+    """One continuous-batching decode iteration ended on a machine.
+
+    Emitted once per token boundary in *both* serving loops — the
+    macro-stepped path reconstructs these from its fused span's per-step
+    cost arrays, which are bit-equal to the stepped loop's by the
+    engine's span contract.
+    """
+
+    time: float
+    machine: int
+    batch: int
+    seconds: float
+    gpu_busy: float
+    dimm_busy: float
+    #: engine hot/cold bytes swapped onto the GPU during this step
+    swap_bytes: int
+    #: GPU-resident sparse-weight bytes at the end of this step
+    resident_bytes: int
+    #: requests that gained a token at this boundary (batch order)
+    req_ids: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestPreempted:
+    """A resident request was evicted for a deadline-threatened prefill."""
+
+    time: float
+    req_id: int
+    machine: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestCompleted:
+    """A request produced its last token and left the system."""
+
+    time: float
+    req_id: int
+    machine: int
+    tokens: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RunEnded:
+    """Last event of every traced run."""
+
+    time: float
+    makespan: float
+
+
+Event = typing.Union[
+    RunStarted,
+    RequestAdmitted,
+    RequestRouted,
+    QueueDepth,
+    PrefillStarted,
+    PrefillEnded,
+    RequestResumed,
+    DecodeStep,
+    RequestPreempted,
+    RequestCompleted,
+    RunEnded,
+]

@@ -1,0 +1,101 @@
+"""Build concrete tracer sinks from a scenario's telemetry request.
+
+:func:`scenario_sinks` resolves a :class:`~repro.telemetry.config.
+TelemetrySpec` plus an optional CLI ``--trace-out`` path into one
+:class:`SinkSet`: a single tracer to hand to ``run(workload,
+tracer=...)`` and a ``close()`` that finalises files and reports what
+was written.  ``--trace-out`` routes by extension — ``.json`` exports a
+Chrome trace, anything else (conventionally ``.jsonl``) writes the
+self-describing metric stream.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .chrome import export_chrome_trace
+from .config import TelemetrySpec
+from .stream import MetricStreamTracer
+from .tracer import MultiTracer, RecordingTracer, Tracer
+
+
+class SinkSet:
+    """A bundle of live telemetry sinks behind one tracer."""
+
+    def __init__(self, spec: TelemetrySpec) -> None:
+        self._spec = spec
+        self._streams: list[tuple[str, object]] = []
+        self._chrome: list[tuple[str, RecordingTracer]] = []
+        self._tracers: list[Tracer] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._tracers)
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The tracer to pass to ``run()`` (``None`` when no sinks)."""
+        if not self._tracers:
+            return None
+        if len(self._tracers) == 1:
+            return self._tracers[0]
+        return MultiTracer(*self._tracers)
+
+    # ------------------------------------------------------------------
+    def add_stream(self, path: str, *, source: str = "") -> None:
+        _ensure_parent(path)
+        fh = open(path, "w")
+        self._streams.append((path, fh))
+        self._tracers.append(
+            MetricStreamTracer(
+                fh,
+                sample_interval=self._spec.sample_interval,
+                source=source,
+            )
+        )
+
+    def add_chrome(self, path: str) -> None:
+        _ensure_parent(path)
+        recorder = RecordingTracer()
+        self._chrome.append((path, recorder))
+        self._tracers.append(recorder)
+
+    def close(self) -> list[str]:
+        """Finalise every sink; returns the paths written."""
+        written: list[str] = []
+        for path, fh in self._streams:
+            fh.close()
+            written.append(path)
+        for path, recorder in self._chrome:
+            export_chrome_trace(recorder.events, path)
+            written.append(path)
+        self._streams = []
+        self._chrome = []
+        return written
+
+
+def scenario_sinks(
+    spec: TelemetrySpec | None,
+    *,
+    trace_out: str | None = None,
+    source: str = "",
+) -> SinkSet:
+    """Resolve scenario telemetry + CLI override into live sinks."""
+    spec = spec if spec is not None else TelemetrySpec()
+    sinks = SinkSet(spec)
+    if spec.stream:
+        sinks.add_stream(spec.stream, source=source)
+    if spec.chrome_trace:
+        sinks.add_chrome(spec.chrome_trace)
+    if trace_out:
+        if trace_out.endswith(".json"):
+            sinks.add_chrome(trace_out)
+        else:
+            sinks.add_stream(trace_out, source=source)
+    return sinks
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

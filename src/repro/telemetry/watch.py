@@ -1,0 +1,213 @@
+"""Tail a telemetry JSONL stream and render a live serving dashboard.
+
+``python -m repro.experiments watch run.jsonl`` follows the stream
+(``--once`` renders the current state and exits).  Rendering is driven
+entirely by the stream's retained discovery messages: topics announce
+their fields and a ``meta.group``, the watcher lays out one table per
+group with one row per topic — it needs no knowledge of the scenario
+that produced the stream.
+
+Formatting rules are name/kind based: ``slo_*`` attainment gauges print
+with three decimals (matching how reports are quoted), counters print as
+integers, missing values (``null`` in the stream) print as ``—``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time as _time
+
+
+class StreamState:
+    """Replayed state of one telemetry stream."""
+
+    def __init__(self) -> None:
+        self.configs: dict[str, dict] = {}
+        self.samples: dict[str, dict] = {}
+        self.ended = False
+        self.end_time: float | None = None
+
+    def feed_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        message = json.loads(line)
+        kind = message.get("type")
+        if kind == "config":
+            self.configs[message["topic"]] = message
+        elif kind == "sample":
+            self.samples[message["topic"]] = message
+        elif kind == "end":
+            self.ended = True
+            self.end_time = message.get("time")
+
+    # ------------------------------------------------------------------
+    def topics(self, group: str) -> list[str]:
+        names = [
+            topic
+            for topic, config in self.configs.items()
+            if config.get("meta", {}).get("group") == group
+        ]
+        return sorted(names)
+
+    def render(self) -> str:
+        lines: list[str] = []
+        lines.extend(self._render_header())
+        for group in self._groups():
+            if group == "cluster":
+                continue
+            lines.append("")
+            lines.extend(self._render_group(group))
+        return "\n".join(lines)
+
+    def _groups(self) -> list[str]:
+        seen: list[str] = []
+        for config in self.configs.values():
+            group = config.get("meta", {}).get("group", "other")
+            if group not in seen:
+                seen.append(group)
+        return seen
+
+    def _render_header(self) -> list[str]:
+        config = self.configs.get("cluster")
+        sample = self.samples.get("cluster")
+        if config is None:
+            return ["(waiting for stream discovery...)"]
+        meta = config.get("meta", {})
+        bits = []
+        if meta.get("source"):
+            bits.append(str(meta["source"]))
+        bits.append(f"model={meta.get('model')}")
+        bits.append(f"policy={meta.get('policy')}")
+        if meta.get("router"):
+            bits.append(f"router={meta.get('router')}")
+        bits.append(f"machines={meta.get('num_machines')}")
+        if meta.get("preemptive"):
+            bits.append("preemptive")
+        status = "ended" if self.ended else "live"
+        at = sample["time"] if sample else 0.0
+        lines = [f"run: {'  '.join(bits)}  [{status} t={at:.4f}s]"]
+        if sample:
+            fields = [f["name"] for f in config.get("fields", [])]
+            kinds = {
+                f["name"]: f.get("kind", "gauge")
+                for f in config.get("fields", [])
+            }
+            cells = [
+                f"{name}={format_value(name, kinds[name], v)}"
+                for name in fields
+                for v in [sample["values"].get(name)]
+            ]
+            lines.append("cluster  " + "  ".join(cells))
+        return lines
+
+    def _render_group(self, group: str) -> list[str]:
+        topics = self.topics(group)
+        if not topics:
+            return []
+        first = self.configs[topics[0]]
+        fields = [f["name"] for f in first.get("fields", [])]
+        kinds = {
+            f["name"]: f.get("kind", "gauge")
+            for f in first.get("fields", [])
+        }
+        header = [group] + fields
+        rows = [header]
+        for topic in topics:
+            meta = self.configs[topic].get("meta", {})
+            label = str(meta.get("label", topic))
+            if group == "machine" and meta.get("backend"):
+                label = f"{label} ({meta['backend']})"
+            sample = self.samples.get(topic)
+            values = sample["values"] if sample else {}
+            rows.append(
+                [label]
+                + [
+                    format_value(name, kinds[name], values.get(name))
+                    for name in fields
+                ]
+            )
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(header))
+        ]
+        out = []
+        for row in rows:
+            out.append(
+                "  ".join(
+                    cell.ljust(widths[i]) for i, cell in enumerate(row)
+                ).rstrip()
+            )
+        return out
+
+
+def format_value(name: str, kind: str, value) -> str:
+    if value is None:
+        return "—"
+    if name.startswith("slo_"):
+        return f"{value:.3f}"
+    if kind == "counter" or name.endswith("_count"):
+        return f"{value:g}"
+    return f"{value:.4g}"
+
+
+def watch(
+    path: str,
+    *,
+    once: bool = False,
+    interval: float = 0.5,
+    out=None,
+) -> int:
+    """Render ``path``; with ``once=False`` keep tailing until its end
+    marker arrives (or interrupt)."""
+    out = out if out is not None else sys.stdout
+    state = StreamState()
+    with open(path) as fh:
+        for line in fh:
+            state.feed_line(line)
+        if once:
+            print(state.render(), file=out)
+            return 0
+        print(state.render(), file=out)
+        while not state.ended:
+            pos = fh.tell()
+            line = fh.readline()
+            if line and line.endswith("\n"):
+                state.feed_line(line)
+                continue
+            fh.seek(pos)  # nothing new (or a partial write): wait
+            _time.sleep(interval)
+            print("\x1b[2J\x1b[H" + state.render(), file=out)
+        print("\x1b[2J\x1b[H" + state.render(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments watch",
+        description="Tail a telemetry JSONL stream as a live dashboard.",
+    )
+    parser.add_argument("stream", help="path to the .jsonl metric stream")
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render the stream's current state and exit",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll interval in wall-clock seconds when following",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return watch(
+            args.stream, once=args.once, interval=args.interval
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

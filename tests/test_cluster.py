@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.cluster import (
@@ -318,8 +320,8 @@ class TestClusterReport:
         report = self._report()
         assert report.class_ttft_percentile("a", 0) == pytest.approx(0.5)
         assert report.class_ttft_percentile("a", 100) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
-            report.class_tbt_percentile("b", 50)  # single token: no gaps
+        # single token: no gaps -> "no data", not an exception
+        assert math.isnan(report.class_tbt_percentile("b", 50))
 
     def test_fairness_hand_computed(self):
         report = self._report()

@@ -1,0 +1,169 @@
+"""Edge-case and property coverage for the serving metric primitives.
+
+``percentile`` is hand-rolled (so report arithmetic stays
+hand-checkable); these tests pin it against ``numpy.percentile``'s
+default linear-interpolation method over hypothesis-generated samples,
+plus the boundary cases the reports actually hit: single samples,
+p = 0/100, empty aggregates (``percentile_or_nan``), and
+``time_weighted_mean`` samples landing on or after the horizon.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serving import (
+    RequestRecord,
+    percentile,
+    percentile_or_nan,
+    time_weighted_mean,
+)
+from repro.serving.workload import Request
+
+
+class TestPercentileEdges:
+    def test_single_sample_any_p(self):
+        for p in (0.0, 37.5, 50.0, 100.0):
+            assert percentile([4.25], p) == 4.25
+
+    def test_p0_and_p100_are_extremes(self):
+        values = [9.0, -3.0, 4.0, 7.5]
+        assert percentile(values, 0) == -3.0
+        assert percentile(values, 100) == 9.0
+
+    def test_input_not_mutated(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_empty_raises_but_or_nan_does_not(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        assert math.isnan(percentile_or_nan([], 50))
+
+    def test_or_nan_still_validates_p(self):
+        with pytest.raises(ValueError):
+            percentile_or_nan([], 150)
+        with pytest.raises(ValueError):
+            percentile_or_nan([1.0], -1)
+
+    def test_or_nan_delegates_when_nonempty(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile_or_nan(values, 25) == percentile(values, 25)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_numpy_linear(self, values, p):
+        want = float(np.percentile(np.asarray(values), p))
+        assert percentile(values, p) == pytest.approx(
+            want, rel=1e-9, abs=1e-9
+        )
+
+
+class TestTimeWeightedMeanEdges:
+    def test_empty_signal_is_zero(self):
+        assert time_weighted_mean([], 10.0) == 0.0
+
+    def test_single_sample_holds_to_horizon(self):
+        assert time_weighted_mean([(2.0, 4.0)], 10.0) == pytest.approx(
+            4.0 * 8.0 / 10.0
+        )
+
+    def test_sample_at_horizon_contributes_nothing(self):
+        assert time_weighted_mean(
+            [(0.0, 1.0), (10.0, 99.0)], 10.0
+        ) == pytest.approx(1.0)
+
+    def test_sample_after_horizon_contributes_nothing(self):
+        assert time_weighted_mean(
+            [(0.0, 2.0), (12.0, 99.0)], 10.0
+        ) == pytest.approx(2.0)
+
+    def test_zero_before_first_sample(self):
+        # value is 0 over [0, 5), then 6 over [5, 10)
+        assert time_weighted_mean([(5.0, 6.0)], 10.0) == pytest.approx(3.0)
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            time_weighted_mean([(0.0, 1.0)], 0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=-100.0, max_value=100.0),
+            ),
+            max_size=20,
+        ).map(lambda samples: sorted(samples)),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_bounded_by_extremes(self, samples, horizon):
+        mean = time_weighted_mean(samples, horizon)
+        values = [v for _, v in samples] + [0.0]
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestEmptyRecordSemantics:
+    def _record(self) -> RequestRecord:
+        request = Request(
+            req_id=0, arrival=1.0, prompt_len=4, output_len=4
+        )
+        return RequestRecord(request=request)
+
+    def test_tokenless_record_reads_nan(self):
+        record = self._record()
+        assert math.isnan(record.first_token_time)
+        assert math.isnan(record.finish_time)
+        assert math.isnan(record.ttft)
+        assert math.isnan(record.e2e_latency)
+
+    def test_percentiles_of_empty_report_are_nan(self):
+        from repro.serving import ServingReport
+
+        report = ServingReport(
+            policy="fcfs",
+            num_machines=1,
+            records=[self._record()],  # admitted but never completed
+            makespan=1.0,
+            queue_samples=[],
+            batch_samples=[],
+        )
+        assert report.completed == []
+        assert math.isnan(report.ttft_percentile(50))
+        assert math.isnan(report.tbt_percentile(99))
+        assert math.isnan(report.e2e_percentile(50))
+        assert math.isnan(report.queue_wait_percentile(50))
+
+    def test_empty_cluster_report_class_tables(self):
+        from repro.cluster import ClusterReport
+
+        report = ClusterReport(
+            policy="fcfs",
+            num_machines=1,
+            records=[],
+            makespan=1.0,
+            queue_samples=[],
+            batch_samples=[],
+        )
+        name = report.class_names[0]
+        assert math.isnan(report.class_ttft_percentile(name, 50))
+        assert math.isnan(report.class_queue_wait_percentile(name, 99))
+        attainment = report.slo_attainment(name)
+        assert set(attainment) == {"ttft", "tbt", "joint"}
+        assert all(math.isnan(v) for v in attainment.values())

@@ -43,6 +43,7 @@ from benchmarks.bench_decode import bench_calibration  # noqa: E402
 from benchmarks.bench_serving import (  # noqa: E402
     BENCH_MIXED_FLEET_SCENARIO,
     bench_scenario,
+    bench_telemetry_overhead,
 )
 
 BENCH_FILE = ROOT / "BENCH_serving.json"
@@ -65,6 +66,9 @@ def measure(quick: bool) -> dict:
         # throughput-weighted router: pins the backend dispatch path
         "mixed_fleet": bench_scenario(BENCH_MIXED_FLEET_SCENARIO,
                                       min_seconds=min_seconds / 2),
+        # what enabling telemetry costs, recorded informationally —
+        # the gated keys above run the default NullTracer path
+        "telemetry": bench_telemetry_overhead(min_seconds=min_seconds / 2),
     }
 
 
@@ -134,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
               f"{sim['preemptions']} preemptions, "
               f"slo_joint {sim['slo_joint']}")
+    tel = current["telemetry"]
+    print(f"telemetry: recording {tel['events_per_run']} events costs "
+          f"{tel['recording_overhead_frac'] * 100:.0f}% "
+          f"({tel['recording_runs_per_sec']:.2f} vs "
+          f"{tel['untraced_runs_per_sec']:.2f} runs/sec untraced)")
 
     baseline = None
     if BENCH_FILE.exists():
