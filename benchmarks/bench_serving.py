@@ -18,10 +18,12 @@ Two kinds of numbers come out of one measurement:
   behaviour drift; the CI gate pins them the way the engine goldens pin
   ``decode_step``.
 
-Two scenarios are benched: the homogeneous-Hermes SLO smoke scenario,
-and the mixed hermes/dense/dejavu fleet behind the throughput-weighted
-router (``backend_shootout_tiny.json``), so both the Hermes fast path
-and the pluggable-backend dispatch stay gated.
+Three scenarios are benched: the homogeneous-Hermes SLO smoke
+scenario, the mixed hermes/dense/dejavu fleet behind the
+throughput-weighted router (``backend_shootout_tiny.json``), and the
+fault-injection chaos drill (``chaos_mixed_tiny.json``), so the Hermes
+fast path, the pluggable-backend dispatch, and the failure-handling
+path (migrations, availability, MTTR) all stay gated.
 """
 
 from __future__ import annotations
@@ -38,6 +40,9 @@ BENCH_SCENARIO = "mixed_slo_tiny.json"
 #: (hermes/dense/dejavu) behind the throughput-weighted router, so the
 #: gate covers the pluggable-backend dispatch path end to end
 BENCH_MIXED_FLEET_SCENARIO = "backend_shootout_tiny.json"
+#: the fault-injection drill (crashes + straggler + partition with
+#: health-aware routing): pins the failure-handling path end to end
+BENCH_CHAOS_SCENARIO = "chaos_mixed_tiny.json"
 
 
 def bench_scenario(
@@ -110,6 +115,34 @@ def bench_scenario(
             "slo_joint": attainment,
         },
     }
+
+
+def bench_fault_overhead(*, min_seconds: float = 0.5) -> dict:
+    """Wall time + drift probes for the fault-injection serving path.
+
+    Runs :func:`bench_scenario` on the bundled chaos drill (crashes,
+    an 8x straggler, a router partition, health-aware routing) and
+    extends the ``simulated`` record with the failure metrics the gate
+    must pin: migration count, availability, and mean time to recover.
+    All three are deterministic given the code — drift means the
+    failure semantics changed — and the scenario is built so none of
+    them degenerates to nan (nan would poison the float comparison and
+    the strict-JSON record alike).
+    """
+    record = bench_scenario(BENCH_CHAOS_SCENARIO, min_seconds=min_seconds)
+    scenario = load_scenario(resolve_scenario(BENCH_CHAOS_SCENARIO))
+    report = scenario.run(scenario.build_trace())
+    simulated = record["simulated"]
+    simulated["migrations"] = report.migrations
+    simulated["availability"] = report.availability
+    simulated["mean_time_to_recover"] = report.mean_time_to_recover
+    simulated["unfinished"] = len(report.unfinished)
+    for key in ("availability", "mean_time_to_recover"):
+        if simulated[key] != simulated[key]:  # nan check
+            raise ValueError(
+                f"chaos bench scenario produced nan {key}; the bundled "
+                "spec must keep its faults inside the run")
+    return record
 
 
 def bench_telemetry_overhead(

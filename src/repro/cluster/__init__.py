@@ -22,6 +22,8 @@ drive all of this declaratively.
 from .report import ClusterReport
 from .routers import (
     ROUTERS,
+    HealthAwareRouter,
+    HealthMonitor,
     LeastLoadedRouter,
     PowerOfTwoRouter,
     RoundRobinRouter,
@@ -48,6 +50,8 @@ __all__ = [
     "ThroughputLeastLoadedRouter",
     "ROUTERS",
     "get_router",
+    "HealthMonitor",
+    "HealthAwareRouter",
     "PriorityClass",
     "DEFAULT_CLASS",
     "SLOPolicy",

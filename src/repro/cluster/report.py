@@ -12,8 +12,9 @@ SLO semantics (documented in the README's scenario section):
   ``<= tbt_slo`` (a preemption-induced stall therefore fails it — the
   cost of preemption is charged where it lands);
 * **joint attainment** requires both, with an absent deadline vacuously
-  met.  Per-class attainment is the fraction of the class's completed
-  requests attaining.
+  met.  Per-class attainment is the fraction of *all* the class's
+  requests attaining — a request the run never finished attains nothing,
+  so crashes cannot masquerade as latency improvements.
 
 Fairness is Jain's index over per-tenant decode service rates (tokens
 delivered per second of end-to-end residence): 1.0 means every tenant
@@ -82,15 +83,23 @@ class ClusterReport(ServingReport):
         return ttft_ok, tbt_ok
 
     def slo_attainment(self, name: str) -> dict[str, float]:
-        """Fractions of class ``name``'s completed requests meeting SLOs.
+        """Fractions of class ``name``'s requests meeting their SLOs.
 
-        Keys: ``ttft``, ``tbt``, ``joint``.  A class with no completed
-        requests has nothing to attain over: every fraction is ``nan``.
+        Keys: ``ttft``, ``tbt``, ``joint``.  The denominator is *every*
+        request of the class: one the run never finished (stranded on a
+        machine that never restarted) attains nothing — dropping it from
+        the count would make a crash look like a latency improvement.
+        Fault-free runs complete every request, so there this equals the
+        completed-only fraction.  A class with no requests at all has
+        nothing to attain over: every fraction is ``nan``.
         """
-        done = self._class_completed(name)
-        if not done:
+        records = self.class_records(name)
+        if not records:
             return {"ttft": math.nan, "tbt": math.nan, "joint": math.nan}
-        flags = [self.request_attains(r) for r in done]
+        flags = [
+            self.request_attains(r) if r.finished else (False, False)
+            for r in records
+        ]
         n = len(flags)
         return {
             "ttft": sum(1 for t, _ in flags if t) / n,
@@ -105,11 +114,29 @@ class ClusterReport(ServingReport):
                 return cls
         raise KeyError(f"unknown class {name!r}")
 
-    # ---- fairness and preemption -------------------------------------
+    # ---- fairness and goodput ----------------------------------------
     @property
-    def preemptions(self) -> int:
-        """Total preemption events across all requests."""
-        return sum(r.preemptions for r in self.records)
+    def goodput(self) -> float:
+        """Met-SLO tokens delivered per *available* machine-second.
+
+        The numerator counts tokens only from completed requests that
+        jointly attained their class SLOs; the denominator is the fleet's
+        machine-seconds minus injected downtime, so a crashed-and-idle
+        machine does not dilute the rate of the survivors.  ``nan`` on a
+        zero-length run or a fleet that was down for the whole makespan.
+        """
+        if self.makespan <= 0:
+            return math.nan
+        available = self.makespan * self.num_machines
+        available -= sum(self.machine_downtime)
+        if available <= 0:
+            return math.nan
+        good_tokens = sum(
+            len(r.token_times)
+            for r in self.completed
+            if all(self.request_attains(r))
+        )
+        return good_tokens / available
 
     def fairness_index(self, by: str = "tenant") -> float:
         """Jain's fairness index over per-group decode service rates.
@@ -132,7 +159,9 @@ class ClusterReport(ServingReport):
                 seconds + record.e2e_latency,
             )
         if not groups:
-            raise ValueError("no completed requests to assess fairness")
+            # nothing completed (e.g. the whole fleet crashed): "no
+            # data", nan — same convention as the latency percentiles
+            return math.nan
         rates = [t / s for t, s in groups.values() if s > 0]
         if not rates:
             return 1.0

@@ -21,6 +21,12 @@ Shipped routers:
   normalized by its backend's estimated tokens/sec: the right notion of
   "least loaded" on a heterogeneous fleet, where equal queue depths
   mean very different drain times.
+
+Any of them can be wrapped in :class:`HealthAwareRouter` (the cluster
+config's ``health_aware`` flag), which overrides choices that land on a
+down, partitioned, or straggling machine — stragglers are detected
+observationally by the :class:`HealthMonitor` EWMA over served decode
+latency, never by peeking at the fault schedule.
 """
 
 from __future__ import annotations
@@ -158,6 +164,105 @@ class ThroughputLeastLoadedRouter(Router):
                 best = m
                 best_cost = cost
         return best
+
+
+class HealthMonitor:
+    """EWMA straggler detector over observed per-token decode latency.
+
+    The router-side half of failure awareness: routers *know* about
+    crashes and partitions (the front door sees connections die), but a
+    straggling machine still answers — it is just slow.  The monitor
+    watches what the front door can actually observe, normalized decode
+    latency (seconds per token at the served batch), smooths it with an
+    EWMA per machine, and demotes a machine while its smoothed latency
+    exceeds ``threshold`` times the *best latency that same machine has
+    ever demonstrated*.  Comparing each machine against its own baseline
+    (rather than the fleet best) keeps the detector honest on
+    heterogeneous fleets: a backend that is natively 5x slower than its
+    neighbours is not a straggler, it is just a slower machine — the
+    throughput-aware routers handle that.  A straggler is a machine that
+    got slower *than itself*.
+
+    Purely observational — it never changes simulated costs — and fully
+    deterministic, so runs replay bit-exactly.
+    """
+
+    def __init__(self, alpha: float = 0.25, threshold: float = 3.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1")
+        self.alpha = alpha
+        self.threshold = threshold
+        self._ewma: dict[int, float] = {}
+        self._best: dict[int, float] = {}
+
+    def observe(self, machine: int, seconds: float, batch: int) -> None:
+        """Fold one decode step (``seconds`` over ``batch`` tokens) in."""
+        if batch < 1 or seconds < 0.0:
+            return
+        per_token = seconds / batch
+        prev = self._ewma.get(machine)
+        if prev is None:
+            ewma = per_token
+        else:
+            ewma = self.alpha * per_token + (1.0 - self.alpha) * prev
+        self._ewma[machine] = ewma
+        if per_token < self._best.get(machine, float("inf")):
+            self._best[machine] = per_token
+
+    def demoted(self, machine: int) -> bool:
+        """True while ``machine`` looks like a straggler."""
+        ewma = self._ewma.get(machine)
+        best = self._best.get(machine)
+        if ewma is None or best is None:
+            return False
+        return ewma > self.threshold * best
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HealthMonitor(alpha={self.alpha}, "
+                f"threshold={self.threshold}, tracked={len(self._ewma)})")
+
+
+class HealthAwareRouter(Router):
+    """Wrap any router with health-based fallback.
+
+    Delegates every decision to the inner router; when the choice lands
+    on an unhealthy machine (down, partitioned, or demoted by the
+    :class:`HealthMonitor`), re-routes to the least-loaded healthy
+    machine instead (ties to the lowest index).  With every machine
+    unhealthy the inner choice stands — requests must land *somewhere*,
+    and the queue drains when the fleet recovers.
+
+    ``unhealthy(machine) -> bool`` is supplied by the cluster simulator,
+    which combines schedule facts (crashes, partitions) with the
+    monitor's straggler verdicts at routing time.
+    """
+
+    def __init__(
+        self,
+        inner: Router,
+        unhealthy: typing.Callable[[int], bool],
+    ) -> None:
+        self.inner = inner
+        self.unhealthy = unhealthy
+        self.name = f"health-aware({inner.name})"
+
+    @property
+    def needs_throughputs(self) -> bool:  # type: ignore[override]
+        return self.inner.needs_throughputs
+
+    def bind_fleet(self, tokens_per_second: typing.Sequence[float]) -> None:
+        self.inner.bind_fleet(tokens_per_second)
+
+    def route(self, request: Request, loads: typing.Sequence[float]) -> int:
+        choice = self.inner.route(request, loads)
+        if not self.unhealthy(choice):
+            return choice
+        healthy = [m for m in range(len(loads)) if not self.unhealthy(m)]
+        if not healthy:
+            return choice
+        return min(healthy, key=lambda m: (loads[m], m))
 
 
 ROUTERS: dict[str, typing.Callable[..., Router]] = {

@@ -32,7 +32,7 @@ from ..serving import (
 from ..serving.simulator import Preemptor, _RunState
 from ..telemetry.events import ClassInfo, RunStarted
 from .report import ClusterReport
-from .routers import Router, get_router
+from .routers import HealthAwareRouter, HealthMonitor, Router, get_router
 from .slo import DeadlinePreemptor, PriorityOrderedPolicy, SLOPolicy
 
 
@@ -45,6 +45,11 @@ class ClusterConfig(ServingConfig):
     router: str = "round-robin"
     #: seed for routers that randomise (power-of-two probes)
     router_seed: int = 0
+    #: wrap the router in :class:`~repro.cluster.routers.HealthAwareRouter`
+    #: (skip down/partitioned machines, demote EWMA-detected stragglers);
+    #: meaningful only with a fault schedule — without one every machine
+    #: is always healthy and the wrapper is skipped entirely
+    health_aware: bool = False
 
 
 class ClusterSimulator(ServingSimulator):
@@ -93,12 +98,45 @@ class ClusterSimulator(ServingSimulator):
         machines = self.config.num_machines
         state = _RunState(workload, machines, num_queues=machines)
         router = self._make_router()
+        faults = self.config.faults
+        #: routing-time clock for the health closure — ``route`` has no
+        #: time parameter, so ``assign`` stamps it before delegating
+        clock = [0.0]
+        if faults is not None and getattr(self.config, "health_aware",
+                                          False):
+            monitor = HealthMonitor()
+
+            def unhealthy(m: int) -> bool:
+                now = clock[0]
+                return (faults.is_down(m, now)
+                        or faults.is_partitioned(m, now)
+                        or monitor.demoted(m))
+
+            router = HealthAwareRouter(router, unhealthy)
+            state.observe_step = monitor.observe
         if getattr(router, "needs_throughputs", False):
             router.bind_fleet([
                 executor.estimated_tokens_per_second()
                 for executor in self.executors
             ])
-        state.assign = lambda request: router.route(request, state.loads())
+
+        def assign(request: Request, now: float) -> int:
+            clock[0] = now
+            target = router.route(request, state.loads())
+            if faults is not None and faults.is_partitioned(target, now):
+                # a router<->machine partition is a network fact, not a
+                # policy choice: *no* router can hand work to a machine
+                # it cannot reach.  Probe linearly to the next reachable
+                # machine; with the whole fleet partitioned the choice
+                # stands and the queue drains on reconnection.
+                for k in range(1, machines):
+                    candidate = (target + k) % machines
+                    if not faults.is_partitioned(candidate, now):
+                        target = candidate
+                        break
+            return target
+
+        state.assign = assign
         self._last_router_name = router.name
         return state
 
@@ -153,4 +191,5 @@ class ClusterSimulator(ServingSimulator):
             batch_limit_clamps=state.batch_limit_clamps,
             router=self._last_router_name,
             slo=self.slo,
+            **self._fault_fields(makespan),
         )

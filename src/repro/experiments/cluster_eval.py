@@ -151,9 +151,10 @@ HEADERS = [
 ]
 
 NOTES = [
-    "SLO columns are the fraction of the class's completed requests "
-    "meeting the deadline (joint = both TTFT and TBT); QW is the "
-    "arrival -> prefill-start queue wait",
+    "SLO columns are the fraction of ALL the class's requests meeting "
+    "the deadline (joint = both TTFT and TBT; requests stranded by an "
+    "outage count as missed); QW is the arrival -> prefill-start "
+    "queue wait",
     "fairness is Jain's index over per-tenant decode service rates; "
     "preempt counts low-priority evictions for deadline-threatened "
     "prefills",

@@ -33,13 +33,19 @@ from ..models import get_model
 from ..serving import (
     BACKENDS,
     BatchingPolicy,
+    CrashSpec,
+    FaultSchedule,
     HermesUnionPolicy,
     LengthDistribution,
     MachineGroup,
+    PartitionSpec,
     Request,
+    SampleSpec,
+    StragglerSpec,
     WorkloadConfig,
     generate_workload,
     get_policy,
+    merge_sampled,
     merge_workloads,
 )
 from ..sparsity import ActivationTrace, TraceConfig, generate_trace
@@ -165,6 +171,7 @@ _TOP_KEYS = (
     "classes",
     "tenants",
     "telemetry",
+    "faults",
 )
 _TENANT_KEYS = (
     "name",
@@ -291,6 +298,7 @@ def _parse_cluster(data: dict | None) -> tuple[ClusterConfig, str, dict]:
             "macro_step",
             "router",
             "router_seed",
+            "health_aware",
             "policy",
             "union_cap",
         ),
@@ -307,6 +315,76 @@ def _parse_cluster(data: dict | None) -> tuple[ClusterConfig, str, dict]:
             f"cluster.router: unknown router {router!r}; known: {known}"
         )
     return ClusterConfig(**data), policy, policy_kwargs
+
+
+_FAULT_KEYS = (
+    "seed",
+    "restart_warmup",
+    "crashes",
+    "stragglers",
+    "partitions",
+    "sample",
+)
+_CRASH_KEYS = ("machine", "at", "restart_after")
+_STRAGGLER_KEYS = ("machine", "start", "end", "slowdown")
+_PARTITION_KEYS = ("machine", "start", "end")
+_SAMPLE_KEYS = (
+    "horizon",
+    "crashes_per_machine",
+    "mean_downtime",
+    "restart_fraction",
+    "stragglers_per_machine",
+    "mean_straggle",
+    "slowdown",
+    "partitions_per_machine",
+    "mean_partition",
+)
+
+
+def _parse_faults(
+    data: dict | None, num_machines: int
+) -> FaultSchedule | None:
+    """The ``faults:`` section: explicit events plus seeded sampled chaos.
+
+    Absent section means ``None`` — every fault branch in the serving
+    loops stays short-circuited and the run is bit-identical to a
+    fault-free build.  Explicit events and the ``sample`` table are
+    validated with the same unknown-key strictness as the rest of the
+    spec, and the merged schedule is checked against the fleet size.
+    """
+    if data is None:
+        return None
+    data = dict(data)
+    _take(data, _FAULT_KEYS, "faults")
+
+    def _events(key: str, allowed: tuple, factory) -> tuple:
+        entries = data.get(key) or ()
+        if not isinstance(entries, list):
+            raise ValueError(f"faults.{key}: must be a list of mappings")
+        out = []
+        for index, entry in enumerate(entries):
+            context = f"faults.{key}[{index}]"
+            if not isinstance(entry, dict):
+                raise ValueError(f"{context}: each event is a mapping")
+            _take(entry, allowed, context)
+            out.append(factory(**entry))
+        return tuple(out)
+
+    schedule = FaultSchedule(
+        crashes=_events("crashes", _CRASH_KEYS, CrashSpec),
+        stragglers=_events("stragglers", _STRAGGLER_KEYS, StragglerSpec),
+        partitions=_events("partitions", _PARTITION_KEYS, PartitionSpec),
+        seed=int(data.get("seed", 0)),
+        restart_warmup=float(data.get("restart_warmup", 0.0)),
+    )
+    sample = data.get("sample")
+    if sample is not None:
+        _take(sample, _SAMPLE_KEYS, "faults.sample")
+        schedule = merge_sampled(
+            schedule, SampleSpec(**sample), num_machines
+        )
+    schedule.validate_fleet(num_machines)
+    return schedule
 
 
 def _parse_policy(name: str, kwargs: dict) -> BatchingPolicy:
@@ -411,6 +489,9 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
         config = dataclasses.replace(
             config, num_machines=sum(g.count for g in fleet)
         )
+    faults = _parse_faults(data.get("faults"), config.num_machines)
+    if faults is not None:
+        config = dataclasses.replace(config, faults=faults)
     tenants = []
     for index, tenant in enumerate(tenants_data):
         tenants.append(_parse_tenant(tenant, index, base_seed, slo))

@@ -20,6 +20,15 @@ from .backends import (
     sequential_span,
 )
 from .executor import MachineExecutor, default_serving_trace
+from .faults import (
+    CrashSpec,
+    FaultSchedule,
+    PartitionSpec,
+    SampleSpec,
+    StragglerSpec,
+    merge_sampled,
+    sample_faults,
+)
 from .metrics import (
     RequestRecord,
     ServingReport,
@@ -71,6 +80,13 @@ __all__ = [
     "MachineGroup",
     "make_backend",
     "sequential_span",
+    "FaultSchedule",
+    "CrashSpec",
+    "StragglerSpec",
+    "PartitionSpec",
+    "SampleSpec",
+    "sample_faults",
+    "merge_sampled",
     "percentile",
     "percentile_or_nan",
     "time_weighted_mean",

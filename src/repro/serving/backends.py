@@ -119,6 +119,10 @@ class ServingBackend(typing.Protocol):
         """Pure, deterministic decode-throughput estimate."""
         ...  # pragma: no cover - protocol
 
+    def reset(self) -> None:
+        """Restart cold after a crash: discard evolving engine state."""
+        ...  # pragma: no cover - protocol
+
 
 def sequential_span(
     backend: "ServingBackend",
@@ -268,6 +272,15 @@ class SteppableBackend:
 
     def estimated_tokens_per_second(self) -> float:
         return self.nominal_batch / self.estimated_step_seconds()
+
+    def reset(self) -> None:
+        """Restart cold after a crash.
+
+        Pure-kernel backends keep no evolving engine state — every memo
+        here is deterministic in its key — so the base reset only clears
+        the sizing hint.  Backends with a real cursor override this.
+        """
+        self._last_step_seconds = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -439,6 +452,16 @@ class DejaVuBackend(SteppableBackend):
         if batch < 1:
             raise ValueError("batch must be >= 1")
         return float(self._union(batch).mean())
+
+    def reset(self) -> None:
+        """Restart cold: the trace cursor returns to the first decode row.
+
+        A fused span may have advanced the cursor past a crash instant;
+        rewinding it on restart keeps the fused and stepped serving
+        loops bit-equal across the outage.
+        """
+        super().reset()
+        self._cursor = 0
 
 
 # ----------------------------------------------------------------------

@@ -262,6 +262,34 @@ class MachineExecutor:
         """Pure, deterministic decode-throughput estimate."""
         return self.nominal_batch / self.estimated_step_seconds()
 
+    def reset(self) -> None:
+        """Restart the machine cold: fresh session, pristine engine state.
+
+        Fault injection calls this when a crashed machine comes back up.
+        The predictor table, hot/cold residency, window-scheduler remaps
+        and trace cursor all return to their just-booted values (the
+        partition comes from the per-trace cache, so the solver never
+        reruns).  This is also what keeps the fused and stepped serving
+        loops bit-equal across a crash: a fused span may have advanced
+        engine state past the crash instant, but the restart discards
+        that state on both paths.  The prefill memo survives — it is
+        pure in (prompt_len, batch).
+        """
+        cache = _partition_cache(self.trace)
+        key = (
+            self.machine, self.model.name, self.system.config,
+            self.nominal_batch,
+        )
+        pristine = cache.get(key)
+        partition = (
+            _clone_partition(pristine) if pristine is not None else None
+        )
+        self.session = self.system.session(
+            self.trace, self.nominal_batch, wrap=True, partition=partition
+        )
+        if pristine is None:
+            cache[key] = _clone_partition(self.session.partition)
+
     # ------------------------------------------------------------------
     def mean_union(self, batch: int) -> float:
         """Mean per-layer batch-union inflation at ``batch`` sequences.

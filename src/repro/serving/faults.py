@@ -1,0 +1,521 @@
+"""Deterministic fault injection for serving fleets.
+
+A :class:`FaultSchedule` is pure data fixed before the run starts: a
+seeded, validated list of machine **crashes** (with optional restart),
+**stragglers** (multiplicative slowdown windows applied to every cost
+the machine's backend produces), and **router-side partitions**
+(machines unroutable but still draining what they already hold).
+Because the schedule is immutable and known a priori, every consumer —
+the stepped serving loop, the fused macro-stepped loop, health-aware
+routers, the telemetry timeline — reads the *same* timeline, which is
+what makes fused==stepped equivalence and cross-process determinism
+(``--jobs 1`` vs ``--jobs 2``) hold bit-for-bit under chaos.
+
+Semantics, shared by both serving loops:
+
+* a machine is **down** for ``t`` in ``[at, at + restart_after +
+  restart_warmup)`` — the warmup models the cold-cache penalty of a
+  restart (weights re-staged, partitions re-planned) as extended
+  unavailability; ``restart_after=None`` means the machine never comes
+  back.  A decode step or prefill whose completion lands at or past the
+  crash instant is aborted: no token granted, no busy time charged.
+  Killed residents and queued requests are *migrated* — re-queued (and
+  re-routed, in cluster mode) with ``RequestRecord.migrations``
+  incremented; their generated tokens survive (they were already
+  streamed), but the KV cache does not, so re-admission re-runs prefill
+  over ``prompt_len + generated`` tokens.  Restart resets backend
+  sequence state (:meth:`~repro.serving.backends.ServingBackend.reset`).
+* a **straggler** window multiplies step/prefill costs by ``slowdown``
+  for ``t`` in ``[start, end)``; overlapping windows compound.  A step
+  *started* before a boundary completes at the cost quoted at its start,
+  exactly like a step that straddles an arrival.
+* a **partition** makes the machine unroutable for ``t`` in
+  ``[start, end)``: the router cannot deliver new work to it (delivery
+  falls over to the next reachable machine), but the machine keeps
+  serving its queue and residents.
+
+With no ``faults:`` section every consumer short-circuits on
+``faults is None`` — the fault-free path is bit-identical to a build
+without this module (pinned by the goldens).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import functools
+import math
+import random
+import typing
+
+
+def _check_time(value: float, label: str) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{label} must be a finite non-negative time, "
+                         f"got {value!r}")
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashSpec:
+    """One machine crash: down at ``at``, back ``restart_after`` later.
+
+    ``restart_after=None`` means the machine never restarts.  The
+    schedule-level ``restart_warmup`` extends every restart.
+    """
+
+    machine: int
+    at: float
+    restart_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError("crash machine index must be >= 0")
+        _check_time(self.at, "crash time 'at'")
+        if self.restart_after is not None:
+            after = float(self.restart_after)
+            if not math.isfinite(after) or after <= 0:
+                raise ValueError("restart_after must be a positive time "
+                                 "(or null for no restart)")
+
+
+@dataclasses.dataclass(frozen=True)
+class StragglerSpec:
+    """A slowdown window: costs on ``machine`` scale by ``slowdown``."""
+
+    machine: int
+    start: float
+    end: float | None
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError("straggler machine index must be >= 0")
+        _check_time(self.start, "straggler start")
+        if self.end is not None and float(self.end) <= self.start:
+            raise ValueError("straggler end must be after start")
+        if not self.slowdown >= 1.0:
+            raise ValueError("slowdown must be >= 1 (a straggler cannot "
+                             "speed a machine up)")
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSpec:
+    """A router partition window: ``machine`` unroutable in [start, end)."""
+
+    machine: int
+    start: float
+    end: float | None
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError("partition machine index must be >= 0")
+        _check_time(self.start, "partition start")
+        if self.end is not None and float(self.end) <= self.start:
+            raise ValueError("partition end must be after start")
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleSpec:
+    """Seeded random chaos: expected per-machine fault counts over a
+    horizon, turned into concrete events by :func:`sample_faults`."""
+
+    horizon: float
+    crashes_per_machine: float = 0.0
+    mean_downtime: float = 0.0
+    restart_fraction: float = 1.0
+    stragglers_per_machine: float = 0.0
+    mean_straggle: float = 0.0
+    slowdown: float = 4.0
+    partitions_per_machine: float = 0.0
+    mean_partition: float = 0.0
+
+    def __post_init__(self) -> None:
+        horizon = _check_time(self.horizon, "sample horizon")
+        if horizon <= 0:
+            raise ValueError("sample horizon must be positive")
+        for label in ("crashes_per_machine", "mean_downtime",
+                      "stragglers_per_machine", "mean_straggle",
+                      "partitions_per_machine", "mean_partition"):
+            _check_time(getattr(self, label), label)
+        if not 0.0 <= self.restart_fraction <= 1.0:
+            raise ValueError("restart_fraction must lie in [0, 1]")
+        if not self.slowdown >= 1.0:
+            raise ValueError("sampled slowdown must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """The immutable fault timeline one run executes against.
+
+    Query methods take half-open interval semantics (see the module
+    docstring).  Down intervals *include* the restart warmup; per
+    machine they must not overlap.  All derived timelines are cached —
+    the schedule is shared read-only by every machine process, the
+    router, and the telemetry timeline emitter.
+    """
+
+    crashes: tuple[CrashSpec, ...] = ()
+    stragglers: tuple[StragglerSpec, ...] = ()
+    partitions: tuple[PartitionSpec, ...] = ()
+    seed: int = 0
+    restart_warmup: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_time(self.restart_warmup, "restart_warmup")
+        for machine, intervals in self._down_by_machine().items():
+            for (s0, e0), (s1, _) in zip(intervals, intervals[1:]):
+                if e0 is None or s1 < e0:
+                    raise ValueError(
+                        f"machine {machine} crash intervals overlap "
+                        f"(a machine cannot crash while already down)"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> frozenset[int]:
+        """Every machine index named by any fault."""
+        return frozenset(
+            spec.machine
+            for group in (self.crashes, self.stragglers, self.partitions)
+            for spec in group
+        )
+
+    def validate_fleet(self, num_machines: int) -> None:
+        """Raise when a fault names a machine outside the fleet."""
+        for m in self.machines:
+            if m >= num_machines:
+                raise ValueError(
+                    f"fault schedule names machine {m} but the fleet has "
+                    f"{num_machines} machines"
+                )
+
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def _down(self) -> dict[int, list[tuple[float, float | None]]]:
+        return self._down_by_machine()
+
+    def _down_by_machine(self) -> dict[int, list[tuple[float, float | None]]]:
+        out: dict[int, list[tuple[float, float | None]]] = {}
+        for crash in self.crashes:
+            if crash.restart_after is None:
+                end: float | None = None
+            else:
+                end = crash.at + crash.restart_after + self.restart_warmup
+            out.setdefault(crash.machine, []).append((crash.at, end))
+        for intervals in out.values():
+            intervals.sort()
+        return out
+
+    @functools.cached_property
+    def _slow(self) -> dict[int, list[StragglerSpec]]:
+        out: dict[int, list[StragglerSpec]] = {}
+        for spec in sorted(self.stragglers,
+                           key=lambda s: (s.start, s.machine)):
+            out.setdefault(spec.machine, []).append(spec)
+        return out
+
+    @functools.cached_property
+    def _part(self) -> dict[int, list[PartitionSpec]]:
+        out: dict[int, list[PartitionSpec]] = {}
+        for spec in sorted(self.partitions,
+                           key=lambda s: (s.start, s.machine)):
+            out.setdefault(spec.machine, []).append(spec)
+        return out
+
+    # ------------------------------------------------------------------
+    def is_down(self, machine: int, time: float) -> bool:
+        """True while ``machine`` is crashed (restart warmup included)."""
+        for start, end in self._down.get(machine, ()):
+            if start > time:
+                return False
+            if end is None or time < end:
+                return True
+        return False
+
+    def up_time(self, machine: int, time: float) -> float | None:
+        """When the outage covering ``time`` ends (None: never)."""
+        for start, end in self._down.get(machine, ()):
+            if start <= time and (end is None or time < end):
+                return end
+        raise ValueError(
+            f"machine {machine} is not down at t={time}"
+        )
+
+    def next_down(self, machine: int, time: float) -> float | None:
+        """The next crash instant at or after ``time`` (None: none left).
+
+        A completion landing exactly on the returned instant is aborted
+        (down intervals are closed on the left), so serving loops cap
+        in-flight waits at this value.
+        """
+        for start, end in self._down.get(machine, ()):
+            if start >= time:
+                return start
+            if end is None or time < end:
+                return start  # already inside the outage
+        return None
+
+    def slowdown_at(self, machine: int, time: float) -> float:
+        """The compound cost multiplier active on ``machine`` at ``time``."""
+        factor = 1.0
+        for spec in self._slow.get(machine, ()):
+            if spec.start > time:
+                break
+            if spec.end is None or time < spec.end:
+                factor *= spec.slowdown
+        return factor
+
+    def is_partitioned(self, machine: int, time: float) -> bool:
+        """True while the router cannot reach ``machine``."""
+        for spec in self._part.get(machine, ()):
+            if spec.start > time:
+                return False
+            if spec.end is None or time < spec.end:
+                return True
+        return False
+
+    def health_state(self, machine: int, time: float) -> str:
+        """The watch-column health label, priority down > partitioned >
+        slow > ok."""
+        if self.is_down(machine, time):
+            return "down"
+        if self.is_partitioned(machine, time):
+            return "partitioned"
+        if self.slowdown_at(machine, time) != 1.0:
+            return "slow"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def _exec_transitions(self) -> dict[int, list[float]]:
+        """Per machine: sorted instants where execution behaviour changes
+        (crash, restart, straggle boundaries — not partitions, which only
+        affect routing)."""
+        out: dict[int, set[float]] = {}
+        for machine, intervals in self._down.items():
+            for start, end in intervals:
+                out.setdefault(machine, set()).add(start)
+                if end is not None:
+                    out.setdefault(machine, set()).add(end)
+        for machine, specs in self._slow.items():
+            for spec in specs:
+                out.setdefault(machine, set()).add(spec.start)
+                if spec.end is not None:
+                    out.setdefault(machine, set()).add(spec.end)
+        return {m: sorted(times) for m, times in out.items()}
+
+    @functools.cached_property
+    def _all_transitions(self) -> list[tuple[float, int]]:
+        """Fleet-wide sorted (time, machine) execution+routing boundaries."""
+        out: set[tuple[float, int]] = set()
+        for machine, times in self._exec_transitions.items():
+            out.update((t, machine) for t in times)
+        for machine, specs in self._part.items():
+            for spec in specs:
+                out.add((spec.start, machine))
+                if spec.end is not None:
+                    out.add((spec.end, machine))
+        return sorted(out)
+
+    def next_exec_transition(self, machine: int, time: float) -> float | None:
+        """First instant strictly after ``time`` where this machine's
+        execution behaviour (up/down/slowdown) changes."""
+        times = self._exec_transitions.get(machine)
+        if not times:
+            return None
+        i = bisect.bisect_right(times, time)
+        return times[i] if i < len(times) else None
+
+    @functools.cached_property
+    def _crash_starts(self) -> list[float]:
+        return sorted(crash.at for crash in self.crashes)
+
+    def next_any_down(
+        self, time: float, *, strict: bool = False
+    ) -> float | None:
+        """First crash instant at (or, with ``strict``, after) ``time``,
+        on *any* machine.
+
+        Crashes are the only events that can drop migrated work into a
+        healthy machine's queue mid-span, so fused decode spans are
+        bounded by this the same way they are bounded by arrivals — the
+        stepped loop would see the refugee at its next token boundary,
+        and the fused loop must end its span there to match.  Idle
+        sleeps use ``strict=True`` (a wake-up *at* a crash instant must
+        not re-arm for the same instant).
+        """
+        starts = self._crash_starts
+        i = (bisect.bisect_right if strict else bisect.bisect_left)(
+            starts, time
+        )
+        return starts[i] if i < len(starts) else None
+
+    def next_any_transition(self, time: float) -> float | None:
+        """First instant strictly after ``time`` where *any* machine's
+        fault state changes — bounds idle sleeps so a machine can notice
+        work migrated to it by a crashing peer."""
+        times = self._all_transitions
+        i = bisect.bisect_right(times, (time, math.inf))
+        return times[i][0] if i < len(times) else None
+
+    # ------------------------------------------------------------------
+    def downtime_within(self, machine: int, horizon: float) -> float:
+        """Seconds ``machine`` spends down inside ``[0, horizon)``."""
+        total = 0.0
+        for start, end in self._down.get(machine, ()):
+            if start >= horizon:
+                break
+            stop = horizon if end is None else min(end, horizon)
+            total += stop - start
+        return total
+
+    def recoveries_within(self, horizon: float) -> list[float]:
+        """Outage durations (crash→serving again, warmup included) of
+        every crash that fully recovers inside the run, in crash order."""
+        out = []
+        for crash in sorted(self.crashes, key=lambda c: (c.at, c.machine)):
+            if crash.restart_after is None:
+                continue
+            span = crash.restart_after + self.restart_warmup
+            if crash.at + span <= horizon:
+                out.append(span)
+        return out
+
+
+# ----------------------------------------------------------------------
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's poisson sampler — tiny means only, which is all we need."""
+    if mean <= 0:
+        return 0
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def sample_faults(
+    spec: SampleSpec,
+    num_machines: int,
+    *,
+    seed: int = 0,
+    restart_warmup: float = 0.0,
+) -> FaultSchedule:
+    """Expand a :class:`SampleSpec` into a concrete seeded schedule.
+
+    Per machine the crash/straggler/partition counts are Poisson with
+    the spec's expected values, times uniform over the horizon and
+    durations exponential around the means.  The RNG is seeded with a
+    string (SHA-512 based init), so the same ``(seed, machine)`` pair
+    yields the same events in every process — the basis of the
+    ``--jobs`` determinism pin.  Crashes that would overlap a machine's
+    earlier outage are dropped rather than shifted.
+    """
+    crashes: list[CrashSpec] = []
+    stragglers: list[StragglerSpec] = []
+    partitions: list[PartitionSpec] = []
+    for machine in range(num_machines):
+        rng = random.Random(f"faults:{seed}:{machine}")
+        busy_until = 0.0
+        times = sorted(
+            rng.uniform(0.0, spec.horizon)
+            for _ in range(_poisson(rng, spec.crashes_per_machine))
+        )
+        for at in times:
+            if at < busy_until:
+                continue
+            restarts = rng.random() < spec.restart_fraction
+            downtime = (
+                rng.expovariate(1.0 / spec.mean_downtime)
+                if spec.mean_downtime > 0 else 0.0
+            )
+            if restarts and downtime > 0:
+                crashes.append(CrashSpec(machine, at, downtime))
+                busy_until = at + downtime + restart_warmup
+            else:
+                crashes.append(CrashSpec(machine, at, None))
+                busy_until = math.inf
+        for _ in range(_poisson(rng, spec.stragglers_per_machine)):
+            start = rng.uniform(0.0, spec.horizon)
+            length = (
+                rng.expovariate(1.0 / spec.mean_straggle)
+                if spec.mean_straggle > 0 else 0.0
+            )
+            if length > 0:
+                stragglers.append(
+                    StragglerSpec(machine, start, start + length,
+                                  spec.slowdown)
+                )
+        for _ in range(_poisson(rng, spec.partitions_per_machine)):
+            start = rng.uniform(0.0, spec.horizon)
+            length = (
+                rng.expovariate(1.0 / spec.mean_partition)
+                if spec.mean_partition > 0 else 0.0
+            )
+            if length > 0:
+                partitions.append(
+                    PartitionSpec(machine, start, start + length)
+                )
+    return FaultSchedule(
+        crashes=tuple(crashes),
+        stragglers=tuple(stragglers),
+        partitions=tuple(partitions),
+        seed=seed,
+        restart_warmup=restart_warmup,
+    )
+
+
+def merge_sampled(
+    schedule: FaultSchedule, spec: SampleSpec | None, num_machines: int
+) -> FaultSchedule:
+    """The schedule a run executes: explicit events plus sampled chaos.
+
+    Explicit crashes win — a sampled crash overlapping an explicit
+    outage on the same machine is dropped.
+    """
+    if spec is None:
+        return schedule
+    sampled = sample_faults(
+        spec,
+        num_machines,
+        seed=schedule.seed,
+        restart_warmup=schedule.restart_warmup,
+    )
+    crashes = list(schedule.crashes)
+    for crash in sampled.crashes:
+        try:
+            # construction validates per-machine outage overlap
+            FaultSchedule(
+                crashes=tuple(crashes) + (crash,),
+                restart_warmup=schedule.restart_warmup,
+            )
+        except ValueError:
+            continue
+        crashes.append(crash)
+    return dataclasses.replace(
+        schedule,
+        crashes=tuple(sorted(crashes, key=lambda c: (c.at, c.machine))),
+        stragglers=tuple(
+            sorted(schedule.stragglers + sampled.stragglers,
+                   key=lambda s: (s.start, s.machine))
+        ),
+        partitions=tuple(
+            sorted(schedule.partitions + sampled.partitions,
+                   key=lambda s: (s.start, s.machine))
+        ),
+    )
+
+
+__all__: typing.Sequence[str] = [
+    "CrashSpec",
+    "StragglerSpec",
+    "PartitionSpec",
+    "SampleSpec",
+    "FaultSchedule",
+    "sample_faults",
+    "merge_sampled",
+]

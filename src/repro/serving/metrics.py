@@ -84,6 +84,12 @@ class RequestRecord:
     #: times this request was bumped out of a running batch by preemptive
     #: admission (cluster SLO scheduling); 0 under non-preemptive policies
     preemptions: int = 0
+    #: times this request was evacuated off a crashed machine; each
+    #: migration forces a re-prefill over prompt + generated tokens
+    migrations: int = 0
+    #: set while a migration's KV loss is outstanding: the next admission
+    #: re-runs prefill even though ``prefill_start`` is already stamped
+    needs_prefill: bool = False
 
     @property
     def finished(self) -> bool:
@@ -139,8 +145,51 @@ class ServingReport:
     #: machines whose batching policy returned a batch limit < 1 and had
     #: it clamped up to 1 (a warned-about policy bug, not silent repair)
     batch_limit_clamps: int = 0
+    #: per-machine seconds spent down within the makespan (crash through
+    #: restart + warmup); empty means "no fault schedule"
+    machine_downtime: list[float] = dataclasses.field(default_factory=list)
+    #: outage durations (crash -> serving again) of every crash that
+    #: fully recovered within the run, in crash order
+    recoveries: list[float] = dataclasses.field(default_factory=list)
 
     # ------------------------------------------------------------------
+    @property
+    def preemptions(self) -> int:
+        """Total preemptions across requests."""
+        return sum(r.preemptions for r in self.records)
+
+    @property
+    def migrations(self) -> int:
+        """Total crash-driven migrations across requests."""
+        return sum(r.migrations for r in self.records)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of fleet machine-seconds the fleet was serving.
+
+        1.0 with no fault schedule (or no downtime); ``nan`` on a
+        zero-length run, matching the percentile conventions.
+        """
+        if not self.machine_downtime:
+            return 1.0
+        if self.makespan <= 0:
+            return math.nan
+        total = self.makespan * self.num_machines
+        return 1.0 - sum(self.machine_downtime) / total
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        """Mean crash->serving-again duration (``nan``: no recoveries)."""
+        if not self.recoveries:
+            return math.nan
+        return sum(self.recoveries) / len(self.recoveries)
+
+    @property
+    def unfinished(self) -> list[RequestRecord]:
+        """Requests the run never completed (e.g. stranded on a machine
+        that never restarted) — reported honestly, never dropped."""
+        return [r for r in self.records if not r.finished]
+
     @property
     def gpu_busy(self) -> float:
         """Total GPU busy seconds summed over machines."""

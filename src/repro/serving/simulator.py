@@ -59,15 +59,28 @@ import warnings
 from ..core import HermesConfig
 from ..hardware import Machine
 from ..models import ModelSpec, get_model
-from ..sim import Acquire, Release, Resource, Simulator, Timeout, WaitUntil
+from ..sim import (
+    Acquire,
+    Release,
+    Resource,
+    Signal,
+    Simulator,
+    Timeout,
+    WaitSignal,
+    WaitUntil,
+)
 from ..sparsity import ActivationTrace
 from ..telemetry.events import (
     DecodeStep,
+    MachineDown,
+    MachineHealth,
+    MachineUp,
     PrefillEnded,
     PrefillStarted,
     QueueDepth,
     RequestAdmitted,
     RequestCompleted,
+    RequestMigrated,
     RequestPreempted,
     RequestResumed,
     RequestRouted,
@@ -77,6 +90,7 @@ from ..telemetry.events import (
 from ..telemetry.tracer import NULL_TRACER, Tracer
 from .backends import MachineGroup, ServingBackend, make_backend
 from .executor import MachineExecutor, default_serving_trace
+from .faults import FaultSchedule
 from .metrics import RequestRecord, ServingReport
 from .policies import BatchingPolicy, get_policy
 from .workload import Request
@@ -92,6 +106,10 @@ class ServingConfig:
     #: event (see the module docstring); ``False`` keeps the per-token
     #: reference loop, which the equivalence tests pin against
     macro_step: bool = True
+    #: deterministic fault timeline (crashes/stragglers/partitions) the
+    #: run executes against; ``None`` keeps every fault branch
+    #: short-circuited and the run bit-identical to a fault-free build
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -163,7 +181,7 @@ class _RunState:
         num_machines: int = 1,
         *,
         num_queues: int = 1,
-        assign: typing.Callable[[Request], int] | None = None,
+        assign: typing.Callable[[Request, float], int] | None = None,
     ) -> None:
         self.workload = sorted(workload, key=lambda r: (r.arrival, r.req_id))
         ids = [r.req_id for r in self.workload]
@@ -186,6 +204,21 @@ class _RunState:
         #: machines whose policy returned a batch limit < 1 (clamped)
         self.batch_limit_clamps = 0
         self._clamp_noted = [False] * num_machines
+        #: per-machine interruptible-wait channels: a crashing peer
+        #: fires the destination's signal when it migrates work over, so
+        #: an idle machine picks the work up immediately instead of
+        #: sleeping through it (fault runs only — fault-free idle sleeps
+        #: never block on these)
+        self.wake_signals = [Signal(f"wake-{i}") for i in range(num_machines)]
+        #: the live simulator, bound by ``run()`` (fault migration needs
+        #: to fire wake signals at the current simulation time)
+        self.sim: Simulator | None = None
+        #: health-monitor hook ``(machine, step_seconds, batch)`` called
+        #: at every decode boundary — identically placed in the stepped
+        #: and fused loops — when health-aware routing is on
+        self.observe_step: typing.Callable[[int, float, int], None] | None = (
+            None
+        )
 
     def note_clamp(
         self, m: int, policy: "BatchingPolicy", raw_limit: int
@@ -236,7 +269,7 @@ class _RunState:
         while (self.next_arrival_idx < len(self.workload)
                and self.workload[self.next_arrival_idx].arrival <= now):
             request = self.workload[self.next_arrival_idx]
-            target = 0 if self.assign is None else self.assign(request)
+            target = 0 if self.assign is None else self.assign(request, now)
             self.queues[target].append(request)
             self.next_arrival_idx += 1
             moved = True
@@ -262,6 +295,46 @@ class _RunState:
         """Return a preempted request to machine ``m``'s queue."""
         self.queue_of(m).append(request)
         self.note_queue(now)
+
+    def migrate(self, request: Request, from_machine: int, now: float) -> None:
+        """Evacuate ``request`` off a crashed machine.
+
+        Generated tokens survive (they were already streamed to the
+        client) but the KV cache does not: the record is flagged for
+        re-prefill over ``prompt_len + generated`` on re-admission — the
+        honest migration cost.  In routed mode the request is re-routed
+        against current loads and health; in shared-queue mode it
+        returns to the common backlog.  The destination's wake signal
+        fires so an idle machine picks the refugee up immediately.
+        """
+        record = self.records[request.req_id]
+        record.needs_prefill = True
+        record.migrations += 1
+        routed = len(self.queues) > 1
+        if routed and self.assign is not None:
+            target = self.assign(request, now)
+        else:
+            target = 0
+        self.queues[target].append(request)
+        if self.tracer.enabled:
+            self.tracer.emit(RequestMigrated(
+                time=now,
+                req_id=request.req_id,
+                from_machine=from_machine,
+                to_machine=target if routed else -1,
+                generated=len(record.token_times),
+            ))
+            if routed:
+                self.tracer.emit(RequestRouted(
+                    time=now, req_id=request.req_id, machine=target
+                ))
+        self.note_queue(now)
+        if self.sim is not None:
+            if routed:
+                self.sim.fire(self.wake_signals[target])
+            else:
+                for signal in self.wake_signals:
+                    self.sim.fire(signal)
 
     def next_arrival(self) -> float | None:
         if self.next_arrival_idx >= len(self.workload):
@@ -406,6 +479,19 @@ class ServingSimulator:
             backends=tuple(self.machine_backends),
         )
 
+    def _fault_fields(self, makespan: float) -> dict:
+        """Downtime/recovery report fields derived from the schedule."""
+        faults = self.config.faults
+        if faults is None:
+            return {}
+        return {
+            "machine_downtime": [
+                faults.downtime_within(m, makespan)
+                for m in range(self.config.num_machines)
+            ],
+            "recoveries": faults.recoveries_within(makespan),
+        }
+
     def _make_report(self, state: _RunState, makespan: float) -> ServingReport:
         return ServingReport(
             policy=self.policy.name,
@@ -417,6 +503,7 @@ class ServingSimulator:
             machine_gpu_busy=state.machine_gpu_busy,
             machine_dimm_busy=state.machine_dimm_busy,
             batch_limit_clamps=state.batch_limit_clamps,
+            **self._fault_fields(makespan),
         )
 
     # ------------------------------------------------------------------
@@ -437,8 +524,11 @@ class ServingSimulator:
         """
         if not workload:
             raise ValueError("workload must be non-empty")
+        if self.config.faults is not None:
+            self.config.faults.validate_fleet(self.config.num_machines)
         sim = Simulator()
         state = self._build_state(workload)
+        state.sim = sim
         state.tracer = tracer if tracer is not None else NULL_TRACER
         if state.tracer.enabled:
             state.tracer.emit(self._run_started_event())
@@ -465,8 +555,65 @@ class ServingSimulator:
                       if preemptor is not None else None)
         tracer = state.tracer
         tracing = tracer.enabled
+        #: the fault timeline, or None — every fault branch below guards
+        #: on this so the fault-free hot path is untouched (pinned by
+        #: the goldens and the serving bench gate)
+        faults = cfg.faults
+        wake = state.wake_signals[m]
+        observe = state.observe_step
+        last_health: str | None = None
         active: list[ActiveEntry] = []
         while True:
+            if faults is not None:
+                if faults.is_down(m, sim.now):
+                    # ---- crash: kill residents, migrate, park ----
+                    now = sim.now
+                    if tracing:
+                        tracer.emit(MachineDown(
+                            time=now, machine=m, reason="crash"
+                        ))
+                        tracer.emit(MachineHealth(
+                            time=now, machine=m, state="down", slowdown=1.0
+                        ))
+                        last_health = "down"
+                    if active:
+                        state.total_active -= len(active)
+                        state.active_counts[m] -= len(active)
+                        state.note_batch(now)
+                        for entry in active:
+                            state.migrate(entry.request, m, now)
+                        active = []
+                    if len(state.queues) > 1:
+                        # routed mode: the dead machine's backlog is
+                        # re-routed too (the frontend still holds it)
+                        pending = list(state.queue_of(m))
+                        state.queue_of(m).clear()
+                        for request in pending:
+                            state.migrate(request, m, now)
+                    up = faults.up_time(m, now)
+                    if up is None:
+                        # never restarts; unserved work stays queued and
+                        # is reported honestly as unfinished
+                        return
+                    yield WaitUntil(up)
+                    executor.reset()
+                    if tracing:
+                        tracer.emit(MachineUp(
+                            time=sim.now,
+                            machine=m,
+                            warmup=faults.restart_warmup,
+                        ))
+                    continue
+                if tracing:
+                    health = faults.health_state(m, sim.now)
+                    if health != last_health:
+                        last_health = health
+                        tracer.emit(MachineHealth(
+                            time=sim.now,
+                            machine=m,
+                            state=health,
+                            slowdown=faults.slowdown_at(m, sim.now),
+                        ))
             state.ingest(sim.now)
             queue = state.queue_of(m)
 
@@ -505,17 +652,40 @@ class ServingSimulator:
                 state.note_queue(sim.now)
                 record = state.records[request.req_id]
                 record.machine = m
-                if record.prefill_start is None:
-                    record.prefill_start = sim.now
+                if record.prefill_start is None or record.needs_prefill:
+                    # a migrated request re-runs prefill over prompt +
+                    # generated tokens: the tokens survive (already
+                    # streamed) but the KV died with the crashed machine
+                    replay = (len(record.token_times)
+                              if record.needs_prefill else 0)
+                    record.needs_prefill = False
+                    if record.prefill_start is None:
+                        record.prefill_start = sim.now
                     if tracing:
                         tracer.emit(PrefillStarted(
                             time=sim.now, req_id=request.req_id, machine=m
                         ))
                     yield Acquire(resource)
                     compute, transfer = executor.prefill_cost(
-                        request.prompt_len
+                        request.prompt_len + replay
                     )
-                    yield Timeout(compute + transfer)
+                    if faults is None:
+                        yield Timeout(compute + transfer)
+                    else:
+                        factor = faults.slowdown_at(m, sim.now)
+                        compute *= factor
+                        transfer *= factor
+                        crash = faults.next_down(m, sim.now)
+                        if (crash is not None
+                                and sim.now + (compute + transfer) >= crash):
+                            # the crash lands mid-prefill: abort (no
+                            # cost charged, KV lost) and migrate the
+                            # half-prefilled request
+                            yield WaitUntil(crash)
+                            yield Release(resource)
+                            state.migrate(request, m, sim.now)
+                            break
+                        yield Timeout(compute + transfer)
                     yield Release(resource)
                     # only the compute part occupies the GPU; the KV push
                     # is PCIe time (kept out of utilization, like decode's
@@ -545,8 +715,22 @@ class ServingSimulator:
                 state.ingest(sim.now)
                 queue = state.queue_of(m)
 
+            # a crash that landed during an admission prefill parks the
+            # machine before it touches the (now stale) decode state
+            if faults is not None and faults.is_down(m, sim.now):
+                continue
+
             # ---- continuous-batching decode ----
-            if active and not macro:
+            # A degraded (straggling) machine always steps per token:
+            # its scaled per-step costs evolve exactly like the
+            # reference loop's, so fused==stepped holds trivially
+            # through slowdown windows and fusion resumes when the
+            # window ends.
+            use_macro = macro
+            if faults is not None and use_macro and active:
+                if faults.slowdown_at(m, sim.now) != 1.0:
+                    use_macro = False
+            if active and not use_macro:
                 # reference path: one iteration per scheduling round
                 batch = len(active)
                 context = max(
@@ -554,19 +738,42 @@ class ServingSimulator:
                 )
                 yield Acquire(resource)
                 cost = executor.decode_step(batch, context)
-                yield Timeout(cost.seconds)
+                seconds = cost.seconds
+                gpu_cost = cost.gpu_busy
+                dimm_cost = cost.dimm_busy
+                if faults is None:
+                    yield Timeout(seconds)
+                else:
+                    # a straggler stretches the whole step; the cost is
+                    # quoted at the step's start, so a step straddling a
+                    # window boundary completes at its quoted cost —
+                    # exactly like a step straddling an arrival
+                    factor = faults.slowdown_at(m, sim.now)
+                    seconds *= factor
+                    gpu_cost *= factor
+                    dimm_cost *= factor
+                    crash = faults.next_down(m, sim.now)
+                    if crash is not None and sim.now + seconds >= crash:
+                        # the crash lands mid-step: abort — no token
+                        # granted, no busy time charged
+                        yield WaitUntil(crash)
+                        yield Release(resource)
+                        continue
+                    yield Timeout(seconds)
                 yield Release(resource)
-                state.machine_gpu_busy[m] += cost.gpu_busy
-                state.machine_dimm_busy[m] += cost.dimm_busy
+                state.machine_gpu_busy[m] += gpu_cost
+                state.machine_dimm_busy[m] += dimm_cost
+                if observe is not None:
+                    observe(m, seconds, batch)
                 now = sim.now
                 if tracing:
                     tracer.emit(DecodeStep(
                         time=now,
                         machine=m,
                         batch=batch,
-                        seconds=cost.seconds,
-                        gpu_busy=cost.gpu_busy,
-                        dimm_busy=cost.dimm_busy,
+                        seconds=seconds,
+                        gpu_busy=gpu_cost,
+                        dimm_busy=dimm_cost,
                         swap_bytes=cost.swap_bytes,
                         resident_bytes=cost.resident_bytes,
                         req_ids=tuple(
@@ -627,6 +834,20 @@ class ServingSimulator:
                     until is None or upcoming < until
                 ):
                     until = upcoming
+                if faults is not None:
+                    # fault boundaries bound spans exactly like arrivals:
+                    # our own crash/slowdown windows cannot land inside a
+                    # span's interior, and *any* machine's crash may
+                    # migrate work into our queue, which the stepped
+                    # loop would notice at its next token boundary
+                    for bound in (
+                        faults.next_exec_transition(m, sim.now),
+                        faults.next_any_down(sim.now),
+                    ):
+                        if bound is not None and (
+                            until is None or bound < until
+                        ):
+                            until = bound
                 if until is not None:
                     # size the context ramp from the backend's recent
                     # step time: an under-sized span just ends at a
@@ -661,10 +882,27 @@ class ServingSimulator:
                 # the full event stream matches the stepped loop's.
                 req_ids = (tuple(a.request.req_id for a in active)
                            if tracing else ())
+                crash = (faults.next_down(m, sim.now)
+                         if faults is not None else None)
+                span_seconds = (span.seconds.tolist()
+                                if observe is not None else None)
+                granted = len(times)
                 for i, boundary in enumerate(times):
                     yield Acquire(resource)
+                    if crash is not None and boundary >= crash:
+                        # the crash lands inside this boundary's step:
+                        # abort the remainder of the replay — no tokens
+                        # granted, no busy charged past this point (the
+                        # backend's engine-state overshoot is harmless:
+                        # restart resets it, matching the stepped loop)
+                        yield WaitUntil(crash)
+                        yield Release(resource)
+                        granted = i
+                        break
                     yield WaitUntil(boundary)
                     yield Release(resource)
+                    if observe is not None:
+                        observe(m, span_seconds[i], batch)
                     if tracing:
                         cost = span.step(i)
                         tracer.emit(DecodeStep(
@@ -678,10 +916,13 @@ class ServingSimulator:
                             resident_bytes=cost.resident_bytes,
                             req_ids=req_ids,
                         ))
+                if granted != len(times):
+                    times = times[:granted]
                 gpu_busy = state.machine_gpu_busy
                 dimm_busy = state.machine_dimm_busy
                 for g, d in zip(
-                    span.gpu_busy.tolist(), span.dimm_busy.tolist()
+                    span.gpu_busy.tolist()[:granted],
+                    span.dimm_busy.tolist()[:granted],
                 ):
                     gpu_busy[m] += g
                     dimm_busy[m] += d
@@ -708,6 +949,32 @@ class ServingSimulator:
             # (reaching here implies this machine's queue is empty: with no
             # resident batch the admission loop drains the queue first)
             upcoming = state.next_arrival()
+            if faults is None:
+                if upcoming is None:
+                    break
+                yield Timeout(max(0.0, upcoming - sim.now))
+                continue
+            # Under faults, idle sleeps are interruptible (a crashing
+            # peer fires our wake signal when it migrates work over) and
+            # bounded by the fleet's next crash instant — the only fault
+            # event that can create work for an idle machine, and the
+            # event that parks us when it is our own.  With no arrivals
+            # and no in-flight work left anywhere, park unboundedly
+            # instead: trailing fault windows then don't stretch the
+            # calendar past the last real serving event, and a late
+            # migration out of an aborted prefill still wakes us.
+            if (upcoming is None and state.total_active == 0
+                    and state.queued_total() == 0):
+                yield WaitSignal(wake)
+                continue
+            boundary = faults.next_any_down(sim.now, strict=True)
+            if upcoming is None and boundary is None:
+                yield WaitSignal(wake)
+                continue
             if upcoming is None:
-                break
-            yield Timeout(max(0.0, upcoming - sim.now))
+                target = boundary
+            elif boundary is None:
+                target = upcoming
+            else:
+                target = min(upcoming, boundary)
+            yield WaitSignal(wake, until=target)

@@ -5,8 +5,10 @@ from .engine import (
     Process,
     Release,
     Resource,
+    Signal,
     Simulator,
     Timeout,
+    WaitSignal,
     WaitUntil,
 )
 from .pipeline import overlap_two_stage, pipeline_makespan
@@ -17,6 +19,8 @@ __all__ = [
     "Resource",
     "Timeout",
     "WaitUntil",
+    "WaitSignal",
+    "Signal",
     "Acquire",
     "Release",
     "pipeline_makespan",

@@ -12,6 +12,11 @@ Processes are Python generators that yield simulation primitives:
   have produced — ``now + (t - now)`` re-rounds in floating point, an
   absolute target does not;
 * ``Acquire(resource)`` / ``Release(resource)`` — serialise on a device;
+* ``WaitSignal(signal, until)`` — interruptible wait: sleep until another
+  process fires the :class:`Signal` (``sim.fire``) or the optional
+  absolute deadline passes, whichever comes first.  The serving layer
+  uses this so an idle machine can be woken the moment a crashed peer
+  migrates work into its queue, instead of polling;
 * another process handle — join (wait for completion).
 
 The engine is deterministic: simultaneous events fire in scheduling order.
@@ -64,6 +69,50 @@ class Resource:
         return f"Resource({self.name!r}, busy={self.busy})"
 
 
+class Signal:
+    """A broadcast wake-up channel for interruptible waits.
+
+    Processes block on it by yielding :class:`WaitSignal`;
+    :meth:`Simulator.fire` wakes every current waiter at the present
+    simulation time.  A fired wait's pending deadline entry becomes a
+    no-op, and a deadline expiry removes the waiter from the channel —
+    each wait wakes exactly once.
+    """
+
+    def __init__(self, name: str = "signal") -> None:
+        self.name = name
+        self._waiters: list["_SignalWait"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class _SignalWait:
+    """Internal one-shot token tying a waiting process to a Signal."""
+
+    __slots__ = ("signal", "proc", "woken")
+
+    def __init__(self, signal: Signal, proc: "Process") -> None:
+        self.signal = signal
+        self.proc = proc
+        self.woken = False
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitSignal:
+    """Sleep until ``signal`` fires or absolute time ``until`` passes.
+
+    With ``until=None`` the wait is unbounded — only a fire wakes it.
+    Like :class:`WaitUntil`, a deadline not in the future fires
+    immediately; the waker cannot be distinguished from the yield value
+    (processes receive nothing), so wakers inspect ``sim.now`` or shared
+    state to learn why they woke.
+    """
+
+    signal: Signal
+    until: float | None = None
+
+
 @dataclasses.dataclass(frozen=True)
 class Acquire:
     resource: Resource
@@ -96,7 +145,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: list[tuple[float, int, Process]] = []
+        self._queue: list[tuple[float, int, "Process | _SignalWait"]] = []
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -107,9 +156,18 @@ class Simulator:
         self._push(self.now + delay, proc)
         return proc
 
-    def _push(self, time: float, proc: Process) -> None:
+    def _push(self, time: float, proc: "Process | _SignalWait") -> None:
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, proc))
+
+    def fire(self, signal: Signal) -> None:
+        """Wake every process currently blocked on ``signal`` now."""
+        waiters = signal._waiters
+        signal._waiters = []
+        for token in waiters:
+            if not token.woken:
+                token.woken = True
+                self._push(self.now, token.proc)
 
     # ------------------------------------------------------------------
     def _step(self, proc: Process) -> None:
@@ -125,6 +183,13 @@ class Simulator:
             self._push(self.now + item.delay, proc)
         elif isinstance(item, WaitUntil):
             self._push(item.time if item.time > self.now else self.now, proc)
+        elif isinstance(item, WaitSignal):
+            token = _SignalWait(item.signal, proc)
+            item.signal._waiters.append(token)
+            if item.until is not None:
+                self._push(
+                    item.until if item.until > self.now else self.now, token
+                )
         elif isinstance(item, Acquire):
             resource = item.resource
             if resource._holder is None:
@@ -163,10 +228,20 @@ class Simulator:
     def run(self, until: float | None = None) -> float:
         """Run to quiescence (or to ``until``); returns the final time."""
         while self._queue:
-            time, _, proc = heapq.heappop(self._queue)
+            time, _, entry = heapq.heappop(self._queue)
             if until is not None and time > until:
                 self.now = until
                 return self.now
+            if isinstance(entry, _SignalWait):
+                # deadline expiry of an interruptible wait; a no-op when
+                # the signal already fired (the wait woke exactly once)
+                if entry.woken:
+                    continue
+                entry.woken = True
+                entry.signal._waiters.remove(entry)
+                self.now = time
+                self._step(entry.proc)
+                continue
             self.now = time
-            self._step(proc)
+            self._step(entry)
         return self.now

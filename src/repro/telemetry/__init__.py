@@ -20,11 +20,15 @@ from .events import (
     ClassInfo,
     DecodeStep,
     Event,
+    MachineDown,
+    MachineHealth,
+    MachineUp,
     PrefillEnded,
     PrefillStarted,
     QueueDepth,
     RequestAdmitted,
     RequestCompleted,
+    RequestMigrated,
     RequestPreempted,
     RequestResumed,
     RequestRouted,
@@ -55,6 +59,9 @@ __all__ = [
     "Event",
     "Gauge",
     "Histogram",
+    "MachineDown",
+    "MachineHealth",
+    "MachineUp",
     "MetricSpec",
     "MetricsRegistry",
     "MetricStreamTracer",
@@ -67,6 +74,7 @@ __all__ = [
     "RecordingTracer",
     "RequestAdmitted",
     "RequestCompleted",
+    "RequestMigrated",
     "RequestPreempted",
     "RequestResumed",
     "RequestRouted",

@@ -10,7 +10,11 @@ The layout gives every machine its own lane (thread) inside one
   decision through prefill, across preemption/resume hops (possibly to
   another machine), to its completion anchor;
 * total queued requests is a counter (``C``) track;
-* preemptions additionally show as instant (``i``) markers.
+* preemptions additionally show as instant (``i``) markers;
+* under fault injection, crashes and health transitions are instant
+  markers, each outage renders as a ``down`` slice on the machine's
+  lane (closed at restart, or at run end when the machine never comes
+  back), and migrations are front-door hops in the request's flow.
 
 The exporter is strict-JSON (``allow_nan=False``) and every event
 carries the ``name``/``ph``/``ts``/``pid``/``tid`` fields the trace
@@ -37,6 +41,10 @@ class _Exporter:
     def __init__(self) -> None:
         self.out: list[dict] = []
         self._flow_started: set[int] = set()
+        #: machine -> crash instant of the outage currently open; the
+        #: "down" slice is emitted when the machine comes back (or at
+        #: run end, for machines that never restart)
+        self._down_since: dict[int, float] = {}
 
     # -- helpers -------------------------------------------------------
     def _slice(
@@ -201,6 +209,71 @@ class _Exporter:
         )
         self._flow(event.req_id, event.time, tid, end=True)
 
+    def _on_machine_down(self, event: ev.MachineDown) -> None:
+        tid = event.machine + 1
+        self._down_since[event.machine] = event.time
+        self.out.append({
+            "name": "crash",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(event.time),
+            "pid": PID,
+            "tid": tid,
+            "cat": "fault",
+            "args": {"reason": event.reason},
+        })
+
+    def _on_machine_up(self, event: ev.MachineUp) -> None:
+        start = self._down_since.pop(event.machine, None)
+        if start is not None:
+            self._slice(
+                "down",
+                start,
+                event.time - start,
+                event.machine + 1,
+                args={"warmup": event.warmup},
+            )
+
+    def _on_migrated(self, event: ev.RequestMigrated) -> None:
+        to = ("shared queue" if event.to_machine < 0
+              else f"m{event.to_machine}")
+        self._slice(
+            f"migrate req {event.req_id} -> {to}",
+            event.time,
+            0.0,
+            FRONT_TID,
+            args={
+                "from_machine": event.from_machine,
+                "to_machine": event.to_machine,
+                "generated": event.generated,
+            },
+        )
+        self._flow(event.req_id, event.time, FRONT_TID)
+
+    def _on_health(self, event: ev.MachineHealth) -> None:
+        self.out.append({
+            "name": f"health: {event.state}",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(event.time),
+            "pid": PID,
+            "tid": event.machine + 1,
+            "cat": "fault",
+            "args": {"state": event.state, "slowdown": event.slowdown},
+        })
+
+    def _on_run_ended(self, event: ev.RunEnded) -> None:
+        # close outages that never recovered so the lane shows the
+        # machine as down through the end of the run
+        for machine, start in sorted(self._down_since.items()):
+            self._slice(
+                "down (no restart)",
+                start,
+                max(0.0, event.makespan - start),
+                machine + 1,
+            )
+        self._down_since.clear()
+
     _handlers: dict[type, typing.Callable] = {
         ev.RunStarted: _on_run_started,
         ev.RequestAdmitted: _on_admitted,
@@ -211,6 +284,11 @@ class _Exporter:
         ev.DecodeStep: _on_decode_step,
         ev.RequestPreempted: _on_preempted,
         ev.RequestCompleted: _on_completed,
+        ev.MachineDown: _on_machine_down,
+        ev.MachineUp: _on_machine_up,
+        ev.MachineHealth: _on_health,
+        ev.RequestMigrated: _on_migrated,
+        ev.RunEnded: _on_run_ended,
     }
 
     def feed(self, event: ev.Event) -> None:

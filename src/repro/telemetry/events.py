@@ -163,6 +163,60 @@ class RequestCompleted:
 
 
 @dataclasses.dataclass(frozen=True)
+class MachineDown:
+    """A machine crashed (fault injection): in-flight work is evacuated."""
+
+    time: float
+    machine: int
+    reason: str = "crash"
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineUp:
+    """A crashed machine finished restarting and is serving again.
+
+    ``warmup`` is the cold-cache warmup charged on top of the restart —
+    the machine was down for it; this event marks the end of the outage.
+    """
+
+    time: float
+    machine: int
+    warmup: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineHealth:
+    """A machine's health state changed (change-point sample).
+
+    ``state`` is one of ``"ok"``, ``"slow"`` (straggling — ``slowdown``
+    carries the cost multiplier), ``"partitioned"`` (unreachable from
+    the router but still draining residents), or ``"down"``.
+    """
+
+    time: float
+    machine: int
+    state: str
+    slowdown: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestMigrated:
+    """A request was evacuated off a crashed machine.
+
+    Generated tokens survive (they were already streamed to the client);
+    the KV cache does not, so the destination re-runs prefill over
+    ``prompt_len + generated``.  ``to_machine`` is ``-1`` when the run
+    uses one shared queue (any machine may pick the request up).
+    """
+
+    time: float
+    req_id: int
+    from_machine: int
+    to_machine: int = -1
+    generated: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
 class RunEnded:
     """Last event of every traced run."""
 
@@ -181,5 +235,9 @@ Event = typing.Union[
     DecodeStep,
     RequestPreempted,
     RequestCompleted,
+    MachineDown,
+    MachineUp,
+    MachineHealth,
+    RequestMigrated,
     RunEnded,
 ]

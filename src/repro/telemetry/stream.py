@@ -101,7 +101,8 @@ class TopicStream:
 class _RequestState:
     """Per-in-flight-request tracking for live SLO attainment."""
 
-    __slots__ = ("class_name", "arrival", "first", "last", "tbt_ok")
+    __slots__ = ("class_name", "arrival", "first", "last", "tbt_ok",
+                 "resident")
 
     def __init__(self, class_name: str, arrival: float) -> None:
         self.class_name = class_name
@@ -109,6 +110,9 @@ class _RequestState:
         self.first: float | None = None
         self.last: float | None = None
         self.tbt_ok = True
+        #: currently in some machine's running batch — migration off a
+        #: crashed machine returns it to queued, not active
+        self.resident = False
 
 
 class _ClassState:
@@ -128,10 +132,12 @@ class MetricStreamTracer:
     """Render the lifecycle event stream as live JSONL metric topics.
 
     Topics: ``cluster`` (queue depth, in-flight batch, throughput,
-    completions, preemptions), ``machine/<i>`` (windowed GPU/DIMM busy
-    fractions, batch, engine swap rate and residency), and
-    ``class/<name>`` (completions, cumulative TTFT/TBT/joint SLO
-    attainment, windowed latency percentiles) per declared class.
+    completions, preemptions, crash migrations, machines up),
+    ``machine/<i>`` (windowed GPU/DIMM busy fractions, batch, engine
+    swap rate and residency, plus a string-valued ``health`` state under
+    fault injection), and ``class/<name>`` (completions, cumulative
+    TTFT/TBT/joint SLO attainment, windowed latency percentiles) per
+    declared class.
     """
 
     enabled = True
@@ -188,14 +194,22 @@ class MetricStreamTracer:
         self._m_swap = [0] * num
         self._m_resident = [math.nan] * num
         self._m_batch = [0.0] * num
+        #: fault-injection health labels; stays "ok" everywhere on
+        #: fault-free runs (no MachineHealth events are emitted)
+        self._m_health = ["ok"] * num
+        self._machines_up = num
 
         cluster = MetricsRegistry(self._percentiles)
         cluster.gauge("queue_depth", help="requests waiting for admission")
         cluster.gauge("active", help="requests resident in running batches")
         cluster.gauge("tokens_per_sec", unit="tok/s",
                       help="decode throughput over the sample window")
+        cluster.gauge("machines_up", help="machines currently serving "
+                      "(fleet size minus crashed machines)")
         cluster.counter("completed", help="requests finished")
         cluster.counter("preempted", help="preemptive evictions")
+        cluster.counter("migrations", help="crash-driven request "
+                        "evacuations")
         self._registries["cluster"] = cluster
         self._stream.announce("cluster", cluster.describe(), meta={
             "group": "cluster",
@@ -221,7 +235,16 @@ class MetricStreamTracer:
             registry.counter("tokens", help="decode tokens produced")
             topic = f"machine/{m}"
             self._registries[topic] = registry
-            self._stream.announce(topic, registry.describe(), meta={
+            # "health" is a string-valued state field, injected outside
+            # the (numeric-only) registry at publish time
+            fields = registry.describe() + [{
+                "name": "health",
+                "kind": "state",
+                "unit": "",
+                "help": "fault-injection health (ok/slow/partitioned/"
+                        "down)",
+            }]
+            self._stream.announce(topic, fields, meta={
                 "group": "machine",
                 "label": str(m),
                 "backend": event.backends[m],
@@ -268,6 +291,7 @@ class MetricStreamTracer:
         cluster = self._registries["cluster"]
         cluster.gauge("active").set(self._active)
         cluster.gauge("tokens_per_sec").set(self._cluster_tokens * rate)
+        cluster.gauge("machines_up").set(self._machines_up)
         for m in range(len(self._m_gpu)):
             registry = self._registries[f"machine/{m}"]
             registry.gauge("gpu_util").set(self._m_gpu[m] * rate)
@@ -285,7 +309,10 @@ class MetricStreamTracer:
             registry.gauge("slo_tbt").set(state.tbt_ok * frac)
             registry.gauge("slo_joint").set(state.joint_ok * frac)
         for topic, registry in self._registries.items():
-            self._stream.publish(topic, at_time, registry.collect())
+            values = registry.collect()
+            if topic.startswith("machine/"):
+                values["health"] = self._m_health[int(topic[8:])]
+            self._stream.publish(topic, at_time, values)
         # reset the window accumulators (cumulative metrics persist)
         self._cluster_tokens = 0
         self._m_gpu = [0.0] * len(self._m_gpu)
@@ -305,13 +332,39 @@ class MetricStreamTracer:
     def _on_prefill_ended(self, event: ev.PrefillEnded) -> None:
         self._m_gpu[event.machine] += event.compute
         self._active += 1
+        request = self._requests.get(event.req_id)
+        if request is not None:
+            request.resident = True
 
     def _on_resumed(self, event: ev.RequestResumed) -> None:
         self._active += 1
+        request = self._requests.get(event.req_id)
+        if request is not None:
+            request.resident = True
 
     def _on_preempted(self, event: ev.RequestPreempted) -> None:
         self._registries["cluster"].counter("preempted").inc()
         self._active -= 1
+        request = self._requests.get(event.req_id)
+        if request is not None:
+            request.resident = False
+
+    def _on_migrated(self, event: ev.RequestMigrated) -> None:
+        self._registries["cluster"].counter("migrations").inc()
+        request = self._requests.get(event.req_id)
+        if request is not None and request.resident:
+            # evacuated out of a running batch, back to queued
+            request.resident = False
+            self._active -= 1
+
+    def _on_machine_down(self, event: ev.MachineDown) -> None:
+        self._machines_up -= 1
+
+    def _on_machine_up(self, event: ev.MachineUp) -> None:
+        self._machines_up += 1
+
+    def _on_health(self, event: ev.MachineHealth) -> None:
+        self._m_health[event.machine] = event.state
 
     def _on_decode_step(self, event: ev.DecodeStep) -> None:
         m = event.machine
@@ -368,6 +421,10 @@ class MetricStreamTracer:
         ev.PrefillEnded: _on_prefill_ended,
         ev.RequestResumed: _on_resumed,
         ev.RequestPreempted: _on_preempted,
+        ev.RequestMigrated: _on_migrated,
+        ev.MachineDown: _on_machine_down,
+        ev.MachineUp: _on_machine_up,
+        ev.MachineHealth: _on_health,
         ev.DecodeStep: _on_decode_step,
         ev.RequestCompleted: _on_completed,
     }

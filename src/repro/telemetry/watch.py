@@ -145,6 +145,9 @@ class StreamState:
 def format_value(name: str, kind: str, value) -> str:
     if value is None:
         return "—"
+    if isinstance(value, str):
+        # state fields (e.g. the machine "health" column) pass through
+        return value
     if name.startswith("slo_"):
         return f"{value:.3f}"
     if kind == "counter" or name.endswith("_count"):

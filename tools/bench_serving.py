@@ -2,8 +2,9 @@
 
 Companion to ``tools/bench.py`` (decode fast path) for the serving
 layer: measures end-to-end runs/sec of the CI smoke scenario
-(``scenarios/mixed_slo_tiny.json``) *and* the mixed-fleet backend
-scenario (``scenarios/backend_shootout_tiny.json``), maintaining
+(``scenarios/mixed_slo_tiny.json``), the mixed-fleet backend scenario
+(``scenarios/backend_shootout_tiny.json``), and the fault-injection
+drill (``scenarios/chaos_mixed_tiny.json``), maintaining
 ``BENCH_serving.json`` at the repo root.  Modes:
 
 * default — measure and print, compare informationally.
@@ -42,6 +43,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from benchmarks.bench_decode import bench_calibration  # noqa: E402
 from benchmarks.bench_serving import (  # noqa: E402
     BENCH_MIXED_FLEET_SCENARIO,
+    bench_fault_overhead,
     bench_scenario,
     bench_telemetry_overhead,
 )
@@ -66,6 +68,10 @@ def measure(quick: bool) -> dict:
         # throughput-weighted router: pins the backend dispatch path
         "mixed_fleet": bench_scenario(BENCH_MIXED_FLEET_SCENARIO,
                                       min_seconds=min_seconds / 2),
+        # the fault-injection drill: pins migrations, availability,
+        # and MTTR alongside the usual scenario metrics
+        "fault_overhead": bench_fault_overhead(
+            min_seconds=min_seconds / 2),
         # what enabling telemetry costs, recorded informationally —
         # the gated keys above run the default NullTracer path
         "telemetry": bench_telemetry_overhead(min_seconds=min_seconds / 2),
@@ -125,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
-    for key in ("scenario", "mixed_fleet"):
+    for key in ("scenario", "mixed_fleet", "fault_overhead"):
         scen = current[key]
         sim = scen["simulated"]
         print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
@@ -138,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
               f"{sim['preemptions']} preemptions, "
               f"slo_joint {sim['slo_joint']}")
+        if "migrations" in sim:
+            print(f"faults: {sim['migrations']} migrations, "
+                  f"availability {sim['availability']:.4f}, "
+                  f"MTTR {sim['mean_time_to_recover'] * 1e3:.1f} ms, "
+                  f"{sim['unfinished']} unfinished")
     tel = current["telemetry"]
     print(f"telemetry: recording {tel['events_per_run']} events costs "
           f"{tel['recording_overhead_frac'] * 100:.0f}% "
@@ -156,11 +167,11 @@ def main(argv: list[str] | None = None) -> int:
         if calib:
             scale = current["calibration_iters_per_sec"] / calib
             suffix = f", calibrated x{scale:.2f}"
-        for key in ("scenario", "mixed_fleet"):
+        for key in ("scenario", "mixed_fleet", "fault_overhead"):
             base_scen = baseline.get(key)
             if base_scen is None:
-                # pre-mixed-fleet baseline: nothing to gate yet — an
-                # --update run will start recording it
+                # a baseline predating this record key: nothing to
+                # gate yet — an --update run will start recording it
                 print(f"{key}: no committed baseline, skipping")
                 continue
             scen = current[key]
