@@ -145,6 +145,52 @@ def bench_fault_overhead(*, min_seconds: float = 0.5) -> dict:
     return record
 
 
+def bench_planner(*, min_seconds: float = 0.5) -> dict:
+    """Wall time + drift probes for the capacity planner.
+
+    Times full ``plan()`` passes (enumerate, analytic prune, frontier,
+    quick simulator validation) over the CI smoke scenario, and records
+    the planner's *decisions* — candidate/prune/frontier counts and the
+    chosen fleet — as the deterministic ``simulated`` half for the
+    drift gate: a changed answer means the planning semantics changed.
+    """
+    from repro.planner import plan
+
+    path = resolve_scenario(BENCH_SCENARIO)
+    plan(path, quick=True)  # warmup: fill the per-process trace caches
+    runs = 0
+    start = time.perf_counter()
+    while True:
+        result = plan(path, quick=True)
+        runs += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+    best = result.best
+    return {
+        "scenario": result.scenario,
+        "runs": runs,
+        "seconds": elapsed,
+        "runs_per_sec": runs / elapsed,
+        "simulated": {
+            "num_candidates": result.num_candidates,
+            "num_pruned": result.num_pruned,
+            "frontier_size": len(result.frontier),
+            "validated_passing": sum(
+                1 for o in result.validations if o.passed
+            ),
+            "best": None if best is None else {
+                "backend": best.candidate.backend,
+                "gpu": best.candidate.gpu,
+                "model": best.candidate.model,
+                "count": best.candidate.count,
+                "nominal_batch": best.candidate.nominal_batch,
+                "cost_usd": best.cost_usd,
+            },
+        },
+    }
+
+
 def bench_telemetry_overhead(
     spec: str = BENCH_SCENARIO, *, min_seconds: float = 0.5
 ) -> dict:

@@ -10,19 +10,19 @@ Run with::
     python examples/budget_llama70b.py
 """
 
-from repro import (
+from repro.api import (
     HermesBase,
     HermesHost,
     HermesSystem,
     HuggingfaceAccelerate,
     Machine,
     TensorRTLLM,
+    TraceConfig,
     generate_trace,
     get_model,
     machine_cost_usd,
     server_cost_usd,
 )
-from repro.sparsity import TraceConfig
 
 
 def main() -> None:

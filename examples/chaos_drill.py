@@ -17,7 +17,7 @@ requests the outage stranded:
 import dataclasses
 import pathlib
 
-from repro.scenarios import load_scenario
+from repro.api import load_scenario
 
 SPEC = pathlib.Path(__file__).resolve().parent.parent / (
     "scenarios/chaos_mixed_tiny.json"

@@ -10,7 +10,7 @@ SLO scheduling, and prints the per-class report an operator would watch:
 import dataclasses
 import pathlib
 
-from repro.scenarios import load_scenario
+from repro.api import load_scenario
 
 SPEC = pathlib.Path(__file__).resolve().parent.parent / (
     "scenarios/mixed_slo_tiny.json"

@@ -9,15 +9,15 @@ Run with::
     python examples/predictor_playground.py
 """
 
-from repro import (
+from repro.api import (
     ActivationPredictor,
     DejaVu,
     Machine,
     PredictorConfig,
+    TraceConfig,
     generate_trace,
     get_model,
 )
-from repro.sparsity import TraceConfig
 
 MODES = {
     "token + layer (Hermes)": PredictorConfig(),

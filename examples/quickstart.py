@@ -10,8 +10,13 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import HermesSystem, Machine, generate_trace, get_model
-from repro.sparsity import TraceConfig
+from repro.api import (
+    HermesSystem,
+    Machine,
+    TraceConfig,
+    generate_trace,
+    get_model,
+)
 
 
 def main() -> None:

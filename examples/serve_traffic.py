@@ -17,14 +17,15 @@ stream —
 
 import argparse
 
-from repro.serving import (
+from repro.api import (
     LengthDistribution,
     ServingConfig,
     ServingSimulator,
+    TelemetrySpec,
     WorkloadConfig,
     generate_workload,
+    scenario_sinks,
 )
-from repro.telemetry import TelemetrySpec, scenario_sinks
 
 parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
 parser.add_argument("--trace-out", default=None, metavar="FILE",

@@ -12,8 +12,13 @@ Run with::
 
 import sys
 
-from repro import HermesSystem, Machine, generate_trace, get_model
-from repro.sparsity import TraceConfig
+from repro.api import (
+    HermesSystem,
+    Machine,
+    TraceConfig,
+    generate_trace,
+    get_model,
+)
 
 DIMM_COUNTS = (2, 4, 8, 16)
 MULTIPLIERS = (64, 128, 256, 512)

@@ -47,11 +47,13 @@ from .baselines import (
     HuggingfaceAccelerate,
     TensorRTLLM,
 )
+from . import api
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
     "ModelSpec",
     "get_model",
     "list_models",

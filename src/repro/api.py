@@ -1,0 +1,153 @@
+"""The supported public surface of the ``repro`` package.
+
+Downstream code (the bundled examples included) should import from
+``repro.api`` — everything here is covered by the round-trip tests and
+kept stable across refactors, while the submodule layout underneath
+(``repro.core``, ``repro.serving``, ...) is free to move.
+
+The four verbs most callers need::
+
+    from repro import api
+
+    scenario = api.load_scenario("scenarios/mixed_slo_tiny.json")
+    report = api.simulate(scenario)          # typed ClusterReport
+    result = api.plan(scenario, budget=8)    # cheapest SLO-meeting fleet
+    api.list_backends(), api.list_models()   # the registries
+
+plus re-exports of the stable types those verbs produce and consume
+(offline systems, hardware and model specs, trace generation, the
+serving/telemetry toolkit, and the planner's result types).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+# ---- offline systems and their substrates ----------------------------
+from .baselines import (
+    DejaVu,
+    FlexGen,
+    HermesBase,
+    HermesHost,
+    HuggingfaceAccelerate,
+    TensorRTLLM,
+)
+from .cluster import ClusterConfig, ClusterReport, ClusterSimulator
+from .core import (
+    ActivationPredictor,
+    HermesConfig,
+    HermesSystem,
+    PredictorConfig,
+    RunResult,
+)
+from .hardware import (
+    GPUSpec,
+    Machine,
+    NDPDIMM,
+    get_gpu,
+    machine_cost_usd,
+    server_cost_usd,
+)
+from .models import ModelSpec, get_model, list_models
+from .planner import (
+    FleetCandidate,
+    PlanResult,
+    ValidationOutcome,
+    plan,
+)
+from .scenarios import PlannerSpec, Scenario, TenantSpec, load_scenario
+from .serving import (
+    BACKENDS,
+    BatchingPolicy,
+    LengthDistribution,
+    MachineGroup,
+    Request,
+    ServingConfig,
+    ServingReport,
+    ServingSimulator,
+    WorkloadConfig,
+    generate_workload,
+)
+from .sparsity import ActivationTrace, TraceConfig, generate_trace
+from .telemetry import TelemetrySpec, Tracer, scenario_sinks
+
+
+def list_backends() -> list[str]:
+    """Registered serving-backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def simulate(
+    scenario: Scenario | str | pathlib.Path,
+    *,
+    tracer: Tracer | None = None,
+) -> ClusterReport:
+    """Run one scenario end to end and return its typed report.
+
+    ``scenario`` may be an already-loaded :class:`Scenario` or a spec
+    path (JSON/TOML); pass a :class:`Tracer` to capture telemetry.
+    """
+    if isinstance(scenario, (str, pathlib.Path)):
+        scenario = load_scenario(scenario)
+    return scenario.run(tracer=tracer)
+
+
+__all__ = [
+    # the verbs
+    "list_backends",
+    "list_models",
+    "load_scenario",
+    "plan",
+    "simulate",
+    # models and hardware
+    "GPUSpec",
+    "Machine",
+    "ModelSpec",
+    "NDPDIMM",
+    "get_gpu",
+    "get_model",
+    "machine_cost_usd",
+    "server_cost_usd",
+    # traces
+    "ActivationTrace",
+    "TraceConfig",
+    "generate_trace",
+    # offline systems
+    "ActivationPredictor",
+    "DejaVu",
+    "FlexGen",
+    "HermesBase",
+    "HermesConfig",
+    "HermesHost",
+    "HermesSystem",
+    "HuggingfaceAccelerate",
+    "PredictorConfig",
+    "RunResult",
+    "TensorRTLLM",
+    # serving and cluster
+    "BACKENDS",
+    "BatchingPolicy",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSimulator",
+    "LengthDistribution",
+    "MachineGroup",
+    "Request",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSimulator",
+    "WorkloadConfig",
+    "generate_workload",
+    # scenarios
+    "PlannerSpec",
+    "Scenario",
+    "TenantSpec",
+    # telemetry
+    "TelemetrySpec",
+    "Tracer",
+    "scenario_sinks",
+    # planner
+    "FleetCandidate",
+    "PlanResult",
+    "ValidationOutcome",
+]

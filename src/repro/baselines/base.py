@@ -126,6 +126,67 @@ def gpu_kv_attention_time(
     return machine.gpu.attention_time(kv_bytes * model.num_layers)
 
 
+def hermes_gpu_hot_budget(
+    machine: Machine, model: ModelSpec, *, reserve_bytes: int = 1 * GIB
+) -> int:
+    """GPU bytes left for Hermes' hot-neuron region (may be <= 0).
+
+    Mirrors :attr:`repro.core.HermesSystem.gpu_hot_budget` — dense
+    projection weights and embeddings pin GPU memory first, then the
+    workspace reserve — as a pure kernel the capacity planner can
+    evaluate without constructing an engine.
+    """
+    static = (
+        model.dense_bytes_per_layer * model.num_layers
+        + model.embedding_bytes
+    )
+    return machine.gpu.memory_bytes - static - reserve_bytes
+
+
+def hermes_memory_feasible(
+    machine: Machine, model: ModelSpec, *, reserve_bytes: int = 1 * GIB
+) -> tuple[bool, str]:
+    """(fits, reason) — can a Hermes machine even host ``model``?
+
+    The exact pair of capacity checks that make
+    :class:`repro.core.HermesSystem` construction (DIMM pool) and
+    session setup (GPU hot budget) raise, spelled as a pure kernel so
+    the planner can discard a candidate fleet analytically instead of
+    catching engine exceptions.
+    """
+    required = model.total_weight_bytes - model.embedding_bytes
+    if not machine.fits_on_dimms(required):
+        return False, (
+            f"needs {required / GIB:.0f} GiB of DIMM capacity; the pool "
+            f"has {machine.dimm_capacity_total / GIB:.0f} GiB"
+        )
+    if hermes_gpu_hot_budget(machine, model,
+                             reserve_bytes=reserve_bytes) <= 0:
+        return False, (
+            f"{machine.gpu.name} cannot hold the dense weights of "
+            f"{model.name}"
+        )
+    return True, ""
+
+
+def streamed_token_transfer_floor(
+    machine: Machine, model: ModelSpec, resident_fraction: float
+) -> float:
+    """Hard PCIe lower bound on one streamed dense decode token.
+
+    The transfer legs of :func:`streamed_dense_token_cost` alone — no
+    pipeline can finish a token before its non-resident weights have
+    crossed the link, so ``batch / floor`` is a *sound* upper bound on
+    a streamed backend's tokens/sec at any batch size.
+    """
+    stream_bytes = model.layer_bytes * (1.0 - resident_fraction)
+    per_layer = (
+        machine.pcie.latency
+        + stream_bytes / machine.pcie.effective_bandwidth
+    )
+    return per_layer * model.num_layers
+
+
 def gather_stream_bandwidth(machine: Machine) -> float:
     """Effective PCIe stream rate of scattered host-memory neuron rows.
 

@@ -138,6 +138,22 @@ class ClusterReport(ServingReport):
         )
         return good_tokens / available
 
+    @property
+    def machine_seconds_per_good_token(self) -> float:
+        """Cost-normalized attainment: machine-seconds per met-SLO token.
+
+        The reciprocal of :attr:`goodput` — what one delivered,
+        SLO-meeting token costs in available fleet time.  Lower is
+        better; this is the number the capacity planner minimises when
+        two fleets both clear the SLO table.  ``nan`` when nothing
+        attained (no met-SLO tokens) or the run recorded no available
+        machine time.
+        """
+        rate = self.goodput
+        if math.isnan(rate) or rate <= 0:
+            return math.nan
+        return 1.0 / rate
+
     def fairness_index(self, by: str = "tenant") -> float:
         """Jain's fairness index over per-group decode service rates.
 

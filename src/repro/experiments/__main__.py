@@ -9,6 +9,15 @@ Telemetry: ``--trace-out FILE`` (with ``--scenario``) writes a live
 telemetry artifact — a ``.jsonl`` metric stream or a ``.json`` Chrome
 trace, by extension — and ``python -m repro.experiments watch FILE``
 tails a metric stream as a live dashboard (``--once`` for a snapshot).
+
+Subcommands with their own argument surface: ``watch`` (tail a
+telemetry stream) and ``plan`` (capacity planner; see
+``python -m repro.experiments plan --help``).
+
+Conventions shared by every invocation: ``--json`` writes the
+machine-readable reports to stdout (tables move to stderr); exit codes
+are 0 on success, 1 when a check or SLO verdict failed, 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -16,8 +25,10 @@ from __future__ import annotations
 import argparse
 import difflib
 import inspect
+import json
 import sys
 import time
+import warnings
 
 from ..models import get_model, list_models
 from . import ALL_EXPERIMENTS
@@ -38,7 +49,8 @@ def experiment_summaries() -> dict[str, str]:
     return summaries
 
 
-def print_experiments(file=sys.stdout) -> None:
+def print_experiments(file=None) -> None:
+    file = file if file is not None else sys.stdout
     summaries = experiment_summaries()
     width = max(len(name) for name in summaries)
     print("experiments:", file=file)
@@ -48,10 +60,13 @@ def print_experiments(file=sys.stdout) -> None:
         aliases = ", ".join(
             f"{alias} -> {target}" for alias, target in sorted(ALIASES.items())
         )
-        print(f"aliases: {aliases}", file=file)
+        print(f"aliases (deprecated): {aliases}", file=file)
+    print("subcommands: plan (capacity planner), watch (telemetry "
+          "dashboard) — each has its own --help", file=file)
 
 
-def print_models(file=sys.stdout) -> None:
+def print_models(file=None) -> None:
+    file = file if file is not None else sys.stdout
     names = list_models()
     width = max(len(name) for name in names)
     print("models:", file=file)
@@ -82,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         from ..telemetry.watch import main as watch_main
 
         return watch_main(argv[1:])
+    if argv and argv[0] == "plan":
+        # `plan` is the capacity planner, not a figure reproduction —
+        # its own argument surface lives in repro.planner.cli
+        from ..planner.cli import main as plan_main
+
+        return plan_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures and statistics.",
@@ -114,6 +135,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write run telemetry (with --scenario): "
                              ".jsonl = watchable metric stream, "
                              ".json = Chrome/Perfetto trace")
+    parser.add_argument("--json", action="store_true",
+                        help="write a machine-readable JSON array of "
+                             "experiment reports to stdout (the text "
+                             "tables move to stderr)")
     args = parser.parse_args(argv)
     if args.list or args.list_models:
         if args.list:
@@ -127,8 +152,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    names = list(ALL_EXPERIMENTS) if "all" in args.experiments \
-        else [ALIASES.get(n, n) for n in args.experiments]
+    if "all" in args.experiments:
+        names = list(ALL_EXPERIMENTS)
+    else:
+        names = []
+        for name in args.experiments:
+            if name in ALIASES:
+                canonical = ALIASES[name]
+                warnings.warn(
+                    f"experiment id {name!r} is a deprecated alias; "
+                    f"use {canonical!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                print(f"warning: {name!r} is a deprecated alias for "
+                      f"{canonical!r}", file=sys.stderr)
+                name = canonical
+            names.append(name)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"error: {_unknown_id_message(unknown)}", file=sys.stderr)
@@ -159,6 +199,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 "--trace-out only applies to: " + ", ".join(trace_aware)
             )
+    # under --json the text tables move to stderr so stdout carries
+    # exactly one machine-readable document
+    table_out = sys.stderr if args.json else sys.stdout
+    reports = []
     for name in names:
         start = time.time()
         entry = ALL_EXPERIMENTS[name]
@@ -173,8 +217,14 @@ def main(argv: list[str] | None = None) -> int:
         if "trace_out" in params and args.trace_out is not None:
             kwargs["trace_out"] = args.trace_out
         result = entry(**kwargs)
-        print(result.to_text())
-        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+        print(result.to_text(), file=table_out)
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n",
+              file=table_out)
+        if args.json:
+            reports.append(result.to_json())
+    if args.json:
+        json.dump(reports, sys.stdout, indent=2)
+        print()
     return 0
 
 

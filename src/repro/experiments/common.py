@@ -128,6 +128,28 @@ class ExperimentResult:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """Machine-readable form (the CLI's ``--json``).
+
+        Cells pass through verbatim except ``nan``, which becomes
+        ``null`` — JSON has no ``NaN`` and downstream parsers reject
+        the Python extension spelling.  ``None`` cells (rendered
+        "N.P." in the table) stay ``null``; the table remains the
+        place where the two are distinguished.
+        """
+        def cell(c):
+            if isinstance(c, float) and math.isnan(c):
+                return None
+            return c
+
+        return {
+            "name": self.name,
+            "description": self.description,
+            "headers": list(self.headers),
+            "rows": [[cell(c) for c in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def column(self, header: str) -> list:
         """Extract one column by header name (used by assertions)."""
         idx = self.headers.index(header)

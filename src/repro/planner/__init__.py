@@ -1,0 +1,40 @@
+"""Capacity planner: the cheapest fleet that meets a scenario's SLOs.
+
+``plan()`` enumerates candidate fleets from the backend/GPU registries,
+prunes them analytically with the shared cost kernels, validates only
+the cost/capacity Pareto frontier with short seeded simulator runs, and
+returns the cheapest fleet whose every SLO-bearing class reaches the
+scenario's target attainment::
+
+    from repro.planner import plan
+    result = plan("scenarios/mixed_slo_tiny.json", budget=8)
+    print(result.best.candidate.describe())
+
+or from the command line::
+
+    python -m repro.experiments plan --scenario scenarios/<file> --budget 8
+"""
+
+from .frontier import pareto_frontier
+from .plan import PlanResult, ValidationOutcome, plan
+from .prune import (
+    CandidateAnalysis,
+    OfferedLoad,
+    analyze_candidate,
+    offered_load,
+)
+from .space import FleetCandidate, default_nominal_batch, enumerate_candidates
+
+__all__ = [
+    "CandidateAnalysis",
+    "FleetCandidate",
+    "OfferedLoad",
+    "PlanResult",
+    "ValidationOutcome",
+    "analyze_candidate",
+    "default_nominal_batch",
+    "enumerate_candidates",
+    "offered_load",
+    "pareto_frontier",
+    "plan",
+]

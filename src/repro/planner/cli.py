@@ -1,0 +1,87 @@
+"""``python -m repro.experiments plan``: the capacity-planner CLI.
+
+A thin wrapper over :func:`repro.planner.plan` following the
+experiments CLI conventions: the human-readable table goes to stdout
+(stderr under ``--json``, which reserves stdout for the machine-readable
+report), and the exit code says what happened — 0 when a fleet meeting
+the SLO table was found, 1 when the whole candidate space failed, 2 on
+usage errors (argparse's own convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .plan import plan
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments plan",
+        description=(
+            "Find the cheapest fleet that serves a scenario's traffic "
+            "within its SLO table."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        required=True,
+        metavar="FILE",
+        help="declarative scenario spec (JSON/TOML) to plan capacity for",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="largest machine count a candidate fleet may use "
+             "(default: the spec's planner.budget)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap every tenant at a few requests for a fast smoke pass",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for frontier validation "
+             "(default: REPRO_JOBS env var, else 1)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write the machine-readable plan to stdout "
+             "(the table moves to stderr)",
+    )
+    args = parser.parse_args(argv)
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    try:
+        result = plan(
+            args.scenario,
+            budget=args.budget,
+            quick=args.quick,
+            jobs=args.jobs,
+        )
+    except (OSError, ValueError) as exc:
+        # a bad path or a malformed spec is a usage error, not a
+        # planner verdict
+        parser.error(str(exc))
+
+    print(result.to_text(), file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        json.dump(result.to_json(), sys.stdout, indent=2)
+        print()
+    return 0 if result.best is not None else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Cost/capacity Pareto frontier over analytically-feasible candidates.
+
+The planner only pays simulator time for fleets that could possibly be
+the answer: a candidate that is both more expensive *and* no faster
+than another can never be the cheapest SLO-meeting fleet, so it is
+dominated and skipped.  The frontier walk is fully deterministic — the
+sort key falls back to the candidate's own fields, so equal-cost
+equal-capacity ties always resolve the same way regardless of input
+order or ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .prune import CandidateAnalysis
+
+
+def _order_key(analysis: "CandidateAnalysis"):
+    c = analysis.candidate
+    return (
+        analysis.cost_usd,
+        -analysis.fleet_tokens_per_second,
+        c.count,
+        c.backend,
+        c.gpu,
+        c.model,
+        c.nominal_batch,
+    )
+
+
+def pareto_frontier(
+    analyses: typing.Iterable["CandidateAnalysis"],
+) -> list["CandidateAnalysis"]:
+    """Non-dominated candidates: min cost, max estimated capacity.
+
+    Walking candidates in (cost asc, capacity desc) order, a candidate
+    joins the frontier only when it strictly beats every cheaper
+    survivor's capacity — anything else is dominated by an
+    already-kept fleet.  The result is ordered cheapest-first.
+    """
+    frontier: list["CandidateAnalysis"] = []
+    best_capacity = -math.inf
+    for analysis in sorted(analyses, key=_order_key):
+        if analysis.fleet_tokens_per_second > best_capacity:
+            frontier.append(analysis)
+            best_capacity = analysis.fleet_tokens_per_second
+    return frontier

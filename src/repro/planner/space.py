@@ -1,0 +1,98 @@
+"""Candidate-fleet enumeration for the capacity planner.
+
+A candidate is one *homogeneous* fleet — ``count`` identical machines
+running one backend on one GPU for one model at one nominal batch —
+drawn from the cross product the scenario's ``planner:`` section allows
+(:class:`~repro.scenarios.PlannerSpec`; empty dimensions default to the
+full backend/GPU registries and the scenario's own model and batch).
+Enumeration order is fully deterministic: models, then backends, then
+GPUs, then nominal batches, then counts, each dimension sorted — the
+basis of the planner's ``--jobs N`` reproducibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..hardware import GPU_REGISTRY, Machine, get_gpu, machine_cost_usd
+from ..serving import BACKENDS, MachineGroup
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..scenarios import PlannerSpec, Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetCandidate:
+    """One homogeneous fleet the planner may propose."""
+
+    backend: str
+    gpu: str  # GPU registry key (lower-case)
+    model: str  # model registry name
+    count: int
+    nominal_batch: int
+
+    def machine(self, base: Machine) -> Machine:
+        """The candidate's machine spec: ``base`` with this GPU."""
+        return base.with_gpu(get_gpu(self.gpu))
+
+    def cost_usd(self, base: Machine) -> float:
+        """Fleet bill of materials (per-machine BOM x count)."""
+        return machine_cost_usd(self.machine(base)) * self.count
+
+    def groups(
+        self, base: Machine, scenario_model: str
+    ) -> tuple[MachineGroup, ...]:
+        """The ``fleet:`` description handing this candidate to a run."""
+        return (
+            MachineGroup(
+                count=self.count,
+                backend=self.backend,
+                machine=self.machine(base),
+                model=self.model if self.model != scenario_model else None,
+                nominal_batch=self.nominal_batch,
+            ),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.count}x {self.backend} on {get_gpu(self.gpu).name} "
+            f"({self.model}, batch {self.nominal_batch})"
+        )
+
+
+def default_nominal_batch(max_batch: int) -> int:
+    """The simulator's own offline-partition batch for ``max_batch``."""
+    return max(2, max_batch // 2)
+
+
+def enumerate_candidates(
+    scenario: "Scenario", spec: "PlannerSpec"
+) -> list[FleetCandidate]:
+    """Every fleet the ``planner:`` section allows, in stable order."""
+    backends = tuple(
+        b.lower() for b in (spec.backends or tuple(sorted(BACKENDS)))
+    )
+    gpus = tuple(g.lower() for g in (spec.gpus or tuple(sorted(GPU_REGISTRY))))
+    models = spec.models or (scenario.model,)
+    batches = spec.nominal_batches or (
+        default_nominal_batch(scenario.config.max_batch),
+    )
+    counts = tuple(
+        c for c in (spec.counts or tuple(range(1, spec.budget + 1)))
+        if c <= spec.budget
+    )
+    return [
+        FleetCandidate(
+            backend=backend,
+            gpu=gpu,
+            model=model,
+            count=count,
+            nominal_batch=batch,
+        )
+        for model in models
+        for backend in sorted(set(backends))
+        for gpu in sorted(set(gpus))
+        for batch in sorted(set(batches))
+        for count in sorted(set(counts))
+    ]

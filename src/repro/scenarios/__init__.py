@@ -14,6 +14,7 @@ or from the command line::
 """
 
 from .spec import (
+    PlannerSpec,
     Scenario,
     TenantSpec,
     load_scenario,
@@ -22,6 +23,7 @@ from .spec import (
 )
 
 __all__ = [
+    "PlannerSpec",
     "Scenario",
     "TenantSpec",
     "load_scenario",

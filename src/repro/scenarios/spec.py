@@ -28,7 +28,7 @@ except ModuleNotFoundError:  # pragma: no cover - Python 3.10
 
 from ..cluster import ClusterConfig, ClusterReport, ClusterSimulator, ROUTERS
 from ..cluster.slo import DEFAULT_CLASS, PriorityClass, SLOPolicy
-from ..hardware import Machine, get_gpu
+from ..hardware import GPU_REGISTRY, Machine, get_gpu
 from ..models import get_model
 from ..serving import (
     BACKENDS,
@@ -100,6 +100,77 @@ class TenantSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class PlannerSpec:
+    """The ``planner:`` section: budget and candidate space for ``plan``.
+
+    Describes which homogeneous fleets the capacity planner may propose
+    for this scenario's traffic — the cross product of backends, GPUs,
+    models, nominal batches, and machine counts — plus the acceptance
+    bar (``target_attainment`` on every SLO-bearing class) and the
+    analytic-prune slack.  Empty tuples mean "the whole registry" (or,
+    for models and batches, the scenario's own defaults), so a scenario
+    without a ``planner:`` section still plans over a sensible space.
+    """
+
+    #: largest machine count a candidate fleet may use
+    budget: int = 8
+    #: backend registry names (empty = every registered backend)
+    backends: tuple[str, ...] = ()
+    #: GPU registry names (empty = every registered GPU)
+    gpus: tuple[str, ...] = ()
+    #: model registry names (empty = the scenario's model)
+    models: tuple[str, ...] = ()
+    #: offline-partition/probe batch sizes (empty = the scenario's
+    #: simulator default, ``max(2, cluster.max_batch // 2)``)
+    nominal_batches: tuple[int, ...] = ()
+    #: explicit machine counts (empty = ``1..budget``); counts above
+    #: the budget are dropped at enumeration time
+    counts: tuple[int, ...] = ()
+    #: joint SLO attainment every SLO-bearing class must reach for a
+    #: validated fleet to count as "meeting the SLO table"
+    target_attainment: float = 0.95
+    #: analytic throughput-prune slack: a candidate survives pruning
+    #: while ``optimism x estimated fleet tokens/sec`` covers the
+    #: demanded rate, so the heuristic estimate only ever discards
+    #: fleets that miss by a wide margin (the simulator never sees a
+    #: falsely-infeasible candidate)
+    optimism: float = 4.0
+    #: optional hard cap on a candidate fleet's bill of materials
+    max_cost_usd: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("planner.budget must be >= 1")
+        if not 0.0 < self.target_attainment <= 1.0:
+            raise ValueError(
+                "planner.target_attainment must be in (0, 1]"
+            )
+        if self.optimism < 1.0:
+            raise ValueError("planner.optimism must be >= 1")
+        if any(b < 1 for b in self.nominal_batches):
+            raise ValueError("planner.nominal_batches must be >= 1")
+        if any(c < 1 for c in self.counts):
+            raise ValueError("planner.counts must be >= 1")
+        if self.max_cost_usd is not None and self.max_cost_usd <= 0:
+            raise ValueError("planner.max_cost_usd must be positive")
+        for backend in self.backends:
+            if backend.lower() not in BACKENDS:
+                known = ", ".join(sorted(BACKENDS))
+                raise ValueError(
+                    f"planner.backends: unknown backend {backend!r}; "
+                    f"known: {known}"
+                )
+        for gpu in self.gpus:
+            if gpu.lower() not in GPU_REGISTRY:
+                known = ", ".join(sorted(GPU_REGISTRY))
+                raise ValueError(
+                    f"planner.gpus: unknown GPU {gpu!r}; known: {known}"
+                )
+        for model in self.models:
+            get_model(model)  # raises with the known-model list
+
+
+@dataclasses.dataclass(frozen=True)
 class Scenario:
     """A fully-resolved scenario: ``run()`` yields the cluster report."""
 
@@ -120,6 +191,9 @@ class Scenario:
     #: default spec names no outputs, so runs stay untraced unless the
     #: CLI adds ``--trace-out``
     telemetry: TelemetrySpec = TelemetrySpec()
+    #: capacity-planner budget and candidate space (the ``planner:``
+    #: table); the default plans over the full backend/GPU registries
+    planner: PlannerSpec = PlannerSpec()
 
     def build_workload(self) -> list[Request]:
         """Merge every tenant's stream into one routed workload."""
@@ -172,6 +246,7 @@ _TOP_KEYS = (
     "tenants",
     "telemetry",
     "faults",
+    "planner",
 )
 _TENANT_KEYS = (
     "name",
@@ -430,6 +505,47 @@ def _parse_telemetry(data: dict | None) -> TelemetrySpec:
     return TelemetrySpec(**kwargs)
 
 
+_PLANNER_KEYS = (
+    "budget",
+    "backends",
+    "gpus",
+    "models",
+    "nominal_batches",
+    "counts",
+    "target_attainment",
+    "optimism",
+    "max_cost_usd",
+)
+
+
+def _parse_planner(data: dict | None) -> PlannerSpec:
+    data = dict(data or {})
+    _take(data, _PLANNER_KEYS, "planner")
+    kwargs: dict = {}
+    if "budget" in data:
+        kwargs["budget"] = int(data["budget"])
+    for key in ("backends", "gpus", "models"):
+        if key in data:
+            value = data[key]
+            if not isinstance(value, list):
+                raise ValueError(f"planner.{key}: must be a list of names")
+            kwargs[key] = tuple(str(v) for v in value)
+    for key in ("nominal_batches", "counts"):
+        if key in data:
+            value = data[key]
+            if not isinstance(value, list):
+                raise ValueError(
+                    f"planner.{key}: must be a list of integers"
+                )
+            kwargs[key] = tuple(int(v) for v in value)
+    for key in ("target_attainment", "optimism"):
+        if key in data:
+            kwargs[key] = float(data[key])
+    if data.get("max_cost_usd") is not None:
+        kwargs["max_cost_usd"] = float(data["max_cost_usd"])
+    return PlannerSpec(**kwargs)
+
+
 def _parse_tenant(
     data: dict, index: int, base_seed: int, slo: SLOPolicy
 ) -> TenantSpec:
@@ -508,6 +624,7 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
         tenants=tuple(tenants),
         fleet=fleet,
         telemetry=_parse_telemetry(data.get("telemetry")),
+        planner=_parse_planner(data.get("planner")),
     )
 
 

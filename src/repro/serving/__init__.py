@@ -17,6 +17,7 @@ from .backends import (
     ServingBackend,
     SteppableBackend,
     make_backend,
+    probe_tokens_per_second,
     sequential_span,
 )
 from .executor import MachineExecutor, default_serving_trace
@@ -79,6 +80,7 @@ __all__ = [
     "DejaVuBackend",
     "MachineGroup",
     "make_backend",
+    "probe_tokens_per_second",
     "sequential_span",
     "FaultSchedule",
     "CrashSpec",

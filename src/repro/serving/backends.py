@@ -42,6 +42,7 @@ are documented per backend in the README's capability matrix.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing
 
 import numpy as np
@@ -522,6 +523,37 @@ def make_backend(
             seed=seed,
         )
     return DenseGPUBackend(machine, model, nominal_batch=nominal_batch)
+
+
+@functools.lru_cache(maxsize=128)
+def probe_tokens_per_second(
+    name: str,
+    machine: Machine,
+    model: ModelSpec,
+    *,
+    nominal_batch: int = 8,
+    granularity: int = 64,
+    seed: int = 7,
+) -> float:
+    """One backend's pure decode-throughput estimate, memoised.
+
+    Builds a throwaway backend (same construction path the fleet uses)
+    and asks it for ``estimated_tokens_per_second()`` — deterministic in
+    every argument, so the capacity planner's analytic pruning pass and
+    its ``--jobs N`` workers all see identical numbers.  Raises exactly
+    where fleet construction would (e.g. a Hermes machine whose DIMM
+    pool cannot hold the model), so callers should establish memory
+    feasibility first.
+    """
+    backend = make_backend(
+        name,
+        machine,
+        model,
+        nominal_batch=nominal_batch,
+        granularity=granularity,
+        seed=seed,
+    )
+    return backend.estimated_tokens_per_second()
 
 
 @dataclasses.dataclass(frozen=True)

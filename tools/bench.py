@@ -27,8 +27,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import pathlib
 import sys
@@ -42,6 +40,12 @@ from benchmarks.bench_decode import (  # noqa: E402
     bench_calibration,
     bench_decode_steps,
     bench_sweep,
+)
+from tools.bench_common import (  # noqa: E402
+    calibration_scale,
+    emit_outputs,
+    load_baseline as _load_baseline,
+    make_parser,
 )
 
 BENCH_FILE = ROOT / "BENCH_decode.json"
@@ -65,37 +69,16 @@ def measure(quick: bool) -> dict:
 
 
 def load_baseline() -> dict | None:
-    if not BENCH_FILE.exists():
-        return None
-    return json.loads(BENCH_FILE.read_text())
+    return _load_baseline(BENCH_FILE)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="short measurement windows (CI smoke)",
-    )
-    parser.add_argument("--check", action="store_true",
-                        help="fail if decode steps/sec regressed past "
-                             "--tolerance vs the baseline")
-    parser.add_argument(
-        "--update",
-        action="store_true",
-        help="rewrite BENCH_decode.json with this run",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.30,
-        help="allowed fractional drop for --check " "(default 0.30)",
-    )
-    parser.add_argument(
-        "--json-out",
-        default=None,
-        metavar="PATH",
-        help="also write this run's record to PATH " "(for CI artifacts)",
+    parser = make_parser(
+        __doc__.splitlines()[0],
+        BENCH_FILE,
+        tolerance=0.30,
+        check_help="fail if decode steps/sec regressed past "
+                   "--tolerance vs the baseline",
     )
     args = parser.parse_args(argv)
 
@@ -112,15 +95,9 @@ def main(argv: list[str] | None = None) -> int:
         ref_b1 = float(env_ref)
         ref_src = f"{BASELINE_ENV} env"
     elif baseline is not None:
-        ref_b1 = baseline["decode"]["steps_per_sec"]
-        ref_src = "BENCH_decode.json"
-        # rescale the recorded baseline to this machine's speed so the
-        # tolerance compares like with like across hosts
-        ref_calib = baseline.get("calibration_iters_per_sec")
-        if ref_calib:
-            scale = current["calibration_iters_per_sec"] / ref_calib
-            ref_b1 *= scale
-            ref_src += f", calibrated x{scale:.2f}"
+        scale, suffix = calibration_scale(current, baseline)
+        ref_b1 = baseline["decode"]["steps_per_sec"] * scale
+        ref_src = "BENCH_decode.json" + suffix
     else:
         ref_b1 = None
         ref_src = "none"
@@ -140,18 +117,7 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         status = 1
 
-    if args.json_out:
-        pathlib.Path(args.json_out).write_text(
-            json.dumps(current, indent=1) + "\n"
-        )
-        print(f"wrote {args.json_out}")
-    if args.update and status == 0:
-        if baseline is not None:
-            history = baseline.pop("history", [])
-            history.append(baseline)
-            current["history"] = history[-20:]
-        BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
-        print(f"wrote {BENCH_FILE}")
+    emit_outputs(args, current, baseline, BENCH_FILE, status)
     return status
 
 

@@ -1,0 +1,106 @@
+"""Shared plumbing for the benchmark drivers (``bench.py`` and friends).
+
+Every driver follows the same contract: measure, print, compare against
+a committed baseline JSON at the repo root, and honour the same flag
+set — ``--quick`` (short windows), ``--check`` (gate), ``--update``
+(rewrite the baseline, archiving the old record), ``--tolerance``
+(allowed fractional wall-time drop), ``--json-out`` (CI artifact).
+This module owns that contract once: the argument surface, baseline
+loading, the cross-host calibration scale, and the artifact/update
+writes, so the drivers only contain what they actually measure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+#: how many superseded records an ``--update`` keeps in ``history``
+HISTORY_KEEP = 20
+
+
+def make_parser(
+    description: str,
+    bench_file: pathlib.Path,
+    *,
+    tolerance: float,
+    check_help: str,
+) -> argparse.ArgumentParser:
+    """The drivers' shared flag surface (identical names and semantics)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short measurement windows (CI smoke)",
+    )
+    parser.add_argument("--check", action="store_true", help=check_help)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help=f"rewrite {bench_file.name} with this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=tolerance,
+        help="allowed fractional wall-time drop for --check "
+             f"(default {tolerance:.2f})",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write this run's record to PATH (for CI artifacts)",
+    )
+    return parser
+
+
+def load_baseline(bench_file: pathlib.Path) -> dict | None:
+    """The committed baseline record, or ``None`` before the first one."""
+    if not bench_file.exists():
+        return None
+    return json.loads(bench_file.read_text())
+
+
+def calibration_scale(current: dict, baseline: dict) -> tuple[float, str]:
+    """(scale, label suffix) rescaling the baseline to this host's speed.
+
+    Wall-time baselines are recorded on one machine and checked on
+    another; the ratio of numpy calibration scores (a fixed
+    engine-independent kernel mix) converts recorded rates into what
+    this host should achieve, so the tolerance compares like with like.
+    Identity when the baseline predates calibration recording.
+    """
+    calib = baseline.get("calibration_iters_per_sec")
+    if not calib:
+        return 1.0, ""
+    scale = current["calibration_iters_per_sec"] / calib
+    return scale, f", calibrated x{scale:.2f}"
+
+
+def emit_outputs(
+    args: argparse.Namespace,
+    current: dict,
+    baseline: dict | None,
+    bench_file: pathlib.Path,
+    status: int,
+) -> None:
+    """The shared tail of every driver: ``--json-out`` and ``--update``.
+
+    An update only lands on a clean run (``status == 0``) and archives
+    the superseded record onto the new one's ``history`` (bounded to
+    :data:`HISTORY_KEEP` entries).
+    """
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(current, indent=1) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    if args.update and status == 0:
+        if baseline is not None:
+            history = baseline.pop("history", [])
+            history.append(baseline)
+            current["history"] = history[-HISTORY_KEEP:]
+        bench_file.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {bench_file}")

@@ -30,8 +30,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import time
@@ -44,11 +42,21 @@ from benchmarks.bench_decode import bench_calibration  # noqa: E402
 from benchmarks.bench_serving import (  # noqa: E402
     BENCH_MIXED_FLEET_SCENARIO,
     bench_fault_overhead,
+    bench_planner,
     bench_scenario,
     bench_telemetry_overhead,
 )
+from tools.bench_common import (  # noqa: E402
+    calibration_scale,
+    emit_outputs,
+    load_baseline,
+    make_parser,
+)
 
 BENCH_FILE = ROOT / "BENCH_serving.json"
+
+#: records whose wall time and ``simulated`` half are gated by --check
+GATED_KEYS = ("scenario", "mixed_fleet", "fault_overhead", "planner")
 
 #: relative tolerance for the deterministic simulated-metric gate —
 #: generous against float-libm jitter across platforms, far below any
@@ -72,6 +80,9 @@ def measure(quick: bool) -> dict:
         # and MTTR alongside the usual scenario metrics
         "fault_overhead": bench_fault_overhead(
             min_seconds=min_seconds / 2),
+        # the capacity planner over the smoke scenario: pins the
+        # enumerate/prune/frontier counts and the chosen fleet
+        "planner": bench_planner(min_seconds=min_seconds / 2),
         # what enabling telemetry costs, recorded informationally —
         # the gated keys above run the default NullTracer path
         "telemetry": bench_telemetry_overhead(min_seconds=min_seconds / 2),
@@ -102,36 +113,17 @@ def _drifted(current: dict, baseline: dict, prefix: str = "") -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="short measurement window (CI smoke)",
-    )
-    parser.add_argument("--check", action="store_true",
-                        help="fail if simulated serving metrics drift "
-                             "from the committed baseline")
-    parser.add_argument(
-        "--update",
-        action="store_true",
-        help="rewrite BENCH_serving.json with this run",
-    )
-    parser.add_argument(
-        "--json-out",
-        default=None,
-        metavar="PATH",
-        help="also write this run's record to PATH",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.40,
-        help="allowed fractional runs/sec drop for " "--check (default 0.40)",
+    parser = make_parser(
+        __doc__.splitlines()[0],
+        BENCH_FILE,
+        tolerance=0.40,
+        check_help="fail if simulated serving metrics drift "
+                   "from the committed baseline",
     )
     args = parser.parse_args(argv)
 
     current = measure(args.quick)
-    for key in ("scenario", "mixed_fleet", "fault_overhead"):
+    for key in GATED_KEYS:
         scen = current[key]
         sim = scen["simulated"]
         print(f"scenario {scen['scenario']}: {scen['runs_per_sec']:.2f} "
@@ -141,33 +133,34 @@ def main(argv: list[str] | None = None) -> int:
             print(f"fused loop: {fused['speedup']:.2f}x over the stepped "
                   f"reference ({fused['stepped_runs_per_sec']:.2f} "
                   "runs/sec with macro_step off)")
-        print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
-              f"{sim['preemptions']} preemptions, "
-              f"slo_joint {sim['slo_joint']}")
+        if "tokens_per_second" in sim:
+            print(f"simulated: {sim['tokens_per_second']:,.0f} tok/s, "
+                  f"{sim['preemptions']} preemptions, "
+                  f"slo_joint {sim['slo_joint']}")
         if "migrations" in sim:
             print(f"faults: {sim['migrations']} migrations, "
                   f"availability {sim['availability']:.4f}, "
                   f"MTTR {sim['mean_time_to_recover'] * 1e3:.1f} ms, "
                   f"{sim['unfinished']} unfinished")
+        if "num_candidates" in sim:
+            best = sim["best"] or {}
+            chosen = (f"{best.get('count')}x {best.get('backend')} on "
+                      f"{best.get('gpu')}" if best else "none")
+            print(f"planner: {sim['num_candidates']} candidates, "
+                  f"{sim['num_pruned']} pruned, frontier "
+                  f"{sim['frontier_size']}, best {chosen}")
     tel = current["telemetry"]
     print(f"telemetry: recording {tel['events_per_run']} events costs "
           f"{tel['recording_overhead_frac'] * 100:.0f}% "
           f"({tel['recording_runs_per_sec']:.2f} vs "
           f"{tel['untraced_runs_per_sec']:.2f} runs/sec untraced)")
 
-    baseline = None
-    if BENCH_FILE.exists():
-        baseline = json.loads(BENCH_FILE.read_text())
+    baseline = load_baseline(BENCH_FILE)
 
     status = 0
     if baseline is not None:
-        calib = baseline.get("calibration_iters_per_sec")
-        scale = 1.0
-        suffix = ""
-        if calib:
-            scale = current["calibration_iters_per_sec"] / calib
-            suffix = f", calibrated x{scale:.2f}"
-        for key in ("scenario", "mixed_fleet", "fault_overhead"):
+        scale, suffix = calibration_scale(current, baseline)
+        for key in GATED_KEYS:
             base_scen = baseline.get(key)
             if base_scen is None:
                 # a baseline predating this record key: nothing to
@@ -203,18 +196,7 @@ def main(argv: list[str] | None = None) -> int:
               "(commit BENCH_serving.json)", file=sys.stderr)
         status = 1
 
-    if args.json_out:
-        pathlib.Path(args.json_out).write_text(
-            json.dumps(current, indent=1) + "\n"
-        )
-        print(f"wrote {args.json_out}")
-    if args.update and status == 0:
-        if baseline is not None:
-            history = baseline.pop("history", [])
-            history.append(baseline)
-            current["history"] = history[-20:]
-        BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
-        print(f"wrote {BENCH_FILE}")
+    emit_outputs(args, current, baseline, BENCH_FILE, status)
     return status
 
 
