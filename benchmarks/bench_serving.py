@@ -43,6 +43,9 @@ BENCH_MIXED_FLEET_SCENARIO = "backend_shootout_tiny.json"
 #: the fault-injection drill (crashes + straggler + partition with
 #: health-aware routing): pins the failure-handling path end to end
 BENCH_CHAOS_SCENARIO = "chaos_mixed_tiny.json"
+#: the correlated-failure drill (rack-wide domain crash + a DIMM
+#: degrade with renegotiation): pins the failure-domain path
+BENCH_DOMAINS_SCENARIO = "chaos_domains_tiny.json"
 
 
 def bench_scenario(
@@ -142,6 +145,40 @@ def bench_fault_overhead(*, min_seconds: float = 0.5) -> dict:
             raise ValueError(
                 f"chaos bench scenario produced nan {key}; the bundled "
                 "spec must keep its faults inside the run")
+    return record
+
+
+def bench_degradation(*, min_seconds: float = 0.5) -> dict:
+    """Wall time + drift probes for the failure-domain serving path.
+
+    Runs :func:`bench_scenario` on the bundled rack-outage drill (a
+    domain crash taking both rack0 machines down together, plus a DIMM
+    degrade that renegotiates machine 3 onto half its pool) and extends
+    the ``simulated`` record with the correlated-failure metrics the
+    gate must pin: migration count (crash evacuations *and* degrade
+    KV evictions), fleet and per-domain availability, and the
+    correlated-outage seconds.  All deterministic given the code; the
+    scenario declares domains, so none of them is nan.
+    """
+    record = bench_scenario(BENCH_DOMAINS_SCENARIO,
+                            min_seconds=min_seconds)
+    scenario = load_scenario(resolve_scenario(BENCH_DOMAINS_SCENARIO))
+    report = scenario.run(scenario.build_trace())
+    simulated = record["simulated"]
+    simulated["migrations"] = report.migrations
+    simulated["availability"] = report.availability
+    simulated["mean_time_to_recover"] = report.mean_time_to_recover
+    simulated["unfinished"] = len(report.unfinished)
+    simulated["correlated_outage_seconds"] = (
+        report.correlated_outage_seconds)
+    simulated["domain_availability"] = report.domain_availability()
+    for key in ("availability", "mean_time_to_recover",
+                "correlated_outage_seconds"):
+        if simulated[key] != simulated[key]:  # nan check
+            raise ValueError(
+                f"domains bench scenario produced nan {key}; the "
+                "bundled spec must keep its faults (and domains) "
+                "inside the run")
     return record
 
 

@@ -12,26 +12,46 @@ survive, KV-cache does not), and per-class SLO attainment counting the
 requests the outage stranded:
 
     PYTHONPATH=src python examples/chaos_drill.py
+
+``--domains`` runs the rack-outage drill instead: a 4-machine hermes
+fleet split into two racks, where a rack-wide PDU failure takes both
+rack0 machines down *together* (a correlated outage — note the joint
+SLO damage versus what two independent crashes would cost) and a rack1
+machine loses half its DIMMs mid-run, renegotiating onto the surviving
+pool instead of dying:
+
+    PYTHONPATH=src python examples/chaos_drill.py --domains
 """
 
 import dataclasses
 import pathlib
+import sys
 
 from repro.api import load_scenario
 
-SPEC = pathlib.Path(__file__).resolve().parent.parent / (
-    "scenarios/chaos_mixed_tiny.json"
+SCENARIOS = pathlib.Path(__file__).resolve().parent.parent / "scenarios"
+
+with_domains = "--domains" in sys.argv[1:]
+spec = SCENARIOS / (
+    "chaos_domains_tiny.json" if with_domains else "chaos_mixed_tiny.json"
 )
 
-scenario = load_scenario(SPEC)
+scenario = load_scenario(spec)
 workload = scenario.build_workload()
 faults = scenario.config.faults
 print(
     f"scenario: {scenario.name} — {len(workload)} requests on "
     f"{scenario.config.num_machines} machines; faults: "
-    f"{len(faults.crashes)} crashes, {len(faults.stragglers)} "
-    f"stragglers, {len(faults.partitions)} partitions"
+    f"{len(faults.expanded_crashes)} crashes "
+    f"({len(faults.domain_crashes)} rack-wide), "
+    f"{len(faults.stragglers)} stragglers, "
+    f"{len(faults.partitions)} partitions, "
+    f"{len(faults.degrades)} degrades"
 )
+if faults.domains:
+    for domain in faults.domains:
+        members = ", ".join(str(m) for m in domain.machines)
+        print(f"  domain {domain.name}: machines [{members}]")
 
 for health_aware in (False, True):
     run = dataclasses.replace(
@@ -48,6 +68,17 @@ for health_aware in (False, True):
         f"MTTR {report.mean_time_to_recover * 1e3:.1f} ms   "
         f"migrations {report.migrations}   "
         f"goodput {report.goodput:8.0f} tok/s"
+    )
+    correlated = report.correlated_outage_seconds
+    print(
+        "  correlated outage "
+        + ("—" if correlated != correlated
+           else f"{correlated * 1e3:.1f} ms")
+        + "   domain availability "
+        + (", ".join(
+            f"{name} {avail:.2%}"
+            for name, avail in report.domain_availability().items()
+        ) or "—")
     )
     for name in report.class_names:
         if not report.class_records(name):

@@ -59,6 +59,11 @@ from .scenarios import PlannerSpec, Scenario, TenantSpec, load_scenario
 from .serving import (
     BACKENDS,
     BatchingPolicy,
+    CrashSpec,
+    DegradeSpec,
+    DomainCrashSpec,
+    DomainSpec,
+    FaultSchedule,
     LengthDistribution,
     MachineGroup,
     Request,
@@ -66,7 +71,9 @@ from .serving import (
     ServingReport,
     ServingSimulator,
     WorkloadConfig,
+    dump_fault_trace,
     generate_workload,
+    load_fault_trace,
 )
 from .sparsity import ActivationTrace, TraceConfig, generate_trace
 from .telemetry import TelemetrySpec, Tracer, scenario_sinks
@@ -138,6 +145,14 @@ __all__ = [
     "ServingSimulator",
     "WorkloadConfig",
     "generate_workload",
+    # fault injection
+    "CrashSpec",
+    "DegradeSpec",
+    "DomainCrashSpec",
+    "DomainSpec",
+    "FaultSchedule",
+    "dump_fault_trace",
+    "load_fault_trace",
     # scenarios
     "PlannerSpec",
     "Scenario",

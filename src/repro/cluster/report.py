@@ -37,6 +37,35 @@ class ClusterReport(ServingReport):
 
     router: str = "round-robin"
     slo: SLOPolicy = dataclasses.field(default_factory=SLOPolicy)
+    #: declared failure domains as ``(name, member_machines)`` pairs
+    #: (empty when the run declared none)
+    domains: tuple = ()
+    #: total time ≥ 2 machines of one domain were simultaneously down —
+    #: the signature of a correlated (rack-level) outage; ``nan`` when
+    #: no domains were declared (rendered as "—")
+    correlated_outage_seconds: float = math.nan
+
+    # ---- failure domains ---------------------------------------------
+    def domain_availability(self) -> dict[str, float]:
+        """Per-domain availability over the run, by domain name.
+
+        A domain's availability is the machine-weighted mean of its
+        members' availability: ``1 - downtime / (makespan * members)``.
+        Empty (no domains declared) or all-1.0 (domains but no injected
+        downtime) distinguishes "not modelled" from "nothing failed".
+        """
+        if not self.domains or self.makespan <= 0:
+            return {}
+        out: dict[str, float] = {}
+        for name, members in self.domains:
+            total = self.makespan * len(members)
+            down = sum(
+                self.machine_downtime[m]
+                for m in members
+                if m < len(self.machine_downtime)
+            )
+            out[name] = max(0.0, 1.0 - down / total)
+        return out
 
     # ---- per-class views ---------------------------------------------
     @property

@@ -211,6 +211,19 @@ class HealthMonitor:
         if per_token < self._best.get(machine, float("inf")):
             self._best[machine] = per_token
 
+    def rebaseline(self, machine: int) -> None:
+        """Forget a machine's latency history (post-renegotiation).
+
+        After a partial-degradation fault the machine is *legitimately*
+        slower — fewer DIMMs, a derated link — and judging its new
+        steady state against the pristine machine's best would demote it
+        forever.  Dropping both the EWMA and the best-ever baseline lets
+        the monitor relearn what "normal" means for the renegotiated
+        hardware, exactly as it did at run start.
+        """
+        self._ewma.pop(machine, None)
+        self._best.pop(machine, None)
+
     def demoted(self, machine: int) -> bool:
         """True while ``machine`` looks like a straggler."""
         ewma = self._ewma.get(machine)

@@ -17,6 +17,7 @@ trace, bit-identical metrics) — a property the test suite pins.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 from ..core import HermesConfig
@@ -102,6 +103,7 @@ class ClusterSimulator(ServingSimulator):
         #: routing-time clock for the health closure — ``route`` has no
         #: time parameter, so ``assign`` stamps it before delegating
         clock = [0.0]
+        monitor: HealthMonitor | None = None
         if faults is not None and getattr(self.config, "health_aware",
                                           False):
             monitor = HealthMonitor()
@@ -119,6 +121,23 @@ class ClusterSimulator(ServingSimulator):
                 executor.estimated_tokens_per_second()
                 for executor in self.executors
             ])
+        if faults is not None and faults.degrades:
+            bound_monitor = monitor
+
+            def on_degrade(machine: int) -> None:
+                # a renegotiated machine is legitimately slower: relearn
+                # its straggler baseline, and re-feed throughput-aware
+                # routers the degraded tokens/sec estimates so "least
+                # drain time" stays true on the diminished fleet
+                if bound_monitor is not None:
+                    bound_monitor.rebaseline(machine)
+                if getattr(router, "needs_throughputs", False):
+                    router.bind_fleet([
+                        executor.estimated_tokens_per_second()
+                        for executor in self.executors
+                    ])
+
+            state.on_degrade = on_degrade
 
         def assign(request: Request, now: float) -> int:
             clock[0] = now
@@ -176,7 +195,20 @@ class ClusterSimulator(ServingSimulator):
                 f"re-admission after eviction; these do not: "
                 f"{', '.join(unsupported)} (see the README capability "
                 "matrix)")
-        return DeadlinePreemptor(self._admission_policy(), self.slo)
+        faults = self.config.faults
+        health = None
+        if faults is not None:
+            # a victim's free re-admission lands back on the same
+            # machine, so the preemptor must know when that machine is
+            # straggling/degraded/dying — resolved by executor identity
+            # (the victim call passes the executor, not the index)
+            index = {id(ex): m for m, ex in enumerate(self.executors)}
+
+            def health(executor, now: float) -> str:
+                return faults.health_state(index[id(executor)], now)
+
+        return DeadlinePreemptor(self._admission_policy(), self.slo,
+                                 health=health)
 
     def _make_report(self, state: _RunState, makespan: float) -> ClusterReport:
         return ClusterReport(
@@ -191,5 +223,10 @@ class ClusterSimulator(ServingSimulator):
             batch_limit_clamps=state.batch_limit_clamps,
             router=self._last_router_name,
             slo=self.slo,
+            domains=self._declared_domains(),
+            correlated_outage_seconds=(
+                self.config.faults.correlated_outage_within(makespan)
+                if self.config.faults is not None else math.nan
+            ),
             **self._fault_fields(makespan),
         )

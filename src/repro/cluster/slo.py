@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import typing
 
 from ..serving import ActiveEntry, BatchingPolicy, MachineExecutor, Request
 
@@ -136,11 +137,27 @@ class DeadlinePreemptor:
     The victim is the lowest-priority resident, newest admission first
     (ties by highest ``req_id``) — deterministic, and it unwinds the most
     recent low-priority admission rather than one deep into its decode.
+
+    ``health`` (optional) makes the preemptor failure-aware: a callable
+    ``(executor, now) -> state`` reporting the hosting machine's health
+    (the :meth:`~repro.serving.FaultSchedule.health_state` vocabulary).
+    A victim's free re-admission lands back on the *same* machine, so
+    evicting one on a machine that is straggling, degraded, or about to
+    die trades a healthy resident's progress for a prefill that machine
+    can no longer serve on time — when the machine is anything but
+    ``"ok"`` no victim is returned.  Pure schedule lookup, so the fused
+    and stepped loops agree bit-exactly.
     """
 
-    def __init__(self, policy: BatchingPolicy, slo: SLOPolicy) -> None:
+    def __init__(
+        self,
+        policy: BatchingPolicy,
+        slo: SLOPolicy,
+        health: typing.Callable[[MachineExecutor, float], str] | None = None,
+    ) -> None:
         self.policy = policy
         self.slo = slo
+        self.health = health
 
     def victim(
         self,
@@ -149,6 +166,8 @@ class DeadlinePreemptor:
         active: list[ActiveEntry],
         executor: MachineExecutor,
     ) -> ActiveEntry | None:
+        if self.health is not None and self.health(executor, now) != "ok":
+            return None
         head = queue[self.policy.select(queue)]
         cls = self.slo.class_of(head)
         if cls.ttft_slo is None:

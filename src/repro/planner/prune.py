@@ -127,6 +127,28 @@ def analyze_candidate(
     if candidate.backend == "hermes":
         memory_ok, reason = hermes_memory_feasible(machine, model)
         resident = 1.0
+        faults = scenario.config.faults
+        if memory_ok and faults is not None and faults.degrades:
+            # the scenario injects partial degradation: a candidate is
+            # only feasible if it *stays* feasible on the worst-case
+            # surviving DIMM pool — otherwise the renegotiation the
+            # simulator would attempt raises instead of serving
+            worst = min(
+                faults.degrade_state(d.machine, math.inf)[0]
+                for d in faults.degrades
+            )
+            degraded = dataclasses.replace(
+                machine,
+                num_dimms=max(1, int(machine.num_dimms * worst)),
+            )
+            memory_ok, degraded_reason = hermes_memory_feasible(
+                degraded, model
+            )
+            if not memory_ok:
+                reason = (
+                    f"after worst-case degrade to {degraded.num_dimms} "
+                    f"DIMMs ({worst:.2f} of the pool): {degraded_reason}"
+                )
     else:
         memory_ok, reason = True, ""
         resident = weights_resident_fraction(machine, model)

@@ -34,6 +34,9 @@ from ..serving import (
     BACKENDS,
     BatchingPolicy,
     CrashSpec,
+    DegradeSpec,
+    DomainCrashSpec,
+    DomainSpec,
     FaultSchedule,
     HermesUnionPolicy,
     LengthDistribution,
@@ -45,6 +48,7 @@ from ..serving import (
     WorkloadConfig,
     generate_workload,
     get_policy,
+    load_fault_trace,
     merge_sampled,
     merge_workloads,
 )
@@ -398,11 +402,17 @@ _FAULT_KEYS = (
     "crashes",
     "stragglers",
     "partitions",
+    "domains",
+    "domain_crashes",
+    "degrades",
     "sample",
+    "trace",
 )
 _CRASH_KEYS = ("machine", "at", "restart_after")
 _STRAGGLER_KEYS = ("machine", "start", "end", "slowdown")
 _PARTITION_KEYS = ("machine", "start", "end")
+_DOMAIN_CRASH_KEYS = ("domain", "at", "restart_after")
+_DEGRADE_KEYS = ("machine", "at", "dimm_fraction", "bandwidth_factor")
 _SAMPLE_KEYS = (
     "horizon",
     "crashes_per_machine",
@@ -413,11 +423,32 @@ _SAMPLE_KEYS = (
     "slowdown",
     "partitions_per_machine",
     "mean_partition",
+    "crashes_per_domain",
 )
 
 
+def _parse_domains(data: dict) -> tuple:
+    """``faults.domains``: a ``{name: [machine, ...]}`` mapping."""
+    table = data.get("domains") or {}
+    if not isinstance(table, dict):
+        raise ValueError(
+            "faults.domains: must map domain names to machine lists"
+        )
+    out = []
+    for name, members in table.items():
+        if not isinstance(members, list):
+            raise ValueError(
+                f"faults.domains.{name}: members must be a list of "
+                "machine indices"
+            )
+        out.append(DomainSpec(name=name, machines=tuple(members)))
+    return tuple(out)
+
+
 def _parse_faults(
-    data: dict | None, num_machines: int
+    data: dict | None,
+    num_machines: int,
+    base_dir: pathlib.Path | None = None,
 ) -> FaultSchedule | None:
     """The ``faults:`` section: explicit events plus seeded sampled chaos.
 
@@ -426,14 +457,35 @@ def _parse_faults(
     fault-free build.  Explicit events and the ``sample`` table are
     validated with the same unknown-key strictness as the rest of the
     spec, and the merged schedule is checked against the fleet size.
+
+    ``trace: FILE`` replays a recorded JSONL failure log instead (path
+    relative to the scenario file); the trace carries the *complete*
+    schedule — seed, domains, every event — so it excludes every other
+    fault key.
     """
     if data is None:
         return None
     data = dict(data)
     _take(data, _FAULT_KEYS, "faults")
+    trace = data.pop("trace", None)
+    if trace is not None:
+        if data:
+            raise ValueError(
+                "faults.trace replays a complete recorded schedule and "
+                f"excludes every other fault key; also found: "
+                f"{sorted(data)}"
+            )
+        path = pathlib.Path(trace)
+        if base_dir is not None and not path.is_absolute():
+            path = base_dir / path
+        schedule = load_fault_trace(path)
+        schedule.validate_fleet(num_machines)
+        return schedule
 
     def _events(key: str, allowed: tuple, factory) -> tuple:
-        entries = data.get(key) or ()
+        entries = data.get(key)
+        if entries is None:
+            return ()
         if not isinstance(entries, list):
             raise ValueError(f"faults.{key}: must be a list of mappings")
         out = []
@@ -451,6 +503,11 @@ def _parse_faults(
         partitions=_events("partitions", _PARTITION_KEYS, PartitionSpec),
         seed=int(data.get("seed", 0)),
         restart_warmup=float(data.get("restart_warmup", 0.0)),
+        domains=_parse_domains(data),
+        domain_crashes=_events(
+            "domain_crashes", _DOMAIN_CRASH_KEYS, DomainCrashSpec
+        ),
+        degrades=_events("degrades", _DEGRADE_KEYS, DegradeSpec),
     )
     sample = data.get("sample")
     if sample is not None:
@@ -580,8 +637,20 @@ def _parse_tenant(
     )
 
 
-def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
-    """Build a :class:`Scenario` from a decoded spec mapping."""
+def parse_scenario(
+    data: dict,
+    *,
+    name_hint: str = "scenario",
+    base_dir: str | pathlib.Path | None = None,
+) -> Scenario:
+    """Build a :class:`Scenario` from a decoded spec mapping.
+
+    ``base_dir`` anchors relative file references inside the spec (the
+    ``faults.trace`` failure log); :func:`load_scenario` passes the
+    spec file's own directory.
+    """
+    if base_dir is not None:
+        base_dir = pathlib.Path(base_dir)
     _take(data, _TOP_KEYS, name_hint)
     if "model" not in data:
         raise ValueError(f"{name_hint}: a scenario must name its model")
@@ -605,7 +674,9 @@ def parse_scenario(data: dict, *, name_hint: str = "scenario") -> Scenario:
         config = dataclasses.replace(
             config, num_machines=sum(g.count for g in fleet)
         )
-    faults = _parse_faults(data.get("faults"), config.num_machines)
+    faults = _parse_faults(
+        data.get("faults"), config.num_machines, base_dir=base_dir
+    )
     if faults is not None:
         config = dataclasses.replace(config, faults=faults)
     tenants = []
@@ -648,4 +719,4 @@ def load_scenario(path: str | pathlib.Path) -> Scenario:
         )
     if not isinstance(data, dict):
         raise ValueError(f"{path}: scenario spec must be a mapping")
-    return parse_scenario(data, name_hint=path.stem)
+    return parse_scenario(data, name_hint=path.stem, base_dir=path.parent)

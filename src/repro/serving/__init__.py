@@ -23,10 +23,15 @@ from .backends import (
 from .executor import MachineExecutor, default_serving_trace
 from .faults import (
     CrashSpec,
+    DegradeSpec,
+    DomainCrashSpec,
+    DomainSpec,
     FaultSchedule,
     PartitionSpec,
     SampleSpec,
     StragglerSpec,
+    dump_fault_trace,
+    load_fault_trace,
     merge_sampled,
     sample_faults,
 )
@@ -86,9 +91,14 @@ __all__ = [
     "CrashSpec",
     "StragglerSpec",
     "PartitionSpec",
+    "DomainSpec",
+    "DomainCrashSpec",
+    "DegradeSpec",
     "SampleSpec",
     "sample_faults",
     "merge_sampled",
+    "dump_fault_trace",
+    "load_fault_trace",
     "percentile",
     "percentile_or_nan",
     "time_weighted_mean",

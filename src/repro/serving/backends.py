@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 import typing
 
 import numpy as np
@@ -124,6 +125,18 @@ class ServingBackend(typing.Protocol):
         """Restart cold after a crash: discard evolving engine state."""
         ...  # pragma: no cover - protocol
 
+    def degrade(
+        self, surviving_dimm_fraction: float, bandwidth_factor: float
+    ) -> None:
+        """Renegotiate over partially failed hardware (cumulative state,
+        always derated from the pristine machine)."""
+        ...  # pragma: no cover - protocol
+
+    def kv_capacity_tokens(self) -> float:
+        """Resident KV tokens this machine can hold (``inf``: unbounded
+        for the purposes of degrade eviction)."""
+        ...  # pragma: no cover - protocol
+
 
 def sequential_span(
     backend: "ServingBackend",
@@ -190,6 +203,8 @@ class SteppableBackend:
         if nominal_batch < 1:
             raise ValueError("nominal_batch must be >= 1")
         self.machine = machine
+        #: pristine hardware — degrades always derate from this
+        self._base_machine = machine
         self.model = model
         self.nominal_batch = nominal_batch
         self._last_step_seconds = 0.0
@@ -283,6 +298,44 @@ class SteppableBackend:
         """
         self._last_step_seconds = 0.0
 
+    def degrade(
+        self, surviving_dimm_fraction: float, bandwidth_factor: float
+    ) -> None:
+        """Renegotiate this machine over partially failed hardware.
+
+        The streamed backends do not touch the NDP-DIMM pool, so a DIMM
+        loss only re-labels the machine; a ``bandwidth_factor`` derate
+        is the one that bites — every streamed weight byte crosses the
+        slower link from the next quoted cost onwards.  Cost memos are
+        invalidated and :meth:`_renegotiate` lets subclasses rebuild
+        machine-derived state; the engine then restarts (cursor rewind
+        for dejavu) exactly like a crash reset, keeping fused==stepped
+        bit-equal across the boundary.
+        """
+        base = self._base_machine
+        dimms = max(1, int(base.num_dimms * surviving_dimm_fraction))
+        pcie = dataclasses.replace(
+            base.pcie, bandwidth=base.pcie.bandwidth * bandwidth_factor
+        )
+        machine = dataclasses.replace(base, num_dimms=dimms, pcie=pcie)
+        if machine == self.machine:
+            return
+        self.machine = machine
+        self._prefill_cache.clear()
+        self._union_batch_cache.clear()
+        self._estimated_step = None
+        self._renegotiate()
+        self.reset()
+
+    def _renegotiate(self) -> None:
+        """Hook: rebuild machine-derived state after a degrade."""
+
+    def kv_capacity_tokens(self) -> float:
+        """The streamed backends keep their KV cache in GPU (dense,
+        dejavu) memory, which DIMM/link degrades never shrink — so
+        degrade eviction has nothing to evict (``inf``)."""
+        return math.inf
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"{type(self).__name__}({self.model.name!r}, "
@@ -313,6 +366,12 @@ class DenseGPUBackend(SteppableBackend):
         self.resident_fraction = weights_resident_fraction(machine, model)
         #: the per-token FC cost depends only on the batch size
         self._fc_cache: dict[int, tuple[float, float]] = {}
+
+    def _renegotiate(self) -> None:
+        self.resident_fraction = weights_resident_fraction(
+            self.machine, self.model
+        )
+        self._fc_cache.clear()
 
     def _fc_cost(self, batch: int) -> tuple[float, float]:
         """(seconds, gpu_busy) of one token's FC work at ``batch``."""
@@ -395,6 +454,11 @@ class DejaVuBackend(SteppableBackend):
         #: (token row, batch) -> (body seconds, body gpu_busy) — the
         #: context-independent part of one token's cost
         self._body_cache: dict[tuple[int, int], tuple[float, float]] = {}
+
+    def _renegotiate(self) -> None:
+        self.core = DejaVu(self.machine, self.model)
+        self._union_cache.clear()
+        self._body_cache.clear()
 
     def _union(self, batch: int) -> np.ndarray:
         union = self._union_cache.get(batch)

@@ -16,6 +16,7 @@ concurrent sequences; the cursor cycles over the decode region.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import typing
 
@@ -150,6 +151,9 @@ class MachineExecutor:
         if nominal_batch < 1:
             raise ValueError("nominal_batch must be >= 1")
         self.machine = machine
+        #: the pristine hardware — degrades always derate from this, so
+        #: cumulative degrade state stays idempotent to re-apply
+        self._base_machine = machine
         self.model = model
         self.system = HermesSystem(machine, model, config)
         if trace is None:
@@ -289,6 +293,57 @@ class MachineExecutor:
         )
         if pristine is None:
             cache[key] = _clone_partition(self.session.partition)
+
+    # ------------------------------------------------------------------
+    def degrade(
+        self, surviving_dimm_fraction: float, bandwidth_factor: float
+    ) -> None:
+        """Renegotiate this machine over partially failed hardware.
+
+        ``surviving_dimm_fraction`` of the *pristine* DIMM pool remains
+        (at least one DIMM always survives — total loss is a crash, not
+        a degrade) and the PCIe link is derated to ``bandwidth_factor``
+        of nominal.  The offline partition is re-planned over the
+        surviving DIMMs via the per-trace partition cache (a degraded
+        machine is a different cache key, so the first degrade solves
+        once and every later run reuses it) and the engine restarts
+        over it — discarding accelerator state exactly like a crash
+        restart, which is what keeps fused==stepped bit-equal across a
+        degrade boundary.  Cost memos are invalidated: a degraded
+        machine quotes degraded prefill/step costs from its next
+        admission onwards.  If the surviving pool can no longer hold
+        the sparse weights, engine construction raises — a scenario
+        that shrinks a machine below its model is a spec bug, reported
+        loudly rather than served slowly.
+        """
+        base = self._base_machine
+        dimms = max(1, int(base.num_dimms * surviving_dimm_fraction))
+        pcie = dataclasses.replace(
+            base.pcie, bandwidth=base.pcie.bandwidth * bandwidth_factor
+        )
+        machine = dataclasses.replace(base, num_dimms=dimms, pcie=pcie)
+        if machine == self.machine:
+            return
+        self.machine = machine
+        self.system = HermesSystem(machine, self.model, self.system.config)
+        self._prefill_cache.clear()
+        self._union_batch_cache.clear()
+        self._estimated_step = None
+        self.reset()
+
+    def kv_capacity_tokens(self) -> float:
+        """Resident KV tokens the DIMM pool can hold beside the sparse
+        weights.
+
+        Hermes stripes the KV cache across the NDP-DIMM pool (attention
+        runs near-memory), so capacity is whatever the pool has left
+        after the sparse weights — the quantity a DIMM degrade shrinks.
+        The serving loop uses this to decide which residents must be
+        evicted (re-queued with a re-prefill) after a degrade.
+        """
+        weights = self.model.total_weight_bytes - self.model.embedding_bytes
+        free = self.machine.dimm_capacity_total - weights
+        return max(0.0, free / self.model.kv_bytes_total(1, 1))
 
     # ------------------------------------------------------------------
     def mean_union(self, batch: int) -> float:

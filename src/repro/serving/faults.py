@@ -3,8 +3,12 @@
 A :class:`FaultSchedule` is pure data fixed before the run starts: a
 seeded, validated list of machine **crashes** (with optional restart),
 **stragglers** (multiplicative slowdown windows applied to every cost
-the machine's backend produces), and **router-side partitions**
-(machines unroutable but still draining what they already hold).
+the machine's backend produces), **router-side partitions** (machines
+unroutable but still draining what they already hold), **failure
+domains** (named machine groups — racks, power zones — whose members
+crash together via :class:`DomainCrashSpec` or domain-scoped
+sampling), and **degrades** (a machine loses a fraction of its DIMMs
+or link bandwidth at an instant and renegotiates instead of dying).
 Because the schedule is immutable and known a priori, every consumer —
 the stepped serving loop, the fused macro-stepped loop, health-aware
 routers, the telemetry timeline — reads the *same* timeline, which is
@@ -33,17 +37,39 @@ Semantics, shared by both serving loops:
   ``[start, end)``: the router cannot deliver new work to it (delivery
   falls over to the next reachable machine), but the machine keeps
   serving its queue and residents.
+* a **domain crash** is sugar that expands (via
+  :attr:`FaultSchedule.expanded_crashes`) to one :class:`CrashSpec`
+  per member of the named domain, all at the same instant — the
+  correlated-failure mode of a shared rack PDU or cooling loop.  Every
+  query method and both serving loops consume the *expanded* timeline,
+  so a domain crash behaves exactly like the equivalent hand-written
+  per-machine crashes.
+* a **degrade** permanently removes ``dimm_fraction`` of a machine's
+  DIMMs and/or derates its PCIe link to ``bandwidth_factor`` at
+  ``t >= at`` (closed on the left, like a crash); multiple degrades on
+  one machine compound multiplicatively.  The machine does *not* go
+  down: its executor rebuilds the model partition over the surviving
+  hardware, evicting (re-queue + re-prefill on the same machine) only
+  the residents whose KV no longer fits.
 
 With no ``faults:`` section every consumer short-circuits on
 ``faults is None`` — the fault-free path is bit-identical to a build
 without this module (pinned by the goldens).
+
+:func:`dump_fault_trace` / :func:`load_fault_trace` serialise a
+schedule to a JSONL failure log (one event per line, ``kind``
+discriminated) so real multi-day failure traces can be replayed via
+the scenario key ``faults.trace`` — and so a sampled schedule can be
+exported once and replayed bit-identically forever.
 """
 
 from __future__ import annotations
 
 import bisect
 import dataclasses
+import difflib
 import functools
+import json
 import math
 import random
 import typing
@@ -117,12 +143,89 @@ class PartitionSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class DomainSpec:
+    """A named failure domain: machines sharing a rack/PDU/cooling loop.
+
+    Domains must be pairwise disjoint (one PDU per machine) and their
+    names unique — validated by :class:`FaultSchedule`.
+    """
+
+    name: str
+    machines: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("domain name must be non-empty")
+        object.__setattr__(self, "machines", tuple(self.machines))
+        if not self.machines:
+            raise ValueError(f"domain {self.name!r} has no machines")
+        if len(set(self.machines)) != len(self.machines):
+            raise ValueError(f"domain {self.name!r} lists a machine twice")
+        if any(m < 0 for m in self.machines):
+            raise ValueError(f"domain {self.name!r} machine indices "
+                             f"must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainCrashSpec:
+    """A correlated crash: every member of ``domain`` goes down at
+    ``at``, back ``restart_after`` later (None: never)."""
+
+    domain: str
+    at: float
+    restart_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError("domain crash must name a domain")
+        _check_time(self.at, "domain crash time 'at'")
+        if self.restart_after is not None:
+            after = float(self.restart_after)
+            if not math.isfinite(after) or after <= 0:
+                raise ValueError("restart_after must be a positive time "
+                                 "(or null for no restart)")
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradeSpec:
+    """Partial failure at an instant: ``machine`` loses
+    ``dimm_fraction`` of its DIMMs and its PCIe link is derated to
+    ``bandwidth_factor`` of nominal, permanently from ``at``.
+
+    At least one axis must actually degrade; multiple degrades on the
+    same machine compound multiplicatively
+    (:meth:`FaultSchedule.degrade_state`).  A degrade never takes a
+    machine down — at least one DIMM always survives.
+    """
+
+    machine: int
+    at: float
+    dimm_fraction: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError("degrade machine index must be >= 0")
+        _check_time(self.at, "degrade time 'at'")
+        if not 0.0 <= self.dimm_fraction < 1.0:
+            raise ValueError("dimm_fraction must lie in [0, 1) — a "
+                             "machine losing every DIMM is a crash, "
+                             "not a degrade")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must lie in (0, 1]")
+        if self.dimm_fraction == 0.0 and self.bandwidth_factor == 1.0:
+            raise ValueError("degrade must remove DIMMs or derate "
+                             "bandwidth (it currently does neither)")
+
+
+@dataclasses.dataclass(frozen=True)
 class SampleSpec:
     """Seeded random chaos: expected per-machine fault counts over a
     horizon, turned into concrete events by :func:`sample_faults`."""
 
     horizon: float
     crashes_per_machine: float = 0.0
+    crashes_per_domain: float = 0.0
     mean_downtime: float = 0.0
     restart_fraction: float = 1.0
     stragglers_per_machine: float = 0.0
@@ -135,7 +238,8 @@ class SampleSpec:
         horizon = _check_time(self.horizon, "sample horizon")
         if horizon <= 0:
             raise ValueError("sample horizon must be positive")
-        for label in ("crashes_per_machine", "mean_downtime",
+        for label in ("crashes_per_machine", "crashes_per_domain",
+                      "mean_downtime",
                       "stragglers_per_machine", "mean_straggle",
                       "partitions_per_machine", "mean_partition"):
             _check_time(getattr(self, label), label)
@@ -161,9 +265,35 @@ class FaultSchedule:
     partitions: tuple[PartitionSpec, ...] = ()
     seed: int = 0
     restart_warmup: float = 0.0
+    domains: tuple[DomainSpec, ...] = ()
+    domain_crashes: tuple[DomainCrashSpec, ...] = ()
+    degrades: tuple[DegradeSpec, ...] = ()
 
     def __post_init__(self) -> None:
         _check_time(self.restart_warmup, "restart_warmup")
+        names = [d.name for d in self.domains]
+        if len(set(names)) != len(names):
+            dup = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate domain names: {dup}")
+        owner: dict[int, str] = {}
+        for domain in self.domains:
+            for m in domain.machines:
+                if m in owner:
+                    raise ValueError(
+                        f"machine {m} belongs to domains {owner[m]!r} "
+                        f"and {domain.name!r}; failure domains must be "
+                        f"disjoint"
+                    )
+                owner[m] = domain.name
+        for crash in self.domain_crashes:
+            if crash.domain not in names:
+                hint = difflib.get_close_matches(crash.domain, names, n=1)
+                suggest = f" — did you mean {hint[0]!r}?" if hint else ""
+                raise ValueError(
+                    f"faults.domain_crashes names unknown domain "
+                    f"{crash.domain!r}; declared domains: "
+                    f"{sorted(names) if names else 'none'}{suggest}"
+                )
         for machine, intervals in self._down_by_machine().items():
             for (s0, e0), (s1, _) in zip(intervals, intervals[1:]):
                 if e0 is None or s1 < e0:
@@ -173,23 +303,67 @@ class FaultSchedule:
                     )
 
     # ------------------------------------------------------------------
+    @functools.cached_property
+    def expanded_crashes(self) -> tuple[CrashSpec, ...]:
+        """The per-machine crash timeline both serving loops execute:
+        explicit crashes plus every domain crash expanded to one
+        :class:`CrashSpec` per member.  With no domain crashes this is
+        ``crashes`` verbatim (same tuple object), so schedules that
+        predate domains behave bit-identically."""
+        if not self.domain_crashes:
+            return self.crashes
+        members = {d.name: d.machines for d in self.domains}
+        out = list(self.crashes)
+        for crash in self.domain_crashes:
+            out.extend(
+                CrashSpec(m, crash.at, crash.restart_after)
+                for m in members[crash.domain]
+            )
+        return tuple(sorted(out, key=lambda c: (c.at, c.machine)))
+
+    def domain_of(self, machine: int) -> str | None:
+        """The declared domain ``machine`` belongs to (None: none)."""
+        for domain in self.domains:
+            if machine in domain.machines:
+                return domain.name
+        return None
+
     @property
     def machines(self) -> frozenset[int]:
-        """Every machine index named by any fault."""
-        return frozenset(
+        """Every machine index named by any fault or domain."""
+        named = {
             spec.machine
-            for group in (self.crashes, self.stragglers, self.partitions)
+            for group in (self.crashes, self.stragglers,
+                          self.partitions, self.degrades)
             for spec in group
-        )
+        }
+        named.update(m for d in self.domains for m in d.machines)
+        return frozenset(named)
 
     def validate_fleet(self, num_machines: int) -> None:
-        """Raise when a fault names a machine outside the fleet."""
-        for m in self.machines:
-            if m >= num_machines:
-                raise ValueError(
-                    f"fault schedule names machine {m} but the fleet has "
-                    f"{num_machines} machines"
-                )
+        """Raise when a fault names a machine outside the fleet.
+
+        The message names the offending scenario key and the valid
+        index range, so a fat-fingered spec is a one-glance fix.
+        """
+        sources: list[tuple[str, typing.Iterable[int]]] = [
+            ("faults.crashes", (c.machine for c in self.crashes)),
+            ("faults.stragglers", (s.machine for s in self.stragglers)),
+            ("faults.partitions", (p.machine for p in self.partitions)),
+            ("faults.degrades", (d.machine for d in self.degrades)),
+        ]
+        sources.extend(
+            (f"faults.domains[{d.name!r}]", d.machines)
+            for d in self.domains
+        )
+        for key, machines in sources:
+            for m in machines:
+                if m >= num_machines:
+                    raise ValueError(
+                        f"{key} names machine {m} but the fleet has "
+                        f"{num_machines} machines (valid indices: "
+                        f"0..{num_machines - 1})"
+                    )
 
     # ------------------------------------------------------------------
     @functools.cached_property
@@ -198,7 +372,7 @@ class FaultSchedule:
 
     def _down_by_machine(self) -> dict[int, list[tuple[float, float | None]]]:
         out: dict[int, list[tuple[float, float | None]]] = {}
-        for crash in self.crashes:
+        for crash in self.expanded_crashes:
             if crash.restart_after is None:
                 end: float | None = None
             else:
@@ -221,6 +395,14 @@ class FaultSchedule:
         out: dict[int, list[PartitionSpec]] = {}
         for spec in sorted(self.partitions,
                            key=lambda s: (s.start, s.machine)):
+            out.setdefault(spec.machine, []).append(spec)
+        return out
+
+    @functools.cached_property
+    def _degrade(self) -> dict[int, list[DegradeSpec]]:
+        out: dict[int, list[DegradeSpec]] = {}
+        for spec in sorted(self.degrades,
+                           key=lambda s: (s.at, s.machine)):
             out.setdefault(spec.machine, []).append(spec)
         return out
 
@@ -276,13 +458,28 @@ class FaultSchedule:
                 return True
         return False
 
+    def degrade_state(self, machine: int, time: float) -> tuple[float, float]:
+        """``(surviving_dimm_fraction, bandwidth_factor)`` active on
+        ``machine`` at ``time`` — the cumulative product of every
+        degrade at or before it; ``(1.0, 1.0)`` when pristine."""
+        surviving = 1.0
+        bandwidth = 1.0
+        for spec in self._degrade.get(machine, ()):
+            if spec.at > time:
+                break
+            surviving *= 1.0 - spec.dimm_fraction
+            bandwidth *= spec.bandwidth_factor
+        return surviving, bandwidth
+
     def health_state(self, machine: int, time: float) -> str:
         """The watch-column health label, priority down > partitioned >
-        slow > ok."""
+        degraded > slow > ok."""
         if self.is_down(machine, time):
             return "down"
         if self.is_partitioned(machine, time):
             return "partitioned"
+        if self.degrade_state(machine, time) != (1.0, 1.0):
+            return "degraded"
         if self.slowdown_at(machine, time) != 1.0:
             return "slow"
         return "ok"
@@ -291,8 +488,8 @@ class FaultSchedule:
     @functools.cached_property
     def _exec_transitions(self) -> dict[int, list[float]]:
         """Per machine: sorted instants where execution behaviour changes
-        (crash, restart, straggle boundaries — not partitions, which only
-        affect routing)."""
+        (crash, restart, straggle, degrade boundaries — not partitions,
+        which only affect routing)."""
         out: dict[int, set[float]] = {}
         for machine, intervals in self._down.items():
             for start, end in intervals:
@@ -304,6 +501,9 @@ class FaultSchedule:
                 out.setdefault(machine, set()).add(spec.start)
                 if spec.end is not None:
                     out.setdefault(machine, set()).add(spec.end)
+        for machine, dspecs in self._degrade.items():
+            for dspec in dspecs:
+                out.setdefault(machine, set()).add(dspec.at)
         return {m: sorted(times) for m, times in out.items()}
 
     @functools.cached_property
@@ -330,7 +530,14 @@ class FaultSchedule:
 
     @functools.cached_property
     def _crash_starts(self) -> list[float]:
-        return sorted(crash.at for crash in self.crashes)
+        return sorted(crash.at for crash in self.expanded_crashes)
+
+    @functools.cached_property
+    def _disruption_starts(self) -> list[float]:
+        return sorted(
+            {crash.at for crash in self.expanded_crashes}
+            | {spec.at for spec in self.degrades}
+        )
 
     def next_any_down(
         self, time: float, *, strict: bool = False
@@ -347,6 +554,25 @@ class FaultSchedule:
         not re-arm for the same instant).
         """
         starts = self._crash_starts
+        i = (bisect.bisect_right if strict else bisect.bisect_left)(
+            starts, time
+        )
+        return starts[i] if i < len(starts) else None
+
+    def next_any_disruption(
+        self, time: float, *, strict: bool = False
+    ) -> float | None:
+        """First crash *or* degrade instant at (or, with ``strict``,
+        after) ``time``, on *any* machine.
+
+        This is the fleet-wide span/idle bound under faults: a crash
+        migrates refugees into peers' queues and a degrade evicts
+        overflow residents back into the (possibly shared) queue, so
+        both can hand a healthy machine new work mid-span.  The stepped
+        loop would see it at its next token boundary; the fused loop
+        must end its span here to match.
+        """
+        starts = self._disruption_starts
         i = (bisect.bisect_right if strict else bisect.bisect_left)(
             starts, time
         )
@@ -375,13 +601,41 @@ class FaultSchedule:
         """Outage durations (crash→serving again, warmup included) of
         every crash that fully recovers inside the run, in crash order."""
         out = []
-        for crash in sorted(self.crashes, key=lambda c: (c.at, c.machine)):
+        for crash in sorted(self.expanded_crashes,
+                            key=lambda c: (c.at, c.machine)):
             if crash.restart_after is None:
                 continue
             span = crash.restart_after + self.restart_warmup
             if crash.at + span <= horizon:
                 out.append(span)
         return out
+
+    def correlated_outage_within(self, horizon: float) -> float:
+        """Seconds inside ``[0, horizon)`` during which at least two
+        machines of *one* declared domain were simultaneously down —
+        the blast-radius metric a per-machine availability number
+        hides.  ``nan`` when no domains are declared (rendered "—")."""
+        if not self.domains:
+            return math.nan
+        total = 0.0
+        for domain in self.domains:
+            deltas: list[tuple[float, int]] = []
+            for machine in domain.machines:
+                for start, end in self._down.get(machine, ()):
+                    if start >= horizon:
+                        continue
+                    deltas.append((start, 1))
+                    deltas.append((horizon if end is None
+                                   else min(end, horizon), -1))
+            deltas.sort()
+            depth = 0
+            since = 0.0
+            for at, step in deltas:
+                if depth >= 2:
+                    total += at - since
+                depth += step
+                since = at
+        return total
 
 
 # ----------------------------------------------------------------------
@@ -398,12 +652,51 @@ def _poisson(rng: random.Random, mean: float) -> int:
     return count
 
 
+def _draw_crashes(
+    rng: random.Random,
+    spec: SampleSpec,
+    mean: float,
+    restart_warmup: float,
+) -> list[tuple[float, float | None]]:
+    """One Poisson crash-draw sequence: ``[(at, restart_after), ...]``.
+
+    Shared verbatim by per-machine and per-domain sampling, so a
+    single-member domain named ``str(m)`` reproduces machine ``m``'s
+    crash draws bit-for-bit (pinned by a hypothesis test).  Crashes
+    that would overlap the unit's earlier outage are dropped rather
+    than shifted — the drop happens *after* the draws, so it never
+    perturbs the RNG stream.
+    """
+    events: list[tuple[float, float | None]] = []
+    busy_until = 0.0
+    times = sorted(
+        rng.uniform(0.0, spec.horizon)
+        for _ in range(_poisson(rng, mean))
+    )
+    for at in times:
+        if at < busy_until:
+            continue
+        restarts = rng.random() < spec.restart_fraction
+        downtime = (
+            rng.expovariate(1.0 / spec.mean_downtime)
+            if spec.mean_downtime > 0 else 0.0
+        )
+        if restarts and downtime > 0:
+            events.append((at, downtime))
+            busy_until = at + downtime + restart_warmup
+        else:
+            events.append((at, None))
+            busy_until = math.inf
+    return events
+
+
 def sample_faults(
     spec: SampleSpec,
     num_machines: int,
     *,
     seed: int = 0,
     restart_warmup: float = 0.0,
+    domains: typing.Sequence[DomainSpec] = (),
 ) -> FaultSchedule:
     """Expand a :class:`SampleSpec` into a concrete seeded schedule.
 
@@ -414,31 +707,25 @@ def sample_faults(
     yields the same events in every process — the basis of the
     ``--jobs`` determinism pin.  Crashes that would overlap a machine's
     earlier outage are dropped rather than shifted.
+
+    With ``domains``, ``crashes_per_domain`` additionally samples
+    *correlated* crashes per declared domain from an RNG keyed on the
+    domain *name* (``faults:{seed}:{name}`` — the same namespace as
+    the per-machine streams, so a single-member domain named
+    ``str(m)`` draws exactly machine ``m``'s crash sequence).  A
+    sampled per-machine crash that would overlap a sampled domain
+    outage on that machine is dropped — correlated events win.
     """
+    domains = tuple(domains)
     crashes: list[CrashSpec] = []
     stragglers: list[StragglerSpec] = []
     partitions: list[PartitionSpec] = []
     for machine in range(num_machines):
         rng = random.Random(f"faults:{seed}:{machine}")
-        busy_until = 0.0
-        times = sorted(
-            rng.uniform(0.0, spec.horizon)
-            for _ in range(_poisson(rng, spec.crashes_per_machine))
-        )
-        for at in times:
-            if at < busy_until:
-                continue
-            restarts = rng.random() < spec.restart_fraction
-            downtime = (
-                rng.expovariate(1.0 / spec.mean_downtime)
-                if spec.mean_downtime > 0 else 0.0
-            )
-            if restarts and downtime > 0:
-                crashes.append(CrashSpec(machine, at, downtime))
-                busy_until = at + downtime + restart_warmup
-            else:
-                crashes.append(CrashSpec(machine, at, None))
-                busy_until = math.inf
+        for at, after in _draw_crashes(
+            rng, spec, spec.crashes_per_machine, restart_warmup
+        ):
+            crashes.append(CrashSpec(machine, at, after))
         for _ in range(_poisson(rng, spec.stragglers_per_machine)):
             start = rng.uniform(0.0, spec.horizon)
             length = (
@@ -460,12 +747,38 @@ def sample_faults(
                 partitions.append(
                     PartitionSpec(machine, start, start + length)
                 )
+    domain_crashes: list[DomainCrashSpec] = []
+    for domain in domains:
+        rng = random.Random(f"faults:{seed}:{domain.name}")
+        for at, after in _draw_crashes(
+            rng, spec, spec.crashes_per_domain, restart_warmup
+        ):
+            domain_crashes.append(DomainCrashSpec(domain.name, at, after))
+    if domain_crashes:
+        # a per-machine crash landing inside a domain outage on that
+        # machine is dropped (correlated events win); the trial
+        # construction reuses the schedule's own overlap validation
+        kept: list[CrashSpec] = []
+        for crash in crashes:
+            try:
+                FaultSchedule(
+                    crashes=tuple(kept) + (crash,),
+                    domains=domains,
+                    domain_crashes=tuple(domain_crashes),
+                    restart_warmup=restart_warmup,
+                )
+            except ValueError:
+                continue
+            kept.append(crash)
+        crashes = kept
     return FaultSchedule(
         crashes=tuple(crashes),
         stragglers=tuple(stragglers),
         partitions=tuple(partitions),
         seed=seed,
         restart_warmup=restart_warmup,
+        domains=domains,
+        domain_crashes=tuple(domain_crashes),
     )
 
 
@@ -474,31 +787,50 @@ def merge_sampled(
 ) -> FaultSchedule:
     """The schedule a run executes: explicit events plus sampled chaos.
 
-    Explicit crashes win — a sampled crash overlapping an explicit
-    outage on the same machine is dropped.
+    Explicit crashes win — a sampled crash (per-machine or domain)
+    overlapping an explicit outage on the same machine is dropped.
+    Sampling inherits the schedule's declared domains, so
+    ``crashes_per_domain`` correlates exactly the declared groups.
     """
     if spec is None:
         return schedule
+
+    def fits(crashes: typing.Sequence[CrashSpec],
+             domain_crashes: typing.Sequence[DomainCrashSpec]) -> bool:
+        try:
+            # construction validates per-machine outage overlap over
+            # the *expanded* (domain crashes included) timeline
+            FaultSchedule(
+                crashes=tuple(crashes),
+                domains=schedule.domains,
+                domain_crashes=tuple(domain_crashes),
+                restart_warmup=schedule.restart_warmup,
+            )
+        except ValueError:
+            return False
+        return True
+
     sampled = sample_faults(
         spec,
         num_machines,
         seed=schedule.seed,
         restart_warmup=schedule.restart_warmup,
+        domains=schedule.domains,
     )
     crashes = list(schedule.crashes)
+    domain_crashes = list(schedule.domain_crashes)
+    for dcrash in sampled.domain_crashes:
+        if fits(crashes, domain_crashes + [dcrash]):
+            domain_crashes.append(dcrash)
     for crash in sampled.crashes:
-        try:
-            # construction validates per-machine outage overlap
-            FaultSchedule(
-                crashes=tuple(crashes) + (crash,),
-                restart_warmup=schedule.restart_warmup,
-            )
-        except ValueError:
-            continue
-        crashes.append(crash)
+        if fits(crashes + [crash], domain_crashes):
+            crashes.append(crash)
     return dataclasses.replace(
         schedule,
         crashes=tuple(sorted(crashes, key=lambda c: (c.at, c.machine))),
+        domain_crashes=tuple(
+            sorted(domain_crashes, key=lambda c: (c.at, c.domain))
+        ),
         stragglers=tuple(
             sorted(schedule.stragglers + sampled.stragglers,
                    key=lambda s: (s.start, s.machine))
@@ -510,12 +842,178 @@ def merge_sampled(
     )
 
 
+# ----------------------------------------------------------------------
+# Failure-trace replay: a schedule as a JSONL log, one event per line.
+#
+#   {"kind": "schedule", "seed": 42, "restart_warmup": 0.001}
+#   {"kind": "domain", "name": "rack0", "machines": [0, 1]}
+#   {"kind": "crash", "machine": 0, "at": 0.004, "restart_after": 0.006}
+#   {"kind": "domain-crash", "domain": "rack0", "at": 0.01,
+#    "restart_after": 0.005}
+#   {"kind": "straggler", "machine": 1, "start": 0.002, "end": 0.03,
+#    "slowdown": 8.0}
+#   {"kind": "partition", "machine": 2, "start": 0.001, "end": 0.004}
+#   {"kind": "degrade", "machine": 3, "at": 0.01, "dimm_fraction": 0.5,
+#    "bandwidth_factor": 1.0}
+#
+# ``restart_after``/``end`` may be null (never restarts / never ends);
+# the optional "schedule" header restores seed + warmup so that
+# dump -> load round-trips a sampled schedule to an *equal* object
+# (replay == sampled, pinned by tests).
+
+_TRACE_KEYS: dict[str, tuple[str, ...]] = {
+    "schedule": ("seed", "restart_warmup"),
+    "domain": ("name", "machines"),
+    "crash": ("machine", "at", "restart_after"),
+    "domain-crash": ("domain", "at", "restart_after"),
+    "straggler": ("machine", "start", "end", "slowdown"),
+    "partition": ("machine", "start", "end"),
+    "degrade": ("machine", "at", "dimm_fraction", "bandwidth_factor"),
+}
+
+
+def dump_fault_trace(schedule: FaultSchedule, path) -> None:
+    """Write ``schedule`` as a JSONL failure log (strict JSON lines)."""
+    lines: list[dict] = [{
+        "kind": "schedule",
+        "seed": schedule.seed,
+        "restart_warmup": schedule.restart_warmup,
+    }]
+    for d in schedule.domains:
+        lines.append({"kind": "domain", "name": d.name,
+                      "machines": list(d.machines)})
+    for c in schedule.crashes:
+        lines.append({"kind": "crash", "machine": c.machine, "at": c.at,
+                      "restart_after": c.restart_after})
+    for dc in schedule.domain_crashes:
+        lines.append({"kind": "domain-crash", "domain": dc.domain,
+                      "at": dc.at, "restart_after": dc.restart_after})
+    for s in schedule.stragglers:
+        lines.append({"kind": "straggler", "machine": s.machine,
+                      "start": s.start, "end": s.end,
+                      "slowdown": s.slowdown})
+    for p in schedule.partitions:
+        lines.append({"kind": "partition", "machine": p.machine,
+                      "start": p.start, "end": p.end})
+    for g in schedule.degrades:
+        lines.append({"kind": "degrade", "machine": g.machine,
+                      "at": g.at, "dimm_fraction": g.dimm_fraction,
+                      "bandwidth_factor": g.bandwidth_factor})
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, allow_nan=False) + "\n")
+
+
+def load_fault_trace(path) -> FaultSchedule:
+    """Load a JSONL failure log back into a :class:`FaultSchedule`.
+
+    Every line must be a strict-JSON object whose ``kind`` is one of
+    the documented event kinds; unknown kinds and malformed lines
+    raise naming the offending ``path:line``.  Spec-level validation
+    (times, overlaps, domain names) is the same as for hand-written
+    schedules — a trace is not a backdoor around it.
+    """
+    seed = 0
+    restart_warmup = 0.0
+    domains: list[DomainSpec] = []
+    crashes: list[CrashSpec] = []
+    domain_crashes: list[DomainCrashSpec] = []
+    stragglers: list[StragglerSpec] = []
+    partitions: list[PartitionSpec] = []
+    degrades: list[DegradeSpec] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"fault trace {where}: malformed JSON ({exc})"
+                ) from None
+            if not isinstance(data, dict) or "kind" not in data:
+                raise ValueError(
+                    f"fault trace {where}: every line must be an "
+                    f"object with a 'kind' field"
+                )
+            kind = data.pop("kind")
+            allowed = _TRACE_KEYS.get(kind)
+            if allowed is None:
+                raise ValueError(
+                    f"fault trace {where}: unknown event kind "
+                    f"{kind!r} (expected one of "
+                    f"{sorted(_TRACE_KEYS)})"
+                )
+            unknown = sorted(set(data) - set(allowed))
+            if unknown:
+                raise ValueError(
+                    f"fault trace {where}: unknown {kind} fields "
+                    f"{unknown} (allowed: {list(allowed)})"
+                )
+            try:
+                if kind == "schedule":
+                    seed = int(data.get("seed", seed))
+                    restart_warmup = float(
+                        data.get("restart_warmup", restart_warmup)
+                    )
+                elif kind == "domain":
+                    domains.append(DomainSpec(
+                        data["name"], tuple(data["machines"])
+                    ))
+                elif kind == "crash":
+                    crashes.append(CrashSpec(
+                        data["machine"], data["at"],
+                        data.get("restart_after"),
+                    ))
+                elif kind == "domain-crash":
+                    domain_crashes.append(DomainCrashSpec(
+                        data["domain"], data["at"],
+                        data.get("restart_after"),
+                    ))
+                elif kind == "straggler":
+                    stragglers.append(StragglerSpec(
+                        data["machine"], data["start"], data["end"],
+                        data["slowdown"],
+                    ))
+                elif kind == "partition":
+                    partitions.append(PartitionSpec(
+                        data["machine"], data["start"], data["end"],
+                    ))
+                else:  # degrade
+                    degrades.append(DegradeSpec(
+                        data["machine"], data["at"],
+                        data.get("dimm_fraction", 0.0),
+                        data.get("bandwidth_factor", 1.0),
+                    ))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"fault trace {where}: bad {kind} event: {exc}"
+                ) from None
+    return FaultSchedule(
+        crashes=tuple(crashes),
+        stragglers=tuple(stragglers),
+        partitions=tuple(partitions),
+        seed=seed,
+        restart_warmup=restart_warmup,
+        domains=tuple(domains),
+        domain_crashes=tuple(domain_crashes),
+        degrades=tuple(degrades),
+    )
+
+
 __all__: typing.Sequence[str] = [
     "CrashSpec",
     "StragglerSpec",
     "PartitionSpec",
+    "DomainSpec",
+    "DomainCrashSpec",
+    "DegradeSpec",
     "SampleSpec",
     "FaultSchedule",
     "sample_faults",
     "merge_sampled",
+    "dump_fault_trace",
+    "load_fault_trace",
 ]

@@ -72,6 +72,7 @@ from ..sim import (
 from ..sparsity import ActivationTrace
 from ..telemetry.events import (
     DecodeStep,
+    MachineDegraded,
     MachineDown,
     MachineHealth,
     MachineUp,
@@ -219,6 +220,11 @@ class _RunState:
         self.observe_step: typing.Callable[[int, float, int], None] | None = (
             None
         )
+        #: degrade hook ``(machine)`` called right after a machine
+        #: renegotiates over partially failed hardware — the cluster
+        #: layer rebinds throughput-weighted routers and rebaselines the
+        #: health monitor here (identically placed in both loops)
+        self.on_degrade: typing.Callable[[int], None] | None = None
 
     def note_clamp(
         self, m: int, policy: "BatchingPolicy", raw_limit: int
@@ -477,7 +483,15 @@ class ServingSimulator:
             policy=self.policy.name,
             num_machines=self.config.num_machines,
             backends=tuple(self.machine_backends),
+            domains=self._declared_domains(),
         )
+
+    def _declared_domains(self) -> tuple[tuple[str, tuple[int, ...]], ...]:
+        """``(name, members)`` pairs of the fault schedule's domains."""
+        faults = self.config.faults
+        if faults is None or not faults.domains:
+            return ()
+        return tuple((d.name, d.machines) for d in faults.domains)
 
     def _fault_fields(self, makespan: float) -> dict:
         """Downtime/recovery report fields derived from the schedule."""
@@ -562,6 +576,11 @@ class ServingSimulator:
         wake = state.wake_signals[m]
         observe = state.observe_step
         last_health: str | None = None
+        #: the cumulative degrade state already applied to the backend —
+        #: the loop top renegotiates whenever the schedule's state moves
+        #: past it (checked only when the schedule has degrades at all)
+        has_degrades = faults is not None and bool(faults.degrades)
+        applied_degrade = (1.0, 1.0)
         active: list[ActiveEntry] = []
         while True:
             if faults is not None:
@@ -604,6 +623,80 @@ class ServingSimulator:
                             warmup=faults.restart_warmup,
                         ))
                     continue
+                if has_degrades:
+                    # ---- degrade: renegotiate, evict KV overflow ----
+                    # A degrade is a *state change at an instant*, not a
+                    # time-varying multiplier: both loops apply it at
+                    # the first loop top at or past the instant (spans
+                    # are bounded there via the exec transitions), so
+                    # fused==stepped holds exactly as across a restart.
+                    degrade = faults.degrade_state(m, sim.now)
+                    if degrade != applied_degrade:
+                        applied_degrade = degrade
+                        executor.degrade(*degrade)
+                        evicted = 0
+                        capacity = executor.kv_capacity_tokens()
+                        if active:
+                            # keep the admission-order prefix that still
+                            # fits the shrunken KV pool; the overflow is
+                            # re-queued on this same machine (it did not
+                            # die — this is renegotiation, not
+                            # migration) and re-prefills on re-admission
+                            resident = 0.0
+                            kept: list[ActiveEntry] = []
+                            overflow: list[ActiveEntry] = []
+                            for entry in active:
+                                tokens = entry.next_context - 1
+                                if resident + tokens <= capacity:
+                                    resident += tokens
+                                    kept.append(entry)
+                                else:
+                                    overflow.append(entry)
+                            if overflow:
+                                active = kept
+                                evicted = len(overflow)
+                                state.total_active -= evicted
+                                state.active_counts[m] -= evicted
+                                state.note_batch(sim.now)
+                                for entry in overflow:
+                                    entry.record.needs_prefill = True
+                                    entry.record.migrations += 1
+                                    state.requeue(
+                                        m, entry.request, sim.now
+                                    )
+                                    if tracing:
+                                        # same KV-losing hop as a crash
+                                        # evacuation, except the request
+                                        # stays on its (renegotiated)
+                                        # machine in routed mode
+                                        tracer.emit(RequestMigrated(
+                                            time=sim.now,
+                                            req_id=entry.request.req_id,
+                                            from_machine=m,
+                                            to_machine=(
+                                                m if len(state.queues) > 1
+                                                else -1
+                                            ),
+                                            generated=len(
+                                                entry.record.token_times
+                                            ),
+                                        ))
+                                if len(state.queues) == 1:
+                                    # shared queue: an idle sibling may
+                                    # be parked — wake it to steal the
+                                    # evicted work, like a migration
+                                    for signal in state.wake_signals:
+                                        sim.fire(signal)
+                        if tracing:
+                            tracer.emit(MachineDegraded(
+                                time=sim.now,
+                                machine=m,
+                                surviving_dimm_fraction=degrade[0],
+                                bandwidth_factor=degrade[1],
+                                evicted=evicted,
+                            ))
+                        if state.on_degrade is not None:
+                            state.on_degrade(m)
                 if tracing:
                     health = faults.health_state(m, sim.now)
                     if health != last_health:
@@ -836,13 +929,14 @@ class ServingSimulator:
                     until = upcoming
                 if faults is not None:
                     # fault boundaries bound spans exactly like arrivals:
-                    # our own crash/slowdown windows cannot land inside a
-                    # span's interior, and *any* machine's crash may
-                    # migrate work into our queue, which the stepped
-                    # loop would notice at its next token boundary
+                    # our own crash/slowdown/degrade instants cannot land
+                    # inside a span's interior, and *any* machine's crash
+                    # (migration) or degrade (KV-overflow eviction) may
+                    # drop work into our queue, which the stepped loop
+                    # would notice at its next token boundary
                     for bound in (
                         faults.next_exec_transition(m, sim.now),
-                        faults.next_any_down(sim.now),
+                        faults.next_any_disruption(sim.now),
                     ):
                         if bound is not None and (
                             until is None or bound < until
@@ -967,7 +1061,7 @@ class ServingSimulator:
                     and state.queued_total() == 0):
                 yield WaitSignal(wake)
                 continue
-            boundary = faults.next_any_down(sim.now, strict=True)
+            boundary = faults.next_any_disruption(sim.now, strict=True)
             if upcoming is None and boundary is None:
                 yield WaitSignal(wake)
                 continue

@@ -20,6 +20,7 @@ from .events import (
     ClassInfo,
     DecodeStep,
     Event,
+    MachineDegraded,
     MachineDown,
     MachineHealth,
     MachineUp,
@@ -59,6 +60,7 @@ __all__ = [
     "Event",
     "Gauge",
     "Histogram",
+    "MachineDegraded",
     "MachineDown",
     "MachineHealth",
     "MachineUp",

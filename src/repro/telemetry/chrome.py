@@ -250,6 +250,22 @@ class _Exporter:
         )
         self._flow(event.req_id, event.time, FRONT_TID)
 
+    def _on_degraded(self, event: ev.MachineDegraded) -> None:
+        self.out.append({
+            "name": "degrade",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(event.time),
+            "pid": PID,
+            "tid": event.machine + 1,
+            "cat": "fault",
+            "args": {
+                "surviving_dimm_fraction": event.surviving_dimm_fraction,
+                "bandwidth_factor": event.bandwidth_factor,
+                "evicted": event.evicted,
+            },
+        })
+
     def _on_health(self, event: ev.MachineHealth) -> None:
         self.out.append({
             "name": f"health: {event.state}",
@@ -286,6 +302,7 @@ class _Exporter:
         ev.RequestCompleted: _on_completed,
         ev.MachineDown: _on_machine_down,
         ev.MachineUp: _on_machine_up,
+        ev.MachineDegraded: _on_degraded,
         ev.MachineHealth: _on_health,
         ev.RequestMigrated: _on_migrated,
         ev.RunEnded: _on_run_ended,

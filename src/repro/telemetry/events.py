@@ -53,6 +53,9 @@ class RunStarted:
     #: declared priority classes, highest priority first
     classes: tuple[ClassInfo, ...] = ()
     preemptive: bool = False
+    #: declared failure domains as ``(name, member_machines)`` pairs,
+    #: in declaration order; empty when the run has no domains
+    domains: tuple[tuple[str, tuple[int, ...]], ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -189,8 +192,10 @@ class MachineHealth:
     """A machine's health state changed (change-point sample).
 
     ``state`` is one of ``"ok"``, ``"slow"`` (straggling — ``slowdown``
-    carries the cost multiplier), ``"partitioned"`` (unreachable from
-    the router but still draining residents), or ``"down"``.
+    carries the cost multiplier), ``"degraded"`` (running with fewer
+    DIMMs or a derated link after renegotiation), ``"partitioned"``
+    (unreachable from the router but still draining residents), or
+    ``"down"``.
     """
 
     time: float
@@ -200,13 +205,34 @@ class MachineHealth:
 
 
 @dataclasses.dataclass(frozen=True)
+class MachineDegraded:
+    """A machine renegotiated after a partial-degradation fault.
+
+    The machine keeps serving on ``surviving_dimm_fraction`` of its
+    original DIMM pool with its PCIe link derated to
+    ``bandwidth_factor`` of nominal.  ``evicted`` counts residents whose
+    KV no longer fit on the surviving pool and were requeued for a
+    fresh prefill.  Fractions are cumulative relative to the pristine
+    machine, not to the previous degrade.
+    """
+
+    time: float
+    machine: int
+    surviving_dimm_fraction: float
+    bandwidth_factor: float
+    evicted: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
 class RequestMigrated:
-    """A request was evacuated off a crashed machine.
+    """A request was evacuated off a crashed or degraded machine.
 
     Generated tokens survive (they were already streamed to the client);
     the KV cache does not, so the destination re-runs prefill over
     ``prompt_len + generated``.  ``to_machine`` is ``-1`` when the run
-    uses one shared queue (any machine may pick the request up).
+    uses one shared queue (any machine may pick the request up).  A
+    degrade-driven KV eviction keeps ``to_machine == from_machine`` in
+    routed mode: the machine renegotiated, it did not die.
     """
 
     time: float
@@ -238,6 +264,7 @@ Event = typing.Union[
     MachineDown,
     MachineUp,
     MachineHealth,
+    MachineDegraded,
     RequestMigrated,
     RunEnded,
 ]

@@ -198,6 +198,13 @@ class MetricStreamTracer:
         #: fault-free runs (no MachineHealth events are emitted)
         self._m_health = ["ok"] * num
         self._machines_up = num
+        #: machine -> failure-domain name; the per-machine topics only
+        #: grow the extra "domain" column when the run declared domains,
+        #: so domain-free runs keep their exact pre-domain schema
+        self._m_domain: dict[int, str] = {
+            m: name for name, members in event.domains for m in members
+        }
+        self._has_domains = bool(event.domains)
 
         cluster = MetricsRegistry(self._percentiles)
         cluster.gauge("queue_depth", help="requests waiting for admission")
@@ -208,8 +215,8 @@ class MetricStreamTracer:
                       "(fleet size minus crashed machines)")
         cluster.counter("completed", help="requests finished")
         cluster.counter("preempted", help="preemptive evictions")
-        cluster.counter("migrations", help="crash-driven request "
-                        "evacuations")
+        cluster.counter("migrations", help="KV-losing evacuations "
+                        "(crashes and degrade evictions)")
         self._registries["cluster"] = cluster
         self._stream.announce("cluster", cluster.describe(), meta={
             "group": "cluster",
@@ -241,14 +248,23 @@ class MetricStreamTracer:
                 "name": "health",
                 "kind": "state",
                 "unit": "",
-                "help": "fault-injection health (ok/slow/partitioned/"
-                        "down)",
+                "help": "fault-injection health (ok/slow/degraded/"
+                        "partitioned/down)",
             }]
-            self._stream.announce(topic, fields, meta={
+            meta = {
                 "group": "machine",
                 "label": str(m),
                 "backend": event.backends[m],
-            })
+            }
+            if self._has_domains:
+                fields.append({
+                    "name": "domain",
+                    "kind": "state",
+                    "unit": "",
+                    "help": "declared failure domain of this machine",
+                })
+                meta["domain"] = self._m_domain.get(m, "")
+            self._stream.announce(topic, fields, meta=meta)
 
         for name, state in self._classes.items():
             registry = MetricsRegistry(self._percentiles)
@@ -311,7 +327,10 @@ class MetricStreamTracer:
         for topic, registry in self._registries.items():
             values = registry.collect()
             if topic.startswith("machine/"):
-                values["health"] = self._m_health[int(topic[8:])]
+                m = int(topic[8:])
+                values["health"] = self._m_health[m]
+                if self._has_domains:
+                    values["domain"] = self._m_domain.get(m, "")
             self._stream.publish(topic, at_time, values)
         # reset the window accumulators (cumulative metrics persist)
         self._cluster_tokens = 0

@@ -41,6 +41,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from benchmarks.bench_decode import bench_calibration  # noqa: E402
 from benchmarks.bench_serving import (  # noqa: E402
     BENCH_MIXED_FLEET_SCENARIO,
+    bench_degradation,
     bench_fault_overhead,
     bench_planner,
     bench_scenario,
@@ -56,7 +57,8 @@ from tools.bench_common import (  # noqa: E402
 BENCH_FILE = ROOT / "BENCH_serving.json"
 
 #: records whose wall time and ``simulated`` half are gated by --check
-GATED_KEYS = ("scenario", "mixed_fleet", "fault_overhead", "planner")
+GATED_KEYS = ("scenario", "mixed_fleet", "fault_overhead",
+              "degradation", "planner")
 
 #: relative tolerance for the deterministic simulated-metric gate —
 #: generous against float-libm jitter across platforms, far below any
@@ -80,6 +82,10 @@ def measure(quick: bool) -> dict:
         # and MTTR alongside the usual scenario metrics
         "fault_overhead": bench_fault_overhead(
             min_seconds=min_seconds / 2),
+        # the correlated-failure drill: pins the domain crash +
+        # degrade/renegotiation path (per-domain availability and
+        # correlated-outage seconds)
+        "degradation": bench_degradation(min_seconds=min_seconds / 2),
         # the capacity planner over the smoke scenario: pins the
         # enumerate/prune/frontier counts and the chosen fleet
         "planner": bench_planner(min_seconds=min_seconds / 2),
@@ -142,6 +148,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"availability {sim['availability']:.4f}, "
                   f"MTTR {sim['mean_time_to_recover'] * 1e3:.1f} ms, "
                   f"{sim['unfinished']} unfinished")
+        if "correlated_outage_seconds" in sim:
+            per_domain = ", ".join(
+                f"{name} {avail:.4f}"
+                for name, avail in sim["domain_availability"].items())
+            print(f"domains: correlated outage "
+                  f"{sim['correlated_outage_seconds'] * 1e3:.1f} ms, "
+                  f"availability {per_domain}")
         if "num_candidates" in sim:
             best = sim["best"] or {}
             chosen = (f"{best.get('count')}x {best.get('backend')} on "

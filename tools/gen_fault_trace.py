@@ -1,0 +1,53 @@
+"""Convert a scenario's fault schedule into a replayable JSONL trace.
+
+Loads a scenario spec, resolves its ``faults:`` section exactly the way
+a run would — explicit events merged with the seeded sampled chaos —
+and writes the fully-expanded schedule as a failure-trace file (the
+JSONL schema documented in ``repro.serving.faults``).  Pointing the
+scenario's ``faults.trace`` key at the output then replays the same
+faults bit-for-bit, which is how the replay==sampled equivalence is
+pinned: sampling happens once, here, and the run consumes only recorded
+events.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_fault_trace.py \
+        scenarios/chaos_domains_tiny.json /tmp/chaos_domains.faults.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.api import dump_fault_trace, load_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="write a scenario's resolved fault schedule as a "
+        "replayable JSONL failure trace")
+    parser.add_argument("scenario", help="scenario spec (.json/.toml)")
+    parser.add_argument("out", help="output trace path (JSONL)")
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    faults = scenario.config.faults
+    if faults is None:
+        parser.error(f"{args.scenario} declares no faults: section")
+    dump_fault_trace(faults, pathlib.Path(args.out))
+    kinds = (
+        f"{len(faults.domains)} domains, "
+        f"{len(faults.crashes)} crashes, "
+        f"{len(faults.domain_crashes)} domain crashes, "
+        f"{len(faults.stragglers)} stragglers, "
+        f"{len(faults.partitions)} partitions, "
+        f"{len(faults.degrades)} degrades"
+    )
+    print(f"wrote {args.out}: {kinds}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
