@@ -46,6 +46,11 @@ class Router:
     #: routers that normalize load by machine speed set this; the
     #: cluster simulator then calls :meth:`bind_fleet` before the run
     needs_throughputs = False
+    #: a router whose decisions depend only on the request stream (never
+    #: on live load values) can be replayed by the sharded coordinator
+    #: without simulating the fleet — the requirement for
+    #: ``ServingConfig.shards`` (see :mod:`repro.cluster.sharded`)
+    shardable = False
 
     def route(self, request: Request, loads: typing.Sequence[float]) -> int:
         """Machine index for ``request`` given per-machine loads."""
@@ -66,6 +71,9 @@ class RoundRobinRouter(Router):
     """Cycle through machines in arrival order."""
 
     name = "round-robin"
+    #: the counter ignores loads entirely — decisions are a pure
+    #: function of the routing-call order, which the coordinator replays
+    shardable = True
 
     def __init__(self) -> None:
         self._next = 0
@@ -97,6 +105,9 @@ class SessionAffinityRouter(Router):
     """
 
     name = "session-affinity"
+    #: stateless and order-independent: the target is a pure function
+    #: of the tenant, so any routing-call interleaving replays exactly
+    shardable = True
 
     def route(self, request: Request, loads: typing.Sequence[float]) -> int:
         return zlib.crc32(request.tenant.encode()) % len(loads)

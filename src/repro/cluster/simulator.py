@@ -201,14 +201,29 @@ class ClusterSimulator(ServingSimulator):
             # a victim's free re-admission lands back on the same
             # machine, so the preemptor must know when that machine is
             # straggling/degraded/dying — resolved by executor identity
-            # (the victim call passes the executor, not the index)
-            index = {id(ex): m for m, ex in enumerate(self.executors)}
+            # (the victim call passes the executor, not the index).
+            # ``_machine_offset`` maps a shard worker's local executor
+            # list onto fleet-global machine ids for the fault queries.
+            index = {
+                id(ex): m + self._machine_offset
+                for m, ex in enumerate(self.executors)
+            }
 
             def health(executor, now: float) -> str:
                 return faults.health_state(index[id(executor)], now)
 
         return DeadlinePreemptor(self._admission_policy(), self.slo,
                                  health=health)
+
+    def run(self, workload, *, tracer=None):
+        """Serve ``workload``; dispatches to the sharded coordinator
+        when ``config.shards`` is set (see :mod:`repro.cluster.sharded`
+        for the partitioning and its bit-equality contract)."""
+        if self.config.shards:
+            from .sharded import run_sharded
+
+            return run_sharded(self, workload, tracer=tracer)
+        return super().run(workload, tracer=tracer)
 
     def _make_report(self, state: _RunState, makespan: float) -> ClusterReport:
         return ClusterReport(

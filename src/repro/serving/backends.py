@@ -104,6 +104,20 @@ class ServingBackend(typing.Protocol):
         """A fused run of consecutive iterations (== sequential steps)."""
         ...  # pragma: no cover - protocol
 
+    def span_estimate(
+        self, batch: int, start_context: float, steps: int
+    ) -> tuple[float, float, float]:
+        """Aggregate ``(seconds, gpu_busy, dimm_busy)`` of a decode span.
+
+        The ``fidelity: fast`` cost kernel: ``steps`` consecutive
+        iterations at ``batch`` over the arithmetic context ramp
+        starting at ``start_context`` (growing by one per step),
+        collapsed to closed-form totals — no per-step arrays, no
+        per-step events.  Estimates may differ (slightly) from summing
+        ``decode_step``; the tolerance tests pin how much.
+        """
+        ...  # pragma: no cover - protocol
+
     def mean_union(self, batch: int) -> float:
         """Mean per-layer batch-union inflation at ``batch`` sequences."""
         ...  # pragma: no cover - protocol
@@ -244,6 +258,32 @@ class SteppableBackend:
     ) -> SpanCost:
         return sequential_span(
             self, batch, contexts, start_time=start_time, until=until
+        )
+
+    def span_estimate(
+        self, batch: int, start_context: float, steps: int
+    ) -> tuple[float, float, float]:
+        """Trapezoid aggregation: probe the ramp's two ends.
+
+        Per-step cost is monotone and near-affine in the context for
+        every bundled backend, so ``steps * mean(first, last)`` is a
+        tight closed-form total from just two ``decode_step`` probes
+        (which advance any internal cursor by two, not ``steps`` —
+        that cursor drift is part of what makes fast fidelity
+        approximate).  Backends with exactly-affine kernels override
+        this with the exact closed form.
+        """
+        first = self.decode_step(batch, max(1, round(start_context)))
+        if steps == 1:
+            return first.seconds, first.gpu_busy, first.dimm_busy
+        last = self.decode_step(
+            batch, max(1, round(start_context + steps - 1))
+        )
+        half = steps / 2.0
+        return (
+            (first.seconds + last.seconds) * half,
+            (first.gpu_busy + last.gpu_busy) * half,
+            (first.dimm_busy + last.dimm_busy) * half,
         )
 
     def prefill_cost(
@@ -400,6 +440,26 @@ class DenseGPUBackend(SteppableBackend):
 
     def _pure_step_seconds(self, batch: int, context: int) -> float:
         return self._step_cost(batch, context).seconds
+
+    def span_estimate(
+        self, batch: int, start_context: float, steps: int
+    ) -> tuple[float, float, float]:
+        """Exact closed form: FC is context-free and attention is
+        affine in the context (``gpu_kv_attention_time`` is a linear
+        byte count through an affine transfer-time model), so the span
+        total equals ``steps`` times the cost at the ramp's mean
+        context — no probes, no rounding of the ramp."""
+        fc_seconds, fc_gpu = self._fc_cost(batch)
+        mean_context = start_context + (steps - 1) / 2.0
+        attn = gpu_kv_attention_time(
+            self.machine, self.model, mean_context, batch
+        )
+        self._last_step_seconds = fc_seconds + attn
+        return (
+            (fc_seconds + attn) * steps,
+            (fc_gpu + attn) * steps,
+            0.0,
+        )
 
     def _prefill_pair(
         self, prompt_len: int, batch: int

@@ -117,6 +117,25 @@ def _partition_cache(trace: ActivationTrace) -> dict:
     return cache
 
 
+def _span_probe_store(trace: ActivationTrace) -> dict:
+    """Per-trace memo of fast-fidelity span cost probes.
+
+    Same lifetime discipline as :func:`_partition_cache`.  A point's
+    value is the live-engine step cost at its *first* probe and is
+    shared by every machine with identical (machine, model, config,
+    nominal_batch) for the trace's lifetime, so a 1000-machine
+    homogeneous fleet pays each point's ~half-millisecond engine step
+    once instead of once per machine.  Repeated identical runs see the
+    same values (the first run also used them from first store), which
+    is what keeps fast mode deterministic run-to-run.
+    """
+    store = getattr(trace, "_span_probe_store", None)
+    if store is None:
+        store = {}
+        trace._span_probe_store = store
+    return store
+
+
 class MachineExecutor:
     """One Hermes machine serving a stream of requests.
 
@@ -183,6 +202,9 @@ class MachineExecutor:
             )
         self._union_batch_cache: dict[tuple[float, int], int] = {}
         self._prefill_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        self._span_probe_cache: dict[
+            tuple[int, int], tuple[float, float, float]
+        ] = {}
         self._estimated_step: float | None = None
 
     # ------------------------------------------------------------------
@@ -234,6 +256,60 @@ class MachineExecutor:
         """
         return self.session.decode_steps(
             batch, contexts, start_time=start_time, until=until
+        )
+
+    def _span_probe(
+        self, batch: int, context: int
+    ) -> tuple[float, float, float]:
+        """One memoised ``decode_step`` cost probe for ``span_estimate``.
+
+        The live engine's step cost at a (batch, context) point drifts
+        slightly as predictor/window state evolves; fast fidelity
+        freezes each point at its first probe so a megafleet run pays
+        the ~half-millisecond engine step once per distinct point
+        instead of twice per span.  Part of fast mode's documented
+        approximation; the degrade path clears the memo because a
+        renegotiated machine quotes genuinely different costs.
+        """
+        key = (batch, context)
+        hit = self._span_probe_cache.get(key)
+        if hit is None:
+            store = _span_probe_store(self.trace)
+            skey = (
+                self.machine, self.model.name, self.system.config,
+                self.nominal_batch, batch, context,
+            )
+            hit = store.get(skey)
+            if hit is None:
+                cost = self.decode_step(batch, context)
+                hit = (cost.seconds, cost.gpu_busy, cost.dimm_busy)
+                store[skey] = hit
+            self._span_probe_cache[key] = hit
+        return hit
+
+    def span_estimate(
+        self, batch: int, start_context: float, steps: int
+    ) -> tuple[float, float, float]:
+        """Trapezoid span aggregation for ``fidelity: fast``.
+
+        Probes the session at the context ramp's two ends and charges
+        ``steps * mean`` — the Hermes step cost is monotone and
+        near-affine in the context, so the trapezoid is tight.  Probes
+        are memoised per (batch, context) point (see
+        :meth:`_span_probe`); that engine-state freezing is part of
+        fast fidelity's documented approximation.
+        """
+        first = self._span_probe(batch, max(1, round(start_context)))
+        if steps == 1:
+            return first
+        last = self._span_probe(
+            batch, max(1, round(start_context + steps - 1))
+        )
+        half = steps / 2.0
+        return (
+            (first[0] + last[0]) * half,
+            (first[1] + last[1]) * half,
+            (first[2] + last[2]) * half,
         )
 
     @property
@@ -328,6 +404,7 @@ class MachineExecutor:
         self.system = HermesSystem(machine, self.model, self.system.config)
         self._prefill_cache.clear()
         self._union_batch_cache.clear()
+        self._span_probe_cache.clear()
         self._estimated_step = None
         self.reset()
 

@@ -83,7 +83,7 @@ def _check_time(value: float, label: str) -> float:
     return value
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CrashSpec:
     """One machine crash: down at ``at``, back ``restart_after`` later.
 
@@ -106,7 +106,7 @@ class CrashSpec:
                                  "(or null for no restart)")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class StragglerSpec:
     """A slowdown window: costs on ``machine`` scale by ``slowdown``."""
 
@@ -126,7 +126,7 @@ class StragglerSpec:
                              "speed a machine up)")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PartitionSpec:
     """A router partition window: ``machine`` unroutable in [start, end)."""
 
@@ -142,7 +142,7 @@ class PartitionSpec:
             raise ValueError("partition end must be after start")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class DomainSpec:
     """A named failure domain: machines sharing a rack/PDU/cooling loop.
 
@@ -166,7 +166,7 @@ class DomainSpec:
                              f"must be >= 0")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class DomainCrashSpec:
     """A correlated crash: every member of ``domain`` goes down at
     ``at``, back ``restart_after`` later (None: never)."""
@@ -186,7 +186,7 @@ class DomainCrashSpec:
                                  "(or null for no restart)")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class DegradeSpec:
     """Partial failure at an instant: ``machine`` loses
     ``dimm_fraction`` of its DIMMs and its PCIe link is derated to
@@ -218,7 +218,7 @@ class DegradeSpec:
                              "bandwidth (it currently does neither)")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SampleSpec:
     """Seeded random chaos: expected per-machine fault counts over a
     horizon, turned into concrete events by :func:`sample_faults`."""

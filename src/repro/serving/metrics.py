@@ -73,7 +73,7 @@ def time_weighted_mean(
     return total / horizon
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RequestRecord:
     """Lifecycle timestamps of one served request."""
 

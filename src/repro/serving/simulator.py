@@ -53,6 +53,7 @@ all through the small override points this module exposes
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 import warnings
 
@@ -111,15 +112,38 @@ class ServingConfig:
     #: run executes against; ``None`` keeps every fault branch
     #: short-circuited and the run bit-identical to a fault-free build
     faults: FaultSchedule | None = None
+    #: cost model fidelity: ``"exact"`` replays every token boundary
+    #: (the reference, pinned bit-for-bit by goldens), ``"fast"``
+    #: aggregates whole decode spans through one closed-form
+    #: ``span_estimate`` call with uniform token spacing — validated
+    #: against exact by distribution-level tolerances, not equality
+    fidelity: str = "exact"
+    #: number of machine-group shards the cluster event loop is
+    #: partitioned into (0 = the single-calendar reference path).
+    #: Sharded runs need the routed cluster front door and a
+    #: load-oblivious (``shardable``) router; see
+    #: :mod:`repro.cluster.sharded`
+    shards: int = 0
+    #: advance each shard in its own spawned worker process instead of
+    #: inline in the coordinator (identical results by construction —
+    #: the same shard code runs either way)
+    shard_processes: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.num_machines < 1:
             raise ValueError("num_machines must be >= 1")
+        if self.fidelity not in ("exact", "fast"):
+            raise ValueError(
+                f"fidelity must be 'exact' or 'fast', got {self.fidelity!r}")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+        if self.shard_processes and not self.shards:
+            raise ValueError("shard_processes requires shards >= 1")
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ActiveEntry:
     """A request resident in some machine's running batch."""
 
@@ -167,6 +191,46 @@ class Preemptor(typing.Protocol):
         ...  # pragma: no cover - protocol
 
 
+class _FaultHorizon:
+    """Memoised per-machine view of the fault timeline's next boundaries.
+
+    Every value a machine's scheduling loop asks of the
+    :class:`FaultSchedule` — am I down, my degrade state, my slowdown
+    factor, my next crash, my next exec transition, the fleet's next
+    disruption — is piecewise-constant between two instants: the
+    machine's own next exec transition and the fleet's next disruption
+    start.  One refresh at or past ``min`` of those re-derives all six
+    with the same calls the loop used to make per span, so the cached
+    values are *identical* to direct queries (bit-equality and goldens
+    are untouched) while the steady-state cost per span drops from six
+    bisects to one float compare.
+    """
+
+    __slots__ = ("_faults", "_machine", "_until", "down_now", "degrade",
+                 "slowdown", "next_down", "exec_transition",
+                 "any_disruption")
+
+    def __init__(self, faults: FaultSchedule, machine: int) -> None:
+        self._faults = faults
+        self._machine = machine
+        self._until = -math.inf
+
+    def at(self, now: float) -> "_FaultHorizon":
+        if now >= self._until:
+            faults = self._faults
+            m = self._machine
+            self.down_now = faults.is_down(m, now)
+            self.degrade = faults.degrade_state(m, now)
+            self.slowdown = faults.slowdown_at(m, now)
+            self.next_down = faults.next_down(m, now)
+            self.exec_transition = faults.next_exec_transition(m, now)
+            self.any_disruption = faults.next_any_disruption(now)
+            bounds = [b for b in (self.exec_transition, self.any_disruption)
+                      if b is not None]
+            self._until = min(bounds) if bounds else math.inf
+        return self
+
+
 class _RunState:
     """Mutable state shared by the machine processes of one run.
 
@@ -193,6 +257,10 @@ class _RunState:
         }
         self.next_arrival_idx = 0
         self.queues: list[list[Request]] = [[] for _ in range(num_queues)]
+        #: running total of queued requests across every queue — kept
+        #: incrementally at each enqueue/dequeue so ``note_queue`` stays
+        #: O(1) instead of summing 1000 per-machine queues per sample
+        self.queued_count = 0
         self.assign = assign
         #: telemetry sink; every emission site guards on ``.enabled``
         self.tracer: Tracer = NULL_TRACER
@@ -214,6 +282,22 @@ class _RunState:
         #: the live simulator, bound by ``run()`` (fault migration needs
         #: to fire wake signals at the current simulation time)
         self.sim: Simulator | None = None
+        #: set by the sharded coordinator while future windows may still
+        #: deliver work (arrivals or crash refugees) from outside this
+        #: state's view — a fully idle machine then parks *bounded* by
+        #: the next fault boundary instead of unboundedly, exactly like
+        #: an unsharded machine that sees the whole fleet's backlog
+        self.expect_external = False
+        #: target-aware fast-fidelity span bounds: the sharded
+        #: coordinator pre-routes every arrival, so it can tell each
+        #: machine exactly which arrival instants concern *it* — spans
+        #: and idle parks then end only where admission can actually
+        #: happen, instead of at every fleet-global arrival (the
+        #: unsharded fast loop's conservative bound, which degenerates
+        #: to single-step spans at 1000-machine aggregate rates).
+        #: ``None`` means "targets unknown, bound globally".
+        self.span_bounds: dict[int, list[float]] | None = None
+        self._span_bound_idx: dict[int, int] = {}
         #: health-monitor hook ``(machine, step_seconds, batch)`` called
         #: at every decode boundary — identically placed in the stepped
         #: and fused loops — when health-aware routing is on
@@ -262,7 +346,22 @@ class _RunState:
         return [len(q) + c for q, c in zip(self.queues, counts)]
 
     def queued_total(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return self.queued_count
+
+    def next_span_bound(self, m: int, now: float) -> float | None:
+        """Machine ``m``'s first own-arrival instant strictly past
+        ``now`` (fast mode with pre-routed targets).
+
+        Simulation time is nondecreasing across the event loop and each
+        machine only probes its own list, so a monotone per-machine
+        cursor is exact.
+        """
+        bounds = self.span_bounds[m]
+        i = self._span_bound_idx.get(m, 0)
+        while i < len(bounds) and bounds[i] <= now:
+            i += 1
+        self._span_bound_idx[m] = i
+        return bounds[i] if i < len(bounds) else None
 
     # ------------------------------------------------------------------
     def ingest(self, now: float) -> bool:
@@ -277,6 +376,7 @@ class _RunState:
             request = self.workload[self.next_arrival_idx]
             target = 0 if self.assign is None else self.assign(request, now)
             self.queues[target].append(request)
+            self.queued_count += 1
             self.next_arrival_idx += 1
             moved = True
             if tracer.enabled:
@@ -300,6 +400,7 @@ class _RunState:
     def requeue(self, m: int, request: Request, now: float) -> None:
         """Return a preempted request to machine ``m``'s queue."""
         self.queue_of(m).append(request)
+        self.queued_count += 1
         self.note_queue(now)
 
     def migrate(self, request: Request, from_machine: int, now: float) -> None:
@@ -322,6 +423,7 @@ class _RunState:
         else:
             target = 0
         self.queues[target].append(request)
+        self.queued_count += 1
         if self.tracer.enabled:
             self.tracer.emit(RequestMigrated(
                 time=now,
@@ -368,6 +470,11 @@ class ServingSimulator:
     exactly.
     """
 
+    #: global index of this simulator's machine 0 — nonzero only inside
+    #: a shard worker, whose executors cover a slice of a larger fleet
+    #: but whose fault/health queries must use fleet-global machine ids
+    _machine_offset = 0
+
     def __init__(
         self,
         model: ModelSpec | str,
@@ -389,6 +496,13 @@ class ServingSimulator:
             trace = default_serving_trace(
                 self.model, granularity=granularity, seed=seed
             )
+        #: ctor inputs retained so a sharded run can rebuild fleet
+        #: slices inside worker processes (see :mod:`repro.cluster.sharded`)
+        self.base_machine = machine
+        self._trace = trace
+        self._hermes_config = hermes_config
+        self._granularity = granularity
+        self._seed = seed
         # Each machine gets its own backend (own online engine state)
         # over the shared activation trace.  For Hermes machines the
         # offline partition is solved once — it is deterministic in
@@ -538,6 +652,10 @@ class ServingSimulator:
         """
         if not workload:
             raise ValueError("workload must be non-empty")
+        if self.config.shards:
+            raise ValueError(
+                "shards require the routed cluster front door; use "
+                "repro.cluster.ClusterSimulator")
         if self.config.faults is not None:
             self.config.faults.validate_fleet(self.config.num_machines)
         sim = Simulator()
@@ -581,10 +699,14 @@ class ServingSimulator:
         #: past it (checked only when the schedule has degrades at all)
         has_degrades = faults is not None and bool(faults.degrades)
         applied_degrade = (1.0, 1.0)
+        #: memoised fault-boundary view — identical values to direct
+        #: schedule queries, refreshed only when a boundary is crossed
+        fh = _FaultHorizon(faults, m) if faults is not None else None
+        fast = cfg.fidelity == "fast"
         active: list[ActiveEntry] = []
         while True:
             if faults is not None:
-                if faults.is_down(m, sim.now):
+                if fh.at(sim.now).down_now:
                     # ---- crash: kill residents, migrate, park ----
                     now = sim.now
                     if tracing:
@@ -595,6 +717,17 @@ class ServingSimulator:
                             time=now, machine=m, state="down", slowdown=1.0
                         ))
                         last_health = "down"
+                    # snapshot the backlog *before* migrating residents:
+                    # a resident whose re-route lands back on this same
+                    # (dead) machine must not be swept up and counted as
+                    # a second migration for the same evacuation
+                    pending: list[Request] = []
+                    if len(state.queues) > 1:
+                        # routed mode: the dead machine's backlog is
+                        # re-routed too (the frontend still holds it)
+                        pending = list(state.queue_of(m))
+                        state.queue_of(m).clear()
+                        state.queued_count -= len(pending)
                     if active:
                         state.total_active -= len(active)
                         state.active_counts[m] -= len(active)
@@ -602,13 +735,8 @@ class ServingSimulator:
                         for entry in active:
                             state.migrate(entry.request, m, now)
                         active = []
-                    if len(state.queues) > 1:
-                        # routed mode: the dead machine's backlog is
-                        # re-routed too (the frontend still holds it)
-                        pending = list(state.queue_of(m))
-                        state.queue_of(m).clear()
-                        for request in pending:
-                            state.migrate(request, m, now)
+                    for request in pending:
+                        state.migrate(request, m, now)
                     up = faults.up_time(m, now)
                     if up is None:
                         # never restarts; unserved work stays queued and
@@ -630,7 +758,7 @@ class ServingSimulator:
                     # the first loop top at or past the instant (spans
                     # are bounded there via the exec transitions), so
                     # fused==stepped holds exactly as across a restart.
-                    degrade = faults.degrade_state(m, sim.now)
+                    degrade = fh.at(sim.now).degrade
                     if degrade != applied_degrade:
                         applied_degrade = degrade
                         executor.degrade(*degrade)
@@ -742,6 +870,7 @@ class ServingSimulator:
             # from the same shared queue)
             while len(active) < limit and queue:
                 request = queue.pop(policy.select(queue))
+                state.queued_count -= 1
                 state.note_queue(sim.now)
                 record = state.records[request.req_id]
                 record.machine = m
@@ -765,10 +894,11 @@ class ServingSimulator:
                     if faults is None:
                         yield Timeout(compute + transfer)
                     else:
-                        factor = faults.slowdown_at(m, sim.now)
+                        h = fh.at(sim.now)
+                        factor = h.slowdown
                         compute *= factor
                         transfer *= factor
-                        crash = faults.next_down(m, sim.now)
+                        crash = h.next_down
                         if (crash is not None
                                 and sim.now + (compute + transfer) >= crash):
                             # the crash lands mid-prefill: abort (no
@@ -813,6 +943,126 @@ class ServingSimulator:
             if faults is not None and faults.is_down(m, sim.now):
                 continue
 
+            # ---- fast fidelity: closed-form span aggregation ----
+            # One engine estimate and three calendar events per span,
+            # with uniform token spacing across it — distributionally
+            # close to exact (pinned by tolerance tests), never
+            # bit-equal to it.  Preemption/admission decisions happen
+            # only at span boundaries; the span is still bounded by
+            # arrivals, the preemptor trigger, and fault boundaries, so
+            # scheduling reacts at the same horizon granularity as the
+            # exact fused loop.
+            if active and fast:
+                batch = len(active)
+                ctx_sum = sum(a.next_context for a in active)
+                k = min(a.request.output_len - len(a.record.token_times)
+                        for a in active)
+                until = None
+                if preemptor is not None and queue:
+                    if trigger_fn is None:
+                        k = 1
+                    else:
+                        until = trigger_fn(sim.now, queue, active, executor)
+                # span-bounding arrival: with pre-routed targets
+                # (sharded), only an arrival destined to *this* machine
+                # needs a boundary here — admission is the only thing a
+                # boundary buys, and foreign arrivals can't join this
+                # batch.  Without targets, bound at the next global
+                # arrival like the exact fused loop.
+                if state.span_bounds is None:
+                    upcoming = state.next_arrival()
+                else:
+                    upcoming = state.next_span_bound(m, sim.now)
+                if upcoming is not None and (until is None
+                                             or upcoming < until):
+                    until = upcoming
+                factor = 1.0
+                crash = None
+                if faults is not None:
+                    h = fh.at(sim.now)
+                    factor = h.slowdown
+                    crash = h.next_down
+                    for bound in (h.exec_transition, h.any_disruption):
+                        if bound is not None and (until is None
+                                                  or bound < until):
+                            until = bound
+                start = sim.now
+                start_context = ctx_sum / batch
+                seconds, gpu_cost, dimm_cost = executor.span_estimate(
+                    batch, start_context, k)
+                if factor != 1.0:
+                    seconds *= factor
+                    gpu_cost *= factor
+                    dimm_cost *= factor
+                mean_step = seconds / k
+                if until is not None and k > 1 and start + seconds > until:
+                    # truncate to the first step whose completion
+                    # reaches the bound — the straddling step still
+                    # runs, mirroring the exact span contract
+                    k = max(1, min(k, int((until - start) / mean_step) + 1))
+                    seconds, gpu_cost, dimm_cost = executor.span_estimate(
+                        batch, start_context, k)
+                    if factor != 1.0:
+                        seconds *= factor
+                        gpu_cost *= factor
+                        dimm_cost *= factor
+                    mean_step = seconds / k
+                end = start + seconds
+                granted = k
+                if crash is not None and end >= crash:
+                    # only tokens completing before the crash are
+                    # granted; the machine parks at the crash instant
+                    granted = min(k, int(max(0.0, crash - start)
+                                         / mean_step))
+                    while (granted > 0
+                           and start + mean_step * granted >= crash):
+                        granted -= 1
+                    end = crash
+                yield Acquire(resource)
+                yield WaitUntil(end)
+                yield Release(resource)
+                if granted:
+                    frac = granted / k
+                    state.machine_gpu_busy[m] += gpu_cost * frac
+                    state.machine_dimm_busy[m] += dimm_cost * frac
+                    times = [start + mean_step * (i + 1)
+                             for i in range(granted)]
+                    for entry in active:
+                        entry.record.token_times.extend(times)
+                    if observe is not None:
+                        observe(m, mean_step, batch)
+                    if tracing:
+                        # one aggregate DecodeStep per span — fast mode
+                        # coarsens telemetry granularity by design
+                        tracer.emit(DecodeStep(
+                            time=times[-1],
+                            machine=m,
+                            batch=batch,
+                            seconds=mean_step * granted,
+                            gpu_busy=gpu_cost * frac,
+                            dimm_busy=dimm_cost * frac,
+                            swap_bytes=0.0,
+                            resident_bytes=0.0,
+                            req_ids=tuple(
+                                a.request.req_id for a in active),
+                        ))
+                now = sim.now
+                finished = [a for a in active if a.record.finished]
+                if finished:
+                    active = [a for a in active if not a.record.finished]
+                    state.total_active -= len(finished)
+                    state.active_counts[m] -= len(finished)
+                    state.note_batch(now)
+                    if tracing:
+                        for entry in finished:
+                            tracer.emit(RequestCompleted(
+                                time=now,
+                                req_id=entry.request.req_id,
+                                machine=m,
+                                tokens=len(entry.record.token_times),
+                            ))
+                continue
+
             # ---- continuous-batching decode ----
             # A degraded (straggling) machine always steps per token:
             # its scaled per-step costs evolve exactly like the
@@ -821,8 +1071,72 @@ class ServingSimulator:
             # window ends.
             use_macro = macro
             if faults is not None and use_macro and active:
-                if faults.slowdown_at(m, sim.now) != 1.0:
+                if fh.at(sim.now).slowdown != 1.0:
                     use_macro = False
+            span_plan = None
+            if active and use_macro:
+                # Precompute the span horizon.  The batch composition is
+                # provably fixed until the earliest deterministic
+                # completion; admission, routing and preemption
+                # decisions can additionally only change at the next
+                # arrival (when there is room, or when a preemptor's
+                # verdict may depend on the queue) or at the preemptor's
+                # trigger bound.  Every span also ends at the machine's
+                # first boundary past the next arrival: an arrival can
+                # admit (room), shift a preemption verdict, and — with
+                # router-fed per-machine queues — must be *routed*
+                # against the load snapshot of its arrival boundary.
+                # Bounding unconditionally also makes the ingest
+                # boundaries (hence ``queue_samples``) identical to the
+                # stepped loop's: an arrival is ingested at the first
+                # any-machine token boundary past it in both modes.
+                k_max = min(a.request.output_len - len(a.record.token_times)
+                            for a in active)
+                until = None
+                if preemptor is not None and queue:
+                    if trigger_fn is None:
+                        # opaque preemptor: check every boundary
+                        k_max = 1
+                    else:
+                        until = trigger_fn(sim.now, queue, active, executor)
+                upcoming = state.next_arrival()
+                if upcoming is not None and (
+                    until is None or upcoming < until
+                ):
+                    until = upcoming
+                if faults is not None:
+                    # fault boundaries bound spans exactly like arrivals:
+                    # our own crash/slowdown/degrade instants cannot land
+                    # inside a span's interior, and *any* machine's crash
+                    # (migration) or degrade (KV-overflow eviction) may
+                    # drop work into our queue, which the stepped loop
+                    # would notice at its next token boundary
+                    h = fh.at(sim.now)
+                    for bound in (h.exec_transition, h.any_disruption):
+                        if bound is not None and (
+                            until is None or bound < until
+                        ):
+                            until = bound
+                if until is not None:
+                    # size the context ramp from the backend's recent
+                    # step time: an under-sized span just ends at a
+                    # no-op boundary and a fresh span continues, so the
+                    # estimate never affects scheduling outcomes
+                    est = executor.last_step_seconds
+                    if est > 0.0:
+                        k_max = max(
+                            1, min(k_max, int((until - sim.now) / est) + 2)
+                        )
+                if k_max == 1:
+                    # a one-step span replays the stepped body's exact
+                    # event pattern anyway (decode_span == decode_step by
+                    # the span contract), and the stepped body skips the
+                    # span array machinery — bit-identical and cheaper,
+                    # which is what restores fused >= stepped under
+                    # active faults where most spans truncate to one step
+                    use_macro = False
+                else:
+                    span_plan = (k_max, until)
             if active and not use_macro:
                 # reference path: one iteration per scheduling round
                 batch = len(active)
@@ -841,11 +1155,12 @@ class ServingSimulator:
                     # quoted at the step's start, so a step straddling a
                     # window boundary completes at its quoted cost —
                     # exactly like a step straddling an arrival
-                    factor = faults.slowdown_at(m, sim.now)
+                    h = fh.at(sim.now)
+                    factor = h.slowdown
                     seconds *= factor
                     gpu_cost *= factor
                     dimm_cost *= factor
-                    crash = faults.next_down(m, sim.now)
+                    crash = h.next_down
                     if crash is not None and sim.now + seconds >= crash:
                         # the crash lands mid-step: abort — no token
                         # granted, no busy time charged
@@ -893,65 +1208,14 @@ class ServingSimulator:
 
             if active:
                 # ---- macro step: one fused engine call per span ----
-                # The batch composition is provably fixed until the
-                # earliest deterministic completion; admission, routing
-                # and preemption decisions can additionally only change
-                # at the next arrival (when there is room, or when a
-                # preemptor's verdict may depend on the queue) or at the
-                # preemptor's trigger bound.  Contexts form an arithmetic
-                # ramp: every resident request gains exactly one token
-                # per iteration, so the mean context the engine sees
-                # grows by one per step.
+                # Contexts form an arithmetic ramp: every resident
+                # request gains exactly one token per iteration, so the
+                # mean context the engine sees grows by one per step.
+                # The span horizon (``k_max``, ``until``) was
+                # precomputed above.
                 batch = len(active)
                 ctx_sum = sum(a.next_context for a in active)
-                k_max = min(a.request.output_len - len(a.record.token_times)
-                            for a in active)
-                until = None
-                if preemptor is not None and queue:
-                    if trigger_fn is None:
-                        # opaque preemptor: check every boundary
-                        k_max = 1
-                    else:
-                        until = trigger_fn(sim.now, queue, active, executor)
-                # Every span additionally ends at the machine's first
-                # boundary past the next arrival: an arrival can admit
-                # (room), shift a preemption verdict, and — with
-                # router-fed per-machine queues — must be *routed*
-                # against the load snapshot of its arrival boundary.
-                # Bounding unconditionally also makes the ingest
-                # boundaries (hence ``queue_samples``) identical to the
-                # stepped loop's: an arrival is ingested at the first
-                # any-machine token boundary past it in both modes.
-                upcoming = state.next_arrival()
-                if upcoming is not None and (
-                    until is None or upcoming < until
-                ):
-                    until = upcoming
-                if faults is not None:
-                    # fault boundaries bound spans exactly like arrivals:
-                    # our own crash/slowdown/degrade instants cannot land
-                    # inside a span's interior, and *any* machine's crash
-                    # (migration) or degrade (KV-overflow eviction) may
-                    # drop work into our queue, which the stepped loop
-                    # would notice at its next token boundary
-                    for bound in (
-                        faults.next_exec_transition(m, sim.now),
-                        faults.next_any_disruption(sim.now),
-                    ):
-                        if bound is not None and (
-                            until is None or bound < until
-                        ):
-                            until = bound
-                if until is not None:
-                    # size the context ramp from the backend's recent
-                    # step time: an under-sized span just ends at a
-                    # no-op boundary and a fresh span continues, so the
-                    # estimate never affects scheduling outcomes
-                    est = executor.last_step_seconds
-                    if est > 0.0:
-                        k_max = max(
-                            1, min(k_max, int((until - sim.now) / est) + 2)
-                        )
+                k_max, until = span_plan
                 contexts = [max(1, round((ctx_sum + i * batch) / batch))
                             for i in range(k_max)]
                 span = executor.decode_span(
@@ -976,7 +1240,7 @@ class ServingSimulator:
                 # the full event stream matches the stepped loop's.
                 req_ids = (tuple(a.request.req_id for a in active)
                            if tracing else ())
-                crash = (faults.next_down(m, sim.now)
+                crash = (fh.at(sim.now).next_down
                          if faults is not None else None)
                 span_seconds = (span.seconds.tolist()
                                 if observe is not None else None)
@@ -1042,23 +1306,45 @@ class ServingSimulator:
             # ---- idle: sleep until the next arrival, or exit ----
             # (reaching here implies this machine's queue is empty: with no
             # resident batch the admission loop drains the queue first)
-            upcoming = state.next_arrival()
+            # With pre-routed targets (sharded fast mode) an idle
+            # machine only needs to wake for its *own* arrivals — the
+            # destination of every other arrival is awake at that
+            # instant and ingests it itself, so skipping foreign
+            # wakeups changes no scheduling decision and removes the
+            # idle fleet's thundering herd at every arrival.
+            if state.span_bounds is None:
+                upcoming = state.next_arrival()
+            else:
+                upcoming = state.next_span_bound(m, sim.now)
             if faults is None:
                 if upcoming is None:
                     break
-                yield Timeout(max(0.0, upcoming - sim.now))
+                # absolute wake: ``Timeout(upcoming - now)`` re-rounds,
+                # so the instant a machine lands on would depend on how
+                # many intermediate wakes it made — and a shard worker
+                # (which skips foreign-arrival hops) could drift a ULP
+                # from the reference.  ``WaitUntil`` is hop-independent.
+                yield WaitUntil(upcoming)
                 continue
             # Under faults, idle sleeps are interruptible (a crashing
             # peer fires our wake signal when it migrates work over) and
             # bounded by the fleet's next crash instant — the only fault
             # event that can create work for an idle machine, and the
-            # event that parks us when it is our own.  With no arrivals
-            # and no in-flight work left anywhere, park unboundedly
-            # instead: trailing fault windows then don't stretch the
-            # calendar past the last real serving event, and a late
-            # migration out of an aborted prefill still wakes us.
+            # event that parks us when it is our own.  With no arrivals,
+            # no in-flight work left anywhere, and none of our *own*
+            # transitions outstanding, park unboundedly instead:
+            # trailing fault windows on other machines then don't
+            # stretch the calendar past the last real serving event, and
+            # a late migration out of an aborted prefill still wakes us.
+            # (Our own future crash keeps the park bounded so the
+            # restart is witnessed — down/up telemetry and the engine
+            # reset happen whether or not the fleet is idle, which is
+            # also what lets a sharded run replay this machine without
+            # knowing the other shards' idleness.)
             if (upcoming is None and state.total_active == 0
-                    and state.queued_total() == 0):
+                    and state.queued_total() == 0
+                    and not state.expect_external
+                    and faults.next_exec_transition(m, sim.now) is None):
                 yield WaitSignal(wake)
                 continue
             boundary = faults.next_any_disruption(sim.now, strict=True)

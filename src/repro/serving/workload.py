@@ -25,7 +25,7 @@ import numpy as np
 LENGTH_KINDS = ("fixed", "uniform", "lognormal")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Request:
     """One inference request as submitted by a client.
 

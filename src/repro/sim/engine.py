@@ -226,10 +226,19 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
-        """Run to quiescence (or to ``until``); returns the final time."""
+        """Run to quiescence (or to ``until``); returns the final time.
+
+        A bounded run is *resumable*: events at exactly ``until`` fire,
+        the first event past it is pushed back intact (same sequence
+        number, so tie-breaks replay identically), and a later ``run``
+        call continues from where this one stopped.  The sharded cluster
+        coordinator drives each shard's calendar window-by-window
+        through exactly this contract.
+        """
         while self._queue:
-            time, _, entry = heapq.heappop(self._queue)
+            time, seq, entry = heapq.heappop(self._queue)
             if until is not None and time > until:
+                heapq.heappush(self._queue, (time, seq, entry))
                 self.now = until
                 return self.now
             if isinstance(entry, _SignalWait):

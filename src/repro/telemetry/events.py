@@ -23,7 +23,7 @@ import dataclasses
 import typing
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ClassInfo:
     """A declared priority class, as carried by :class:`RunStarted`.
 
@@ -38,7 +38,7 @@ class ClassInfo:
     tbt_slo: float | None = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RunStarted:
     """First event of every traced run: the run's static configuration."""
 
@@ -58,7 +58,7 @@ class RunStarted:
     domains: tuple[tuple[str, tuple[int, ...]], ...] = ()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestAdmitted:
     """A request entered the serving system (moved arrival -> queue)."""
 
@@ -71,7 +71,7 @@ class RequestAdmitted:
     output_len: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestRouted:
     """The front door assigned an admitted request to a machine queue."""
 
@@ -80,7 +80,7 @@ class RequestRouted:
     machine: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueueDepth:
     """Total queued requests changed (a change-point sample)."""
 
@@ -88,7 +88,7 @@ class QueueDepth:
     depth: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PrefillStarted:
     """A machine started charging a request's prefill."""
 
@@ -97,7 +97,7 @@ class PrefillStarted:
     machine: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PrefillEnded:
     """Prefill finished; the request joins the running batch.
 
@@ -113,7 +113,7 @@ class PrefillEnded:
     transfer: float
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestResumed:
     """A preempted request re-joined a batch (free re-admission)."""
 
@@ -122,7 +122,7 @@ class RequestResumed:
     machine: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class DecodeStep:
     """One continuous-batching decode iteration ended on a machine.
 
@@ -146,7 +146,7 @@ class DecodeStep:
     req_ids: tuple[int, ...]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestPreempted:
     """A resident request was evicted for a deadline-threatened prefill."""
 
@@ -155,7 +155,7 @@ class RequestPreempted:
     machine: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestCompleted:
     """A request produced its last token and left the system."""
 
@@ -165,7 +165,7 @@ class RequestCompleted:
     tokens: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MachineDown:
     """A machine crashed (fault injection): in-flight work is evacuated."""
 
@@ -174,7 +174,7 @@ class MachineDown:
     reason: str = "crash"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MachineUp:
     """A crashed machine finished restarting and is serving again.
 
@@ -187,7 +187,7 @@ class MachineUp:
     warmup: float = 0.0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MachineHealth:
     """A machine's health state changed (change-point sample).
 
@@ -204,7 +204,7 @@ class MachineHealth:
     slowdown: float = 1.0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MachineDegraded:
     """A machine renegotiated after a partial-degradation fault.
 
@@ -223,7 +223,7 @@ class MachineDegraded:
     evicted: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestMigrated:
     """A request was evacuated off a crashed or degraded machine.
 
@@ -242,7 +242,7 @@ class RequestMigrated:
     generated: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RunEnded:
     """Last event of every traced run."""
 

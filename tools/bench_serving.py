@@ -3,8 +3,9 @@
 Companion to ``tools/bench.py`` (decode fast path) for the serving
 layer: measures end-to-end runs/sec of the CI smoke scenario
 (``scenarios/mixed_slo_tiny.json``), the mixed-fleet backend scenario
-(``scenarios/backend_shootout_tiny.json``), and the fault-injection
-drill (``scenarios/chaos_mixed_tiny.json``), maintaining
+(``scenarios/backend_shootout_tiny.json``), the fault-injection
+drill (``scenarios/chaos_mixed_tiny.json``), and the 1000-machine
+scale drill (``scenarios/megafleet_1k.json``, one run), maintaining
 ``BENCH_serving.json`` at the repo root.  Modes:
 
 * default — measure and print, compare informationally.
@@ -43,6 +44,7 @@ from benchmarks.bench_serving import (  # noqa: E402
     BENCH_MIXED_FLEET_SCENARIO,
     bench_degradation,
     bench_fault_overhead,
+    bench_megafleet,
     bench_planner,
     bench_scenario,
     bench_telemetry_overhead,
@@ -58,7 +60,7 @@ BENCH_FILE = ROOT / "BENCH_serving.json"
 
 #: records whose wall time and ``simulated`` half are gated by --check
 GATED_KEYS = ("scenario", "mixed_fleet", "fault_overhead",
-              "degradation", "planner")
+              "degradation", "planner", "megafleet_1k")
 
 #: relative tolerance for the deterministic simulated-metric gate —
 #: generous against float-libm jitter across platforms, far below any
@@ -89,6 +91,9 @@ def measure(quick: bool) -> dict:
         # the capacity planner over the smoke scenario: pins the
         # enumerate/prune/frontier counts and the chosen fleet
         "planner": bench_planner(min_seconds=min_seconds / 2),
+        # the 1000-machine scale drill (sharded loop + fidelity:fast):
+        # one cold end-to-end run, identical in quick and full mode
+        "megafleet_1k": bench_megafleet(),
         # what enabling telemetry costs, recorded informationally —
         # the gated keys above run the default NullTracer path
         "telemetry": bench_telemetry_overhead(min_seconds=min_seconds / 2),

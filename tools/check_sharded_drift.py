@@ -1,0 +1,140 @@
+"""Golden-drift gate for the sharded event loop.
+
+Runs the same small cluster scenario through the single-process
+reference and the sharded coordinator and fails on *any* divergence —
+the sharded loop's contract is bit-equality with the reference for a
+fixed seed, independent of worker count, and bit-identical repeat runs.
+Three drills:
+
+* **exact, fault-free** — round-robin fleet, sharded(2) and sharded(4)
+  vs single-process, plus a repeat sharded run (determinism);
+* **exact, with crashes** — session-affinity routing under a crash
+  schedule, so refugee re-routing at shard barriers stays pinned;
+* **fidelity: fast + shards** — fast mode is *not* bit-equal to the
+  single-process reference (spans are bounded at per-target arrivals;
+  the tolerance contract lives in ``tests/test_fidelity.py``), so here
+  only run-to-run determinism is gated.
+
+Standalone (no pytest machinery), mirroring
+``tools/capture_goldens.py --verify``: a clean-process gate CI can run
+that names exactly which quantity moved.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_sharded_drift.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cluster import ClusterConfig, ClusterSimulator  # noqa: E402
+from repro.serving import WorkloadConfig, generate_workload  # noqa: E402
+from repro.serving.faults import CrashSpec, FaultSchedule  # noqa: E402
+from repro.serving.workload import merge_workloads  # noqa: E402
+
+MODEL = "tiny-test"
+
+
+def _workload(per: int, rate: float, seed: int):
+    return merge_workloads(*[
+        generate_workload(
+            WorkloadConfig(num_requests=per, rate=rate),
+            seed=seed + i,
+            tenant=f"t{i}",
+        )
+        for i in range(4)
+    ])
+
+
+def _run(config: ClusterConfig, workload):
+    sim = ClusterSimulator(MODEL, "fcfs", config)
+    return sim.run(list(workload))
+
+
+def _fingerprint(report) -> dict:
+    """Every bit-pinned quantity of a run, as dotted-path scalars."""
+    flat = {
+        "makespan": report.makespan,
+        "machine_gpu_busy": tuple(report.machine_gpu_busy),
+        "machine_dimm_busy": tuple(report.machine_dimm_busy),
+        "mean_batch_size": report.mean_batch_size,
+    }
+    for r in report.records:
+        key = f"record[{r.request.req_id}]"
+        flat[f"{key}.machine"] = r.machine
+        flat[f"{key}.prefill_start"] = r.prefill_start
+        flat[f"{key}.token_times"] = tuple(r.token_times)
+        flat[f"{key}.preemptions"] = r.preemptions
+        flat[f"{key}.migrations"] = r.migrations
+        flat[f"{key}.needs_prefill"] = r.needs_prefill
+    return flat
+
+
+def _diff(name: str, want: dict, got: dict) -> list[str]:
+    problems = []
+    for key in sorted(set(want) | set(got)):
+        if want.get(key) != got.get(key):
+            problems.append(
+                f"{name}: {key}: {want.get(key)!r} != {got.get(key)!r}")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+
+    # exact mode, fault-free: sharded == single-process, any worker count
+    base = ClusterConfig(num_machines=4, router="round-robin", max_batch=4)
+    workload = _workload(per=20, rate=120.0, seed=7)
+    reference = _fingerprint(_run(base, workload))
+    for shards in (2, 4):
+        cfg = dataclasses.replace(base, shards=shards)
+        problems += _diff(f"exact shards={shards} vs single",
+                          reference, _fingerprint(_run(cfg, workload)))
+    cfg = dataclasses.replace(base, shards=2)
+    problems += _diff("exact shards=2 repeat run",
+                      _fingerprint(_run(cfg, workload)),
+                      _fingerprint(_run(cfg, workload)))
+
+    # exact mode under crashes: refugee routing at barriers stays pinned
+    faults = FaultSchedule(crashes=(
+        CrashSpec(machine=1, at=0.05, restart_after=0.1),
+        CrashSpec(machine=2, at=0.12, restart_after=0.15),
+    ))
+    chaos = ClusterConfig(num_machines=4, router="session-affinity",
+                          max_batch=4, faults=faults)
+    chaos_workload = _workload(per=25, rate=300.0, seed=13)
+    chaos_ref = _run(chaos, chaos_workload)
+    if not any(r.migrations for r in chaos_ref.records):
+        problems.append("chaos drill: no migrations — crash schedule "
+                        "no longer exercises refugee routing")
+    problems += _diff(
+        "chaos shards=2 vs single", _fingerprint(chaos_ref),
+        _fingerprint(_run(dataclasses.replace(chaos, shards=2),
+                          chaos_workload)))
+
+    # fidelity: fast + shards: run-to-run determinism only
+    fast = dataclasses.replace(base, fidelity="fast", shards=2)
+    problems += _diff("fast shards=2 repeat run",
+                      _fingerprint(_run(fast, workload)),
+                      _fingerprint(_run(fast, workload)))
+
+    if problems:
+        print(f"FAIL: {len(problems)} sharded drift(s):", file=sys.stderr)
+        for p in problems[:20]:
+            print(f"  {p}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"  ... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    print("OK: sharded runs bit-identical to the single-process "
+          "reference (fault-free + chaos) and across repeat runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
